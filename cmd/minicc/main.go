@@ -1,0 +1,98 @@
+// Command minicc compiles MiniC programs to assembly for the reproduction's
+// MIPS-like ISA, and optionally assembles and runs them on the simulator.
+//
+// Usage:
+//
+//	minicc [flags] file.mc
+//
+//	-S            print generated assembly to stdout (or -o file)
+//	-o file       write assembly to file
+//	-run          compile, assemble and execute the program
+//	-max N        instruction budget when running (0 = unlimited)
+//	-unroll N     unroll eligible innermost loops by factor N
+//	-no-fold      disable constant folding
+//	-stats        after -run, print instruction counts by class
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"paragraph/internal/asm"
+	"paragraph/internal/cpu"
+	"paragraph/internal/isa"
+	"paragraph/internal/minic"
+)
+
+func main() {
+	var (
+		emitAsm = flag.Bool("S", false, "print generated assembly")
+		outFile = flag.String("o", "", "write assembly to file")
+		run     = flag.Bool("run", false, "assemble and execute the program")
+		maxInst = flag.Uint64("max", 0, "instruction budget when running (0 = unlimited)")
+		unroll  = flag.Int("unroll", 0, "unroll eligible innermost loops by this factor")
+		noFold  = flag.Bool("no-fold", false, "disable constant folding")
+		stats   = flag.Bool("stats", false, "print per-class instruction counts after -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [flags] file.mc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	opts := minic.Options{Unroll: *unroll, NoFold: *noFold}
+	asmText, err := minic.Compile(string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(asmText), 0o644); err != nil {
+			fatal(err)
+		}
+	} else if *emitAsm || !*run {
+		fmt.Print(asmText)
+	}
+	if !*run {
+		return
+	}
+	prog, err := asm.Assemble(asmText)
+	if err != nil {
+		fatal(fmt.Errorf("internal error assembling generated code: %w", err))
+	}
+	machine, err := cpu.New(prog, cpu.WithStdout(os.Stdout), cpu.WithStdin(os.Stdin))
+	if err != nil {
+		fatal(err)
+	}
+	n, err := machine.Run(*maxInst)
+	if err != nil && err != cpu.ErrLimit {
+		fatal(err)
+	}
+	if err == cpu.ErrLimit {
+		fmt.Fprintf(os.Stderr, "minicc: stopped after %d instructions (budget)\n", n)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "instructions: %d\n", machine.ICount())
+		counts := machine.ClassCounts()
+		classes := make([]isa.OpClass, 0, len(counts))
+		for c := range counts {
+			classes = append(classes, c)
+		}
+		sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+		for _, c := range classes {
+			fmt.Fprintf(os.Stderr, "  %-8s %12d\n", c, counts[c])
+		}
+	}
+	_, code := machine.Exited()
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

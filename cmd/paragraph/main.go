@@ -1,0 +1,273 @@
+// Command paragraph is the dynamic-dependency-graph analyzer CLI: the
+// reproduction's equivalent of running the paper's Paragraph tool over a
+// Pixie trace. It accepts a stored trace file or generates one on the fly
+// from a workload / MiniC source / assembly file, applies the paper's
+// analysis switches, and reports critical path, available parallelism and
+// (optionally) the parallelism profile and value distributions.
+//
+// Examples:
+//
+//	paragraph -workload matrixx
+//	paragraph -trace matrixx.pgt -window 1024
+//	paragraph -workload tomcatvx -rename-regs -plot
+//	paragraph -src prog.mc -syscalls optimistic -profile prof.csv
+//
+// Switches mirror Section 3.2 of the paper:
+//
+//	-syscalls conservative|optimistic   system-call firewall policy
+//	-rename-regs / -rename-stack / -rename-data   renaming switches
+//	-rename-all                         enable all three (default true when
+//	                                    no individual switch is given)
+//	-window N                           instruction window size (0 = whole trace)
+//	-fus N                              generic functional units (0 = unlimited)
+//	-unit-latency                       every operation takes one level
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paragraph/internal/asm"
+	"paragraph/internal/core"
+	"paragraph/internal/cpu"
+	"paragraph/internal/minic"
+	"paragraph/internal/stats"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "stored trace file to analyze")
+		workload  = flag.String("workload", "", "built-in workload to trace and analyze")
+		srcFile   = flag.String("src", "", "MiniC source to trace and analyze")
+		asmFile   = flag.String("asm", "", "assembly source to trace and analyze")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		maxInst   = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
+
+		syscalls    = flag.String("syscalls", "conservative", "system-call policy: conservative or optimistic")
+		renameRegs  = flag.Bool("rename-regs", false, "remove register storage dependencies")
+		renameStack = flag.Bool("rename-stack", false, "remove stack-segment storage dependencies")
+		renameData  = flag.Bool("rename-data", false, "remove non-stack memory storage dependencies")
+		renameAll   = flag.Bool("rename-all", false, "enable all renaming switches")
+		window      = flag.Int("window", 0, "instruction window size (0 = whole trace)")
+		fus         = flag.Int("fus", 0, "generic functional units (0 = unlimited)")
+		unitLat     = flag.Bool("unit-latency", false, "give every operation a one-level latency")
+		branches    = flag.String("branches", "perfect", "branch model: perfect, stall, static, twobit")
+
+		profileOut = flag.String("profile", "", "write the parallelism profile as CSV to this file")
+		plot       = flag.Bool("plot", false, "print an ASCII parallelism profile")
+		buckets    = flag.Int("buckets", 0, "profile resolution in buckets (0 = default)")
+		lifetimes  = flag.Bool("lifetimes", false, "collect and print the value-lifetime distribution")
+		twoPass    = flag.Bool("two-pass", false, "with -trace: run the paper's two-pass dead-value analysis")
+		storageOut = flag.String("storage", "", "write the live-well occupancy curve as CSV to this file")
+		sharing    = flag.Bool("sharing", false, "collect and print the degree-of-sharing distribution")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		WindowSize:      *window,
+		FunctionalUnits: *fus,
+		UnitLatency:     *unitLat,
+		ProfileBuckets:  *buckets,
+		Profile:         *plot || *profileOut != "",
+		Lifetimes:       *lifetimes,
+		Sharing:         *sharing,
+		StorageProfile:  *storageOut != "",
+	}
+	switch *branches {
+	case "perfect":
+		cfg.Branches = core.BranchPerfect
+	case "stall":
+		cfg.Branches = core.BranchStall
+	case "static", "btfn":
+		cfg.Branches = core.BranchStatic
+	case "twobit", "2bit":
+		cfg.Branches = core.BranchTwoBit
+	default:
+		fatal(fmt.Errorf("bad -branches value %q", *branches))
+	}
+	switch *syscalls {
+	case "conservative", "cons":
+		cfg.Syscalls = core.SyscallConservative
+	case "optimistic", "opt":
+		cfg.Syscalls = core.SyscallOptimistic
+	default:
+		fatal(fmt.Errorf("bad -syscalls value %q", *syscalls))
+	}
+	if *renameAll || (!*renameRegs && !*renameStack && !*renameData) {
+		// Default, as in the paper's headline analysis: full renaming.
+		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = true, true, true
+	} else {
+		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = *renameRegs, *renameStack, *renameData
+	}
+
+	analyzer := core.NewAnalyzer(cfg)
+
+	if *twoPass {
+		if *traceFile == "" {
+			fatal(fmt.Errorf("-two-pass needs a stored trace (-trace)"))
+		}
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err := core.AnalyzeTwoPass(f, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report(res, *plot, *profileOut, *lifetimes, *sharing)
+		writeStorage(res, *storageOut)
+		return
+	}
+
+	switch {
+	case *traceFile != "":
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.NewReader(f)
+		if err != nil {
+			fatal(err)
+		}
+		n := uint64(0)
+		err = tr.ForEach(func(e *trace.Event) error {
+			if *maxInst != 0 && n >= *maxInst {
+				return errBudget
+			}
+			n++
+			return analyzer.Event(e)
+		})
+		if err != nil && err != errBudget {
+			fatal(err)
+		}
+	default:
+		prog, err := buildProgram(*workload, *srcFile, *asmFile, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		machine, err := cpu.New(prog, cpu.WithTrace(analyzer), cpu.WithStdout(os.Stderr))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := machine.Run(*maxInst); err != nil && err != cpu.ErrLimit {
+			fatal(err)
+		}
+	}
+
+	res := analyzer.Finish()
+	report(res, *plot, *profileOut, *lifetimes, *sharing)
+	writeStorage(res, *storageOut)
+}
+
+// writeStorage dumps the live-well occupancy curve, if collected.
+func writeStorage(res *core.Result, path string) {
+	if path == "" || len(res.StorageProfile) == 0 {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := stats.WriteCSV(f, "instruction", "live_words", res.StorageProfile); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("storage profile written to %s\n", path)
+}
+
+var errBudget = fmt.Errorf("budget reached")
+
+func buildProgram(workload, srcFile, asmFile string, scale int) (*asm.Program, error) {
+	switch {
+	case workload != "":
+		w, ok := workloads.ByName(workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", workload)
+		}
+		return w.Build(scale, minic.Options{})
+	case srcFile != "":
+		src, err := os.ReadFile(srcFile)
+		if err != nil {
+			return nil, err
+		}
+		return minic.Build(string(src), minic.Options{})
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src))
+	}
+	return nil, fmt.Errorf("one of -trace, -workload, -src or -asm is required")
+}
+
+func report(res *core.Result, plot bool, profileOut string, lifetimes, sharing bool) {
+	fmt.Printf("configuration:        syscalls %s, rename regs=%v stack=%v data=%v, window %s, FUs %s\n",
+		res.Config.Syscalls,
+		res.Config.RenameRegisters, res.Config.RenameStack, res.Config.RenameData,
+		orUnlimited(res.Config.WindowSize), orUnlimited(res.Config.FunctionalUnits))
+	fmt.Printf("instructions:         %s\n", stats.FormatInt(int64(res.Instructions)))
+	fmt.Printf("operations in DDG:    %s\n", stats.FormatInt(int64(res.Operations)))
+	fmt.Printf("system calls:         %d\n", res.Syscalls)
+	fmt.Printf("critical path length: %s\n", stats.FormatInt(res.CriticalPath))
+	fmt.Printf("available parallelism: %s\n", stats.FormatFloat(res.Available))
+	if res.PeakOps > 0 {
+		fmt.Printf("peak ops per level:   %s\n", stats.FormatFloat(res.PeakOps))
+	}
+	fmt.Printf("peak live memory:     %s words\n", stats.FormatInt(int64(res.MaxLiveMemoryWords)))
+	if res.Branches > 0 {
+		fmt.Printf("branch model:         %s, %s branches, %.2f%% mispredicted\n",
+			res.Config.Branches, stats.FormatInt(int64(res.Branches)),
+			float64(res.Mispredictions)/float64(res.Branches)*100)
+	}
+
+	if plot && len(res.Profile) > 0 {
+		fmt.Println()
+		_ = stats.AsciiPlot(os.Stdout, "parallelism profile (ops per DDG level)", res.Profile, 32, 56)
+	}
+	if profileOut != "" {
+		f, err := os.Create(profileOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := stats.WriteCSV(f, "level", "operations", res.Profile); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile written to %s (%d buckets, width %d)\n",
+			profileOut, len(res.Profile), res.ProfileBucketWidth)
+	}
+	if lifetimes {
+		fmt.Printf("value lifetimes:      %s\n", res.Lifetimes.String())
+		for _, b := range res.Lifetimes.Buckets() {
+			fmt.Printf("  %10d..%-10d %12d\n", b.Low, b.High, b.Count)
+		}
+	}
+	if sharing {
+		fmt.Printf("degree of sharing:    %s\n", res.Sharing.String())
+		for _, b := range res.Sharing.Buckets() {
+			fmt.Printf("  %10d..%-10d %12d\n", b.Low, b.High, b.Count)
+		}
+	}
+}
+
+func orUnlimited(n int) string {
+	if n == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paragraph:", err)
+	os.Exit(1)
+}

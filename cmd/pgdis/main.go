@@ -1,0 +1,167 @@
+// Command pgdis disassembles assembled programs — the reproduction's
+// objdump. It compiles/assembles its input, prints a symbol-annotated
+// listing of the text segment, and can annotate each basic block with its
+// execution count from a profiled run (the Pixie-style view of the code).
+//
+// Usage:
+//
+//	pgdis -src prog.mc             # MiniC: compile, then disassemble
+//	pgdis -asm prog.s              # assembly: assemble, then disassemble
+//	pgdis -workload matrixx        # a built-in workload
+//	pgdis -src prog.mc -profile    # run it; annotate basic-block counts
+//	pgdis -src prog.mc -data       # also dump the data segment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"paragraph/internal/asm"
+	"paragraph/internal/cpu"
+	"paragraph/internal/isa"
+	"paragraph/internal/minic"
+	"paragraph/internal/stats"
+	"paragraph/internal/workloads"
+)
+
+func main() {
+	var (
+		srcFile  = flag.String("src", "", "MiniC source file")
+		asmFile  = flag.String("asm", "", "assembly source file")
+		workload = flag.String("workload", "", "built-in workload")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		unroll   = flag.Int("unroll", 0, "compiler loop-unrolling factor")
+		profile  = flag.Bool("profile", false, "execute and annotate basic-block counts")
+		maxInst  = flag.Uint64("max", 0, "instruction budget when profiling")
+		dumpData = flag.Bool("data", false, "also hex-dump the data segment")
+	)
+	flag.Parse()
+
+	prog, err := build(*workload, *srcFile, *asmFile, *scale, *unroll)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prof *cpu.BBProfile
+	if *profile {
+		machine, err := cpu.New(prog, cpu.WithStdout(os.Stderr), cpu.WithBBProfile())
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := machine.Run(*maxInst); err != nil && err != cpu.ErrLimit {
+			fatal(err)
+		}
+		prof = machine.BBProfile()
+		fmt.Printf("# profiled %s instructions over %d basic blocks\n\n",
+			stats.FormatInt(int64(machine.ICount())), prof.NumBlocks())
+	}
+
+	// Reverse symbol table: address -> labels.
+	labels := make(map[uint32][]string)
+	for name, addr := range prog.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	for _, ls := range labels {
+		sort.Strings(ls)
+	}
+
+	fmt.Printf("# text: %d instructions at %#x; data: %d bytes at %#x; entry %s\n\n",
+		len(prog.Text), asm.TextBase, len(prog.Data), asm.DataBase, labelOrAddr(labels, prog.Entry))
+
+	for i, word := range prog.Text {
+		pc := asm.TextBase + uint32(4*i)
+		for _, l := range labels[pc] {
+			fmt.Printf("%s:\n", l)
+		}
+		ins, err := isa.Decode(word)
+		if err != nil {
+			fmt.Printf("  %08x:  %08x  <undecodable: %v>\n", pc, word, err)
+			continue
+		}
+		text := isa.Disassemble(&ins)
+		// Symbolize control-transfer targets.
+		info := ins.Op.Info()
+		switch {
+		case info.IsBranch:
+			target := pc + 4 + uint32(ins.Imm)*4
+			text = fmt.Sprintf("%s  <%s>", text, labelOrAddr(labels, target))
+		case ins.Op == isa.J || ins.Op == isa.JAL:
+			text = fmt.Sprintf("%s  <%s>", text, labelOrAddr(labels, ins.Target<<2))
+		}
+		if prof != nil {
+			if n := prof.Count(pc); n > 0 {
+				fmt.Printf("  %08x:  %08x  %-44s ; %sx\n", pc, word, text, stats.FormatInt(int64(n)))
+				continue
+			}
+		}
+		fmt.Printf("  %08x:  %08x  %s\n", pc, word, text)
+	}
+
+	if prof != nil {
+		fmt.Printf("\n# hottest basic blocks\n")
+		for _, h := range prof.Hot(10) {
+			if h.Count == 0 {
+				break
+			}
+			fmt.Printf("  %08x  %-24s %12s\n", h.PC, labelOrAddr(labels, h.PC), stats.FormatInt(int64(h.Count)))
+		}
+	}
+
+	if *dumpData {
+		fmt.Printf("\n# data segment (%d bytes)\n", len(prog.Data))
+		for off := 0; off < len(prog.Data); off += 16 {
+			end := off + 16
+			if end > len(prog.Data) {
+				end = len(prog.Data)
+			}
+			addr := asm.DataBase + uint32(off)
+			if ls, ok := labels[addr]; ok {
+				fmt.Printf("%s:\n", ls[0])
+			}
+			fmt.Printf("  %08x: ", addr)
+			for _, b := range prog.Data[off:end] {
+				fmt.Printf("%02x ", b)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func labelOrAddr(labels map[uint32][]string, addr uint32) string {
+	if ls, ok := labels[addr]; ok {
+		return ls[0]
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+func build(workload, srcFile, asmFile string, scale, unroll int) (*asm.Program, error) {
+	opts := minic.Options{Unroll: unroll}
+	switch {
+	case workload != "":
+		w, ok := workloads.ByName(workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", workload)
+		}
+		return w.Build(scale, opts)
+	case srcFile != "":
+		src, err := os.ReadFile(srcFile)
+		if err != nil {
+			return nil, err
+		}
+		return minic.Build(string(src), opts)
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src))
+	}
+	return nil, fmt.Errorf("one of -src, -asm or -workload is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgdis:", err)
+	os.Exit(1)
+}

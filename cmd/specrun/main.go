@@ -1,0 +1,210 @@
+// Command specrun regenerates the paper's evaluation: every table and
+// figure of Section 4, plus the extension experiments from DESIGN.md.
+//
+// Usage:
+//
+//	specrun -all                         run everything
+//	specrun -table3 -table4              selected experiments
+//	specrun -fig7 -out results/          also dump per-benchmark CSVs
+//	specrun -scale 4 -table3             larger traces
+//	specrun -workloads matrixx,xlispx -fig8
+//
+// Experiments:
+//
+//	-table1           instruction-class operation times (configuration)
+//	-table2           benchmark inventory with trace lengths
+//	-table3           dataflow limit, conservative vs optimistic syscalls
+//	-table4           available parallelism under four renaming conditions
+//	-fig7             parallelism profiles (ASCII; CSV with -out)
+//	-fig8             percent of parallelism vs window size
+//	-fus              functional-unit sweep (extension E8)
+//	-lifetimes        value lifetime / sharing distributions (extension E9)
+//	-ablation-unroll  compiler loop-unrolling ablation (extension E7)
+//	-branches         branch-prediction model sweep (extension E10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"paragraph/internal/harness"
+	"paragraph/internal/workloads"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "print Table 1 (operation times)")
+		table2   = flag.Bool("table2", false, "run Table 2 (benchmark inventory)")
+		table3   = flag.Bool("table3", false, "run Table 3 (dataflow limits)")
+		table4   = flag.Bool("table4", false, "run Table 4 (renaming conditions)")
+		fig7     = flag.Bool("fig7", false, "run Figure 7 (parallelism profiles)")
+		fig8     = flag.Bool("fig8", false, "run Figure 8 (window-size sweep)")
+		fus      = flag.Bool("fus", false, "run the functional-unit sweep (E8)")
+		lifet    = flag.Bool("lifetimes", false, "run lifetime/sharing distributions (E9)")
+		ablation = flag.Bool("ablation-unroll", false, "run the loop-unrolling ablation (E7)")
+		branches = flag.Bool("branches", false, "run the branch-prediction sweep (E10)")
+
+		scale   = flag.Int("scale", 1, "workload scale factor")
+		maxInst = flag.Uint64("max", 0, "per-run instruction budget (0 = unlimited)")
+		outDir  = flag.String("out", "", "directory for CSV outputs (fig7/fig8)")
+		names   = flag.String("workloads", "", "comma-separated workload subset")
+		ablWork = flag.String("ablation-workload", "naskerx", "workload for the unrolling ablation")
+	)
+	flag.Parse()
+
+	if !(*all || *table1 || *table2 || *table3 || *table4 || *fig7 || *fig8 || *fus || *lifet || *ablation || *branches) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := harness.NewSuite(*scale)
+	s.MaxInstr = *maxInst
+	if *names != "" {
+		s.Workloads = nil
+		for _, n := range strings.Split(*names, ",") {
+			w, ok := workloads.ByName(strings.TrimSpace(n))
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q", n))
+			}
+			s.Workloads = append(s.Workloads, w)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
+
+	if *all || *table1 {
+		section("Table 1: Instruction Class Operation Times")
+		must(harness.RenderTable1(os.Stdout))
+	}
+	if *all || *table2 {
+		section("Table 2: Benchmarks Analyzed")
+		rows, err := timed("table2", s.Table2)
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderTable2(os.Stdout, rows))
+	}
+	if *all || *table3 {
+		section("Table 3: Dataflow Results (conservative vs optimistic system calls)")
+		rows, err := timed("table3", s.Table3)
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderTable3(os.Stdout, rows))
+	}
+	if *all || *table4 {
+		section("Table 4: Available Parallelism under Different Renaming Conditions")
+		rows, err := timed("table4", s.Table4)
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderTable4(os.Stdout, rows))
+	}
+	if *all || *fig7 {
+		section("Figure 7: Parallelism Profiles")
+		profiles, err := timed("fig7", s.Figure7)
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderFigure7(os.Stdout, profiles))
+		if *outDir != "" {
+			for _, p := range profiles {
+				path := filepath.Join(*outDir, "fig7_"+p.Name+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				must(harness.WriteProfileCSV(f, p))
+				must(f.Close())
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+	}
+	if *all || *fig8 {
+		section("Figure 8: Window Size vs Percent of Total Available Parallelism")
+		series, err := timed("fig8", func() ([]harness.WindowSeries, error) {
+			return s.Figure8(nil)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderFigure8(os.Stdout, series))
+		if *outDir != "" {
+			path := filepath.Join(*outDir, "fig8.csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			must(harness.WriteFigure8CSV(f, series))
+			must(f.Close())
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if *all || *fus {
+		section("Extension E8: Functional-Unit Limits")
+		rows, err := timed("fus", func() ([]harness.FURow, error) {
+			return s.FunctionalUnits(nil)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderFunctionalUnits(os.Stdout, rows))
+	}
+	if *all || *lifet {
+		section("Extension E9: Value Lifetimes and Degree of Sharing")
+		rows, err := timed("lifetimes", s.Lifetimes)
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderLifetimes(os.Stdout, rows))
+	}
+	if *all || *branches {
+		section("Extension E10: Branch-Prediction Models")
+		rows, err := timed("branches", func() ([]harness.BranchRow, error) {
+			return s.BranchPrediction(nil)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderBranches(os.Stdout, rows))
+	}
+	if *all || *ablation {
+		section("Extension E7: Compiler Loop-Unrolling Ablation (" + *ablWork + ")")
+		rows, err := timed("ablation", func() ([]harness.UnrollRow, error) {
+			return s.AblationUnroll(*ablWork, nil)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		must(harness.RenderUnroll(os.Stdout, rows))
+	}
+}
+
+// timed runs fn, reporting its wall time to stderr.
+func timed[T any](name string, fn func() (T, error)) (T, error) {
+	start := time.Now()
+	out, err := fn()
+	fmt.Fprintf(os.Stderr, "specrun: %s took %v\n", name, time.Since(start).Round(time.Millisecond))
+	return out, err
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specrun:", err)
+	os.Exit(1)
+}

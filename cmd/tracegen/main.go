@@ -1,0 +1,112 @@
+// Command tracegen produces serial execution traces in the reproduction's
+// binary format — the role Pixie played for the paper. Traces come from a
+// built-in SPEC-analogue workload, a MiniC source file, or an assembly file.
+//
+// Usage:
+//
+//	tracegen -workload matrixx -o matrixx.pgt
+//	tracegen -src prog.mc -max 1000000 -o prog.pgt
+//	tracegen -asm prog.s -o prog.pgt
+//
+//	-workload name   one of the ten analogues (or its SPEC original's name)
+//	-src file        MiniC source to compile and trace
+//	-asm file        assembly source to assemble and trace
+//	-scale N         workload scale factor (default 1)
+//	-unroll N        compiler loop-unrolling factor
+//	-max N           stop tracing after N instructions (0 = unlimited)
+//	-o file          output trace file (default: stdout must be redirected)
+//	-list            list available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paragraph/internal/asm"
+	"paragraph/internal/cpu"
+	"paragraph/internal/minic"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in workload to trace")
+		srcFile  = flag.String("src", "", "MiniC source file to trace")
+		asmFile  = flag.String("asm", "", "assembly source file to trace")
+		scale    = flag.Int("scale", 1, "workload scale factor")
+		unroll   = flag.Int("unroll", 0, "compiler loop-unrolling factor")
+		maxInst  = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
+		outFile  = flag.String("o", "", "output trace file")
+		list     = flag.Bool("list", false, "list available workloads")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s models %-10s %-8s %s\n", w.Name, w.Original, w.BenchType, w.Description)
+		}
+		return
+	}
+
+	prog, err := buildProgram(*workload, *srcFile, *asmFile, *scale, *unroll)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	tw, err := trace.NewWriter(out)
+	if err != nil {
+		fatal(err)
+	}
+	machine, err := cpu.New(prog, cpu.WithTrace(tw), cpu.WithStdout(os.Stderr))
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := machine.Run(*maxInst); err != nil && err != cpu.ErrLimit {
+		fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d events\n", tw.Count())
+}
+
+func buildProgram(workload, srcFile, asmFile string, scale, unroll int) (*asm.Program, error) {
+	opts := minic.Options{Unroll: unroll}
+	switch {
+	case workload != "":
+		w, ok := workloads.ByName(workload)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q (try -list)", workload)
+		}
+		return w.Build(scale, opts)
+	case srcFile != "":
+		src, err := os.ReadFile(srcFile)
+		if err != nil {
+			return nil, err
+		}
+		return minic.Build(string(src), opts)
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src))
+	}
+	return nil, fmt.Errorf("one of -workload, -src or -asm is required")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Interpreter: demonstrate the paper's explanation for xlisp being the
+// least parallel SPEC benchmark. The same computation — sum of i*i for
+// i = 1..300 — is run twice: natively, and under a bytecode interpreter.
+// The interpreter's virtual program counter and stack pointer are
+// recurrences that the DDG analysis cannot remove, so the interpreted run
+// shows a fraction of the native parallelism even though the underlying
+// computation is identical.
+//
+// Run with:
+//
+//	go run ./examples/interpreter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragraph"
+)
+
+// native computes the sums directly: the loop bodies for different i are
+// almost independent once registers are renamed.
+const native = `
+int results[64];
+int main() {
+    int trial;
+    for (trial = 0; trial < 12; trial = trial + 1) {
+        int sum = 0;
+        int i;
+        for (i = 1; i <= 300; i = i + 1) {
+            sum = sum + i * i;
+        }
+        results[trial % 64] = sum;
+    }
+    print_int(results[0]);
+    print_char(10);
+    return 0;
+}
+`
+
+// interpreted runs the identical computation on a stack-machine bytecode
+// interpreter — the paper's "abstract serial machine" re-introducing the
+// control dependencies that the analyzer normally removes.
+const interpreted = `
+int code[64];
+int stk[64];
+int mem[16];
+int results[64];
+
+void assemble(int n) {
+    code[0] = 1;  code[1] = n;    // PUSH n
+    code[2] = 6;  code[3] = 0;    // STORE m0 (counter)
+    code[4] = 1;  code[5] = 0;    // PUSH 0
+    code[6] = 6;  code[7] = 1;    // STORE m1 (sum)
+    code[8] = 5;  code[9] = 0;    // loop: LOAD m0
+    code[10] = 5; code[11] = 0;   // LOAD m0
+    code[12] = 4;                 // MUL
+    code[13] = 5; code[14] = 1;   // LOAD m1
+    code[15] = 2;                 // ADD
+    code[16] = 6; code[17] = 1;   // STORE m1
+    code[18] = 5; code[19] = 0;   // LOAD m0
+    code[20] = 1; code[21] = 1;   // PUSH 1
+    code[22] = 3;                 // SUB
+    code[23] = 6; code[24] = 0;   // STORE m0
+    code[25] = 5; code[26] = 0;   // LOAD m0
+    code[27] = 7; code[28] = 8;   // JNZ loop
+    code[29] = 9;                 // HALT
+}
+
+void interpret() {
+    int pc = 0;
+    int sp = 0;
+    int running = 1;
+    while (running) {
+        int op = code[pc];
+        pc = pc + 1;
+        if (op == 1) { stk[sp] = code[pc]; pc = pc + 1; sp = sp + 1; }
+        else { if (op == 2) { sp = sp - 1; stk[sp-1] = stk[sp-1] + stk[sp]; }
+        else { if (op == 3) { sp = sp - 1; stk[sp-1] = stk[sp-1] - stk[sp]; }
+        else { if (op == 4) { sp = sp - 1; stk[sp-1] = stk[sp-1] * stk[sp]; }
+        else { if (op == 5) { stk[sp] = mem[code[pc]]; pc = pc + 1; sp = sp + 1; }
+        else { if (op == 6) { sp = sp - 1; mem[code[pc]] = stk[sp]; pc = pc + 1; }
+        else { if (op == 7) {
+            sp = sp - 1;
+            if (stk[sp] != 0) { pc = code[pc]; } else { pc = pc + 1; }
+        }
+        else { running = 0; } } } } } } }
+    }
+}
+
+int main() {
+    int trial;
+    for (trial = 0; trial < 12; trial = trial + 1) {
+        assemble(300);
+        interpret();
+        results[trial % 64] = mem[1];
+    }
+    print_int(results[0]);
+    print_char(10);
+    return 0;
+}
+`
+
+func analyze(label, src string) *paragraph.Result {
+	prog, err := paragraph.CompileMiniC(src, paragraph.CompileOptions{})
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	res, err := paragraph.AnalyzeProgram(prog, paragraph.DataflowConfig(paragraph.SyscallConservative), 0)
+	if err != nil {
+		log.Fatalf("%s: %v", label, err)
+	}
+	fmt.Printf("%-12s %10d instructions, critical path %8d, available parallelism %8.2f\n",
+		label, res.Instructions, res.CriticalPath, res.Available)
+	return res
+}
+
+func main() {
+	fmt.Println("The same computation, native vs interpreted (sum of squares, 12 trials):")
+	fmt.Println()
+	nat := analyze("native", native)
+	interp := analyze("interpreted", interpreted)
+	fmt.Println()
+	fmt.Printf("interpretation overhead:  %.1fx more instructions for the same answers\n",
+		float64(interp.Instructions)/float64(nat.Instructions))
+	fmt.Printf("critical-path blowup:     %.1fx more steps on an ideal dataflow machine\n",
+		float64(interp.CriticalPath)/float64(nat.CriticalPath))
+	fmt.Printf("useful work per cycle:    %.2f native vs %.2f interpreted\n",
+		float64(nat.Operations)/float64(nat.CriticalPath),
+		float64(nat.Operations)/float64(interp.CriticalPath))
+	fmt.Println()
+	fmt.Println("The interpreter's virtual pc and stack pointer are recurrences the")
+	fmt.Println("analyzer cannot rename away, so the same answers take far longer on")
+	fmt.Println("an ideal machine, and most of its \"parallelism\" is interpretive")
+	fmt.Println("busywork. This is the paper's xlisp finding: the Lisp prog loop")
+	fmt.Println("\"implements an abstract serial machine ... re-introducing the")
+	fmt.Println("control dependencies that are normally removed by Paragraph.\"")
+}

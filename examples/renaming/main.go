@@ -1,0 +1,73 @@
+// Renaming: reproduce the paper's Table-4 experiment for a chosen workload,
+// showing how much parallelism each renaming level exposes — the paper's
+// central claim that storage dependencies, not true dependencies, hide most
+// of the parallelism in ordinary programs.
+//
+// Run with:
+//
+//	go run ./examples/renaming [workload]
+//
+// Try `matrixx` (stack renaming unlocks it, like matrix300 in the paper) or
+// `espressox` (memory renaming unlocks it, like espresso).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"paragraph"
+)
+
+func main() {
+	name := "matrixx"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := paragraph.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s (models %s): %s\n\n", w.Name, w.Original, w.Description)
+
+	prog, err := w.Build(1, paragraph.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conditions := []struct {
+		label                string
+		regs, stack, memData bool
+	}{
+		{"no renaming", false, false, false},
+		{"registers renamed", true, false, false},
+		{"registers + stack renamed", true, true, false},
+		{"registers + all memory renamed", true, true, true},
+	}
+
+	fmt.Printf("%-34s %14s %16s\n", "condition", "critical path", "avail. parallelism")
+	var prev float64
+	for _, c := range conditions {
+		cfg := paragraph.Config{
+			Syscalls:        paragraph.SyscallConservative,
+			RenameRegisters: c.regs,
+			RenameStack:     c.stack,
+			RenameData:      c.memData,
+		}
+		res, err := paragraph.AnalyzeProgram(prog, cfg, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if prev > 0 && res.Available > 3*prev {
+			marker = "  <-- the unlocking step"
+		}
+		fmt.Printf("%-34s %14d %16.2f%s\n", c.label, res.CriticalPath, res.Available, marker)
+		prev = res.Available
+	}
+
+	fmt.Println("\nThe paper's Table 4 shows the same staircase: parallelism is")
+	fmt.Println("hidden behind storage reuse, and which renaming level releases it")
+	fmt.Println("depends on where the program keeps its values (registers, stack")
+	fmt.Println("temporaries, or global/heap memory).")
+}

@@ -1,0 +1,503 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"paragraph/internal/isa"
+)
+
+// Error is an assembly diagnostic carrying the 1-based source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// section identifies the segment the location counter is in.
+type section int
+
+const (
+	secText section = iota
+	secData
+)
+
+// srcLine is one parsed source line.
+type srcLine struct {
+	num      int
+	labels   []string
+	mnemonic string   // lower-cased instruction or directive (directives keep '.')
+	operands []string // comma-separated operand fields, trimmed
+}
+
+// protoIns is a single machine instruction awaiting symbol resolution. At
+// most one operand may be symbolic; the kind of fixup tells the second pass
+// how to patch the instruction.
+type protoIns struct {
+	ins    isa.Instruction
+	fixup  fixupKind
+	symbol string
+	addend int32
+	line   int
+}
+
+type fixupKind uint8
+
+const (
+	fixNone   fixupKind = iota
+	fixBranch           // PC-relative 16-bit word offset to symbol
+	fixJump             // 26-bit absolute word target
+	fixHi               // %hi(symbol+addend) into Imm (for lui)
+	fixLo               // %lo(symbol+addend) into Imm
+	fixLitHi            // %hi of literal-pool entry `addend`
+	fixLitLo            // %lo of literal-pool entry `addend`
+	fixAbsImm           // full symbol value must fit in 16 bits (rare)
+)
+
+// Assembler holds the state of one assembly run. Create with New, feed a
+// whole source file to Assemble.
+type Assembler struct {
+	lines []srcLine
+
+	text     []protoIns
+	textSrc  []int
+	data     []byte
+	symbols  map[string]uint32
+	globals  map[string]bool
+	litPool  []uint64         // 8-byte FP literals, deduplicated
+	litIndex map[uint64]int32 // literal bits -> pool index
+
+	wordRelocs []wordReloc // .word entries holding label addresses
+
+	section section
+}
+
+// Assemble assembles a complete source file and returns the loadable
+// program. name is used only in diagnostics.
+func Assemble(src string) (*Program, error) {
+	a := &Assembler{
+		symbols:  make(map[string]uint32),
+		globals:  make(map[string]bool),
+		litIndex: make(map[uint64]int32),
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.firstPass(); err != nil {
+		return nil, err
+	}
+	return a.secondPass()
+}
+
+// parse splits the source into srcLines.
+func (a *Assembler) parse(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		line := raw
+		if idx := commentIndex(line); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var sl srcLine
+		sl.num = num
+		// Peel off leading labels.
+		for {
+			idx := labelIndex(line)
+			if idx < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:idx])
+			if !isIdent(label) {
+				return errf(num, "invalid label %q", label)
+			}
+			sl.labels = append(sl.labels, label)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line != "" {
+			mn, rest, _ := strings.Cut(line, " ")
+			if tabMn, tabRest, ok := strings.Cut(line, "\t"); ok && len(tabMn) < len(mn) {
+				mn, rest = tabMn, tabRest
+			}
+			sl.mnemonic = strings.ToLower(strings.TrimSpace(mn))
+			rest = strings.TrimSpace(rest)
+			if rest != "" {
+				sl.operands = splitOperands(rest)
+			}
+		}
+		a.lines = append(a.lines, sl)
+	}
+	return nil
+}
+
+// commentIndex finds the start of a '#' comment, respecting string literals.
+func commentIndex(line string) int {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#':
+			if !inStr {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// labelIndex returns the position of a label-terminating ':' at the start of
+// the line, or -1. It does not look past the first whitespace-delimited
+// token so that operands containing ':' are untouched.
+func labelIndex(line string) int {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == ':' {
+			return i
+		}
+		if !isIdentChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+		if i == 0 && s[i] >= '0' && s[i] <= '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// splitOperands splits on commas that are outside quotes and parentheses.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// firstPass walks the parsed lines, assigning addresses to labels, emitting
+// proto-instructions for text and raw bytes for data.
+func (a *Assembler) firstPass() error {
+	for _, sl := range a.lines {
+		// Data directives align their location counter before any label
+		// on the same line binds, so that `x: .word 1` puts x on the
+		// word itself.
+		if a.section == secData {
+			switch sl.mnemonic {
+			case ".half":
+				a.alignData(2)
+			case ".word":
+				a.alignData(4)
+			case ".double":
+				a.alignData(8)
+			case ".align":
+				if len(sl.operands) == 1 {
+					if n, err := parseInt(sl.operands[0]); err == nil && n >= 0 && n <= 16 {
+						a.alignData(1 << uint(n))
+					}
+				}
+			}
+		}
+		for _, label := range sl.labels {
+			addr := a.here()
+			if _, dup := a.symbols[label]; dup {
+				return errf(sl.num, "duplicate label %q", label)
+			}
+			a.symbols[label] = addr
+		}
+		if sl.mnemonic == "" {
+			continue
+		}
+		if strings.HasPrefix(sl.mnemonic, ".") {
+			if err := a.directive(sl); err != nil {
+				return err
+			}
+			continue
+		}
+		if a.section != secText {
+			return errf(sl.num, "instruction %q outside .text", sl.mnemonic)
+		}
+		if err := a.instruction(sl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// here returns the current location-counter address.
+func (a *Assembler) here() uint32 {
+	if a.section == secText {
+		return TextBase + uint32(4*len(a.text))
+	}
+	return DataBase + uint32(len(a.data))
+}
+
+func (a *Assembler) directive(sl srcLine) error {
+	switch sl.mnemonic {
+	case ".text":
+		a.section = secText
+	case ".data":
+		a.section = secData
+	case ".globl", ".global":
+		for _, op := range sl.operands {
+			a.globals[op] = true
+		}
+	case ".align":
+		if len(sl.operands) != 1 {
+			return errf(sl.num, ".align wants one operand")
+		}
+		n, err := parseInt(sl.operands[0])
+		if err != nil || n < 0 || n > 16 {
+			return errf(sl.num, "bad .align operand %q", sl.operands[0])
+		}
+		if a.section == secData {
+			align := 1 << uint(n)
+			for len(a.data)%align != 0 {
+				a.data = append(a.data, 0)
+			}
+		}
+	case ".space":
+		if a.section != secData {
+			return errf(sl.num, ".space outside .data")
+		}
+		if len(sl.operands) != 1 {
+			return errf(sl.num, ".space wants one operand")
+		}
+		n, err := parseInt(sl.operands[0])
+		if err != nil || n < 0 {
+			return errf(sl.num, "bad .space size %q", sl.operands[0])
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".word":
+		if a.section != secData {
+			return errf(sl.num, ".word outside .data")
+		}
+		a.alignData(4)
+		for _, op := range sl.operands {
+			if v, err := parseInt(op); err == nil {
+				a.data = binary.LittleEndian.AppendUint32(a.data, uint32(v))
+			} else if isIdent(op) {
+				// Label-valued word: resolved in second pass via a
+				// relocation list; record a placeholder.
+				a.wordRelocs = append(a.wordRelocs, wordReloc{
+					off: len(a.data), symbol: op, line: sl.num,
+				})
+				a.data = binary.LittleEndian.AppendUint32(a.data, 0)
+			} else {
+				return errf(sl.num, "bad .word operand %q", op)
+			}
+		}
+	case ".half":
+		if a.section != secData {
+			return errf(sl.num, ".half outside .data")
+		}
+		a.alignData(2)
+		for _, op := range sl.operands {
+			v, err := parseInt(op)
+			if err != nil {
+				return errf(sl.num, "bad .half operand %q", op)
+			}
+			a.data = binary.LittleEndian.AppendUint16(a.data, uint16(v))
+		}
+	case ".byte":
+		if a.section != secData {
+			return errf(sl.num, ".byte outside .data")
+		}
+		for _, op := range sl.operands {
+			v, err := parseInt(op)
+			if err != nil {
+				return errf(sl.num, "bad .byte operand %q", op)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".double":
+		if a.section != secData {
+			return errf(sl.num, ".double outside .data")
+		}
+		a.alignData(8)
+		for _, op := range sl.operands {
+			f, err := strconv.ParseFloat(op, 64)
+			if err != nil {
+				return errf(sl.num, "bad .double operand %q", op)
+			}
+			a.data = binary.LittleEndian.AppendUint64(a.data, math.Float64bits(f))
+		}
+	case ".ascii", ".asciiz":
+		if a.section != secData {
+			return errf(sl.num, "%s outside .data", sl.mnemonic)
+		}
+		if len(sl.operands) != 1 {
+			return errf(sl.num, "%s wants one string operand", sl.mnemonic)
+		}
+		s, err := strconv.Unquote(sl.operands[0])
+		if err != nil {
+			return errf(sl.num, "bad string %s", sl.operands[0])
+		}
+		a.data = append(a.data, s...)
+		if sl.mnemonic == ".asciiz" {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return errf(sl.num, "unknown directive %q", sl.mnemonic)
+	}
+	return nil
+}
+
+func (a *Assembler) alignData(n int) {
+	for len(a.data)%n != 0 {
+		a.data = append(a.data, 0)
+	}
+}
+
+// wordReloc records a .word entry whose value is a label address.
+type wordReloc struct {
+	off    int
+	symbol string
+	line   int
+}
+
+// secondPass resolves symbols, encodes instructions, and builds the Program.
+func (a *Assembler) secondPass() (*Program, error) {
+	// Place the FP literal pool after the data segment, 8-byte aligned.
+	a.alignData(8)
+	litBase := DataBase + uint32(len(a.data))
+	for _, bits := range a.litPool {
+		a.data = binary.LittleEndian.AppendUint64(a.data, bits)
+	}
+
+	for _, rel := range a.wordRelocs {
+		addr, ok := a.symbols[rel.symbol]
+		if !ok {
+			return nil, errf(rel.line, "undefined symbol %q in .word", rel.symbol)
+		}
+		binary.LittleEndian.PutUint32(a.data[rel.off:], addr)
+	}
+
+	p := &Program{
+		Data:    a.data,
+		Symbols: a.symbols,
+		Entry:   TextBase,
+		Source:  a.textSrc,
+	}
+	if main, ok := a.symbols["main"]; ok {
+		p.Entry = main
+	}
+
+	for i := range a.text {
+		pi := &a.text[i]
+		pc := TextBase + uint32(4*i)
+		ins := pi.ins
+		switch pi.fixup {
+		case fixNone:
+		case fixBranch:
+			target, ok := a.symbols[pi.symbol]
+			if !ok {
+				return nil, errf(pi.line, "undefined branch target %q", pi.symbol)
+			}
+			off := (int64(target) - int64(pc) - 4) / 4
+			if off < math.MinInt16 || off > math.MaxInt16 {
+				return nil, errf(pi.line, "branch to %q out of range (%d words)", pi.symbol, off)
+			}
+			ins.Imm = int32(off)
+		case fixJump:
+			target, ok := a.symbols[pi.symbol]
+			if !ok {
+				return nil, errf(pi.line, "undefined jump target %q", pi.symbol)
+			}
+			ins.Target = target >> 2
+		case fixHi, fixLo, fixLitHi, fixLitLo:
+			var addr uint32
+			if pi.fixup == fixLitHi || pi.fixup == fixLitLo {
+				addr = litBase + uint32(8*pi.addend)
+			} else {
+				sym, ok := a.symbols[pi.symbol]
+				if !ok {
+					return nil, errf(pi.line, "undefined symbol %q", pi.symbol)
+				}
+				addr = sym + uint32(pi.addend)
+			}
+			if pi.fixup == fixHi || pi.fixup == fixLitHi {
+				ins.Imm = int32(int16((addr + 0x8000) >> 16))
+			} else {
+				ins.Imm = int32(int16(addr & 0xffff))
+			}
+		case fixAbsImm:
+			sym, ok := a.symbols[pi.symbol]
+			if !ok {
+				return nil, errf(pi.line, "undefined symbol %q", pi.symbol)
+			}
+			v := int64(sym) + int64(pi.addend)
+			if v < math.MinInt16 || v > math.MaxUint16 {
+				return nil, errf(pi.line, "symbol value %#x does not fit in 16 bits", v)
+			}
+			ins.Imm = int32(int16(v))
+		}
+		word, err := isa.Encode(&ins)
+		if err != nil {
+			return nil, errf(pi.line, "%v", err)
+		}
+		p.Text = append(p.Text, word)
+	}
+	return p, nil
+}
+
+// emit appends a proto-instruction to the text segment.
+func (a *Assembler) emit(line int, ins isa.Instruction) {
+	a.text = append(a.text, protoIns{ins: ins, line: line})
+	a.textSrc = append(a.textSrc, line)
+}
+
+func (a *Assembler) emitFixup(line int, ins isa.Instruction, kind fixupKind, symbol string, addend int32) {
+	a.text = append(a.text, protoIns{ins: ins, fixup: kind, symbol: symbol, addend: addend, line: line})
+	a.textSrc = append(a.textSrc, line)
+}

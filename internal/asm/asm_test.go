@@ -1,0 +1,572 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"paragraph/internal/isa"
+)
+
+// mustAssemble assembles src or fails the test.
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+// decodeAll decodes the text segment.
+func decodeAll(t *testing.T, p *Program) []isa.Instruction {
+	t.Helper()
+	out := make([]isa.Instruction, len(p.Text))
+	for i, w := range p.Text {
+		ins, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("decode word %d (%#x): %v", i, w, err)
+		}
+		out[i] = ins
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   add  $t0, $t1, $t2
+        addi $t3, $t0, -5
+        lw   $t4, 8($sp)
+        sw   $t4, -4($fp)
+        jr   $ra
+`)
+	ins := decodeAll(t, p)
+	want := []isa.Instruction{
+		{Op: isa.ADD, Rd: isa.T0, Rs: isa.T1, Rt: isa.T2},
+		{Op: isa.ADDI, Rt: isa.T3, Rs: isa.T0, Imm: -5},
+		{Op: isa.LW, Rt: isa.T4, Rs: isa.SP, Imm: 8},
+		{Op: isa.SW, Rt: isa.T4, Rs: isa.FP, Imm: -4},
+		{Op: isa.JR, Rs: isa.RA},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d", len(ins), len(want))
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d: got %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+	if p.Entry != TextBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, TextBase)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   li   $t0, 3
+loop:   addi $t0, $t0, -1
+        bgtz $t0, loop
+        beq  $zero, $zero, done
+        nop
+done:   jr   $ra
+`)
+	ins := decodeAll(t, p)
+	// li 3 -> addiu (1 instr). Layout:
+	// 0: addiu t0,zero,3
+	// 1: addi t0,t0,-1   <- loop
+	// 2: bgtz t0, loop   -> offset = (1 - 3) = -2
+	// 3: beq zero,zero,done -> offset = (5 - 4) = 1
+	// 4: nop
+	// 5: jr ra           <- done
+	if ins[2].Op != isa.BGTZ || ins[2].Imm != -2 {
+		t.Errorf("bgtz = %+v, want Imm -2", ins[2])
+	}
+	if ins[3].Op != isa.BEQ || ins[3].Imm != 1 {
+		t.Errorf("beq = %+v, want Imm 1", ins[3])
+	}
+	if got := p.Symbols["loop"]; got != TextBase+4 {
+		t.Errorf("loop = %#x, want %#x", got, TextBase+4)
+	}
+}
+
+func TestJumpTarget(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   j    func
+        nop
+func:   jal  main
+        jr   $ra
+`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.J || ins[0].Target != (TextBase+8)>>2 {
+		t.Errorf("j = %+v, want target %#x", ins[0], (TextBase+8)>>2)
+	}
+	if ins[2].Op != isa.JAL || ins[2].Target != TextBase>>2 {
+		t.Errorf("jal = %+v, want target %#x", ins[2], TextBase>>2)
+	}
+}
+
+func TestLoadImmediateForms(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   li $t0, 7
+        li $t1, -7
+        li $t2, 40000
+        li $t3, 0x12345678
+        li $t4, 0x10000
+`)
+	ins := decodeAll(t, p)
+	want := []isa.Instruction{
+		{Op: isa.ADDIU, Rt: isa.T0, Rs: isa.Zero, Imm: 7},
+		{Op: isa.ADDIU, Rt: isa.T1, Rs: isa.Zero, Imm: -7},
+		{Op: isa.ORI, Rt: isa.T2, Rs: isa.Zero, Imm: int32(int16(-25536))}, // 40000 as uint16
+		{Op: isa.LUI, Rt: isa.T3, Imm: 0x1234},
+		{Op: isa.ORI, Rt: isa.T3, Rs: isa.T3, Imm: 0x5678},
+		{Op: isa.LUI, Rt: isa.T4, Imm: 1}, // low half zero: single lui
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d: %v", len(ins), len(want), ins)
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("instr %d: got %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+}
+
+func TestLoadAddress(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+buf:    .space 16
+v:      .word 42
+        .text
+main:   la $t0, v
+        lw $t1, v
+        sw $t1, buf+4
+`)
+	ins := decodeAll(t, p)
+	vAddr := p.Symbols["v"]
+	if vAddr != DataBase+16 {
+		t.Fatalf("v = %#x, want %#x", vAddr, DataBase+16)
+	}
+	// la: lui+addiu reconstructs the address.
+	if ins[0].Op != isa.LUI || ins[1].Op != isa.ADDIU {
+		t.Fatalf("la expanded to %v, %v", ins[0].Op, ins[1].Op)
+	}
+	hi := uint32(uint16(ins[0].Imm)) << 16
+	recon := hi + uint32(ins[1].Imm) // addiu sign-extends
+	if recon != vAddr {
+		t.Errorf("la reconstructs %#x, want %#x", recon, vAddr)
+	}
+	// lw via symbol: lui $at; lw $t1, lo($at).
+	if ins[2].Op != isa.LUI || ins[2].Rt != isa.AT {
+		t.Errorf("symbolic lw missing lui $at: %+v", ins[2])
+	}
+	if ins[3].Op != isa.LW || ins[3].Rs != isa.AT {
+		t.Errorf("symbolic lw = %+v", ins[3])
+	}
+	reconLW := uint32(uint16(ins[2].Imm))<<16 + uint32(ins[3].Imm)
+	if reconLW != vAddr {
+		t.Errorf("lw address %#x, want %#x", reconLW, vAddr)
+	}
+	// sw buf+4.
+	reconSW := uint32(uint16(ins[4].Imm))<<16 + uint32(ins[5].Imm)
+	if want := p.Symbols["buf"] + 4; reconSW != want {
+		t.Errorf("sw address %#x, want %#x", reconSW, want)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+a:      .byte 1, 2, 255
+b:      .half 258
+c:      .word 0x01020304, -1
+s:      .asciiz "hi\n"
+d:      .align 3
+        .double 1.5
+e:      .space 3
+t:      .word main
+        .text
+main:   nop
+`)
+	if p.Symbols["a"] != DataBase {
+		t.Errorf("a at %#x", p.Symbols["a"])
+	}
+	if got := p.Data[0:3]; got[0] != 1 || got[1] != 2 || got[2] != 255 {
+		t.Errorf(".byte wrote %v", got)
+	}
+	bOff := p.Symbols["b"] - DataBase
+	if binary.LittleEndian.Uint16(p.Data[bOff:]) != 258 {
+		t.Errorf(".half wrote %v", p.Data[bOff:bOff+2])
+	}
+	cOff := p.Symbols["c"] - DataBase
+	if binary.LittleEndian.Uint32(p.Data[cOff:]) != 0x01020304 {
+		t.Errorf(".word[0] wrong")
+	}
+	if binary.LittleEndian.Uint32(p.Data[cOff+4:]) != math.MaxUint32 {
+		t.Errorf(".word[1] wrong")
+	}
+	sOff := p.Symbols["s"] - DataBase
+	if string(p.Data[sOff:sOff+4]) != "hi\n\x00" {
+		t.Errorf(".asciiz wrote %q", p.Data[sOff:sOff+4])
+	}
+	dOff := p.Symbols["d"] - DataBase
+	if dOff%8 != 0 {
+		t.Errorf(".align 3 left offset %d", dOff)
+	}
+	if f := math.Float64frombits(binary.LittleEndian.Uint64(p.Data[dOff:])); f != 1.5 {
+		t.Errorf(".double wrote %v", f)
+	}
+	tOff := p.Symbols["t"] - DataBase
+	if binary.LittleEndian.Uint32(p.Data[tOff:]) != p.Entry {
+		t.Errorf(".word main = %#x, want %#x", binary.LittleEndian.Uint32(p.Data[tOff:]), p.Entry)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   move $t0, $t1
+        b    next
+next:   mul  $t2, $t3, $t4
+        rem  $t5, $t6, $t7
+        neg  $s0, $s1
+        not  $s2, $s3
+        blt  $t0, $t1, next
+        bge  $t0, $t1, next
+        bgt  $t0, $t1, next
+        ble  $t0, $t1, next
+`)
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.ADDU || ins[0].Rt != isa.Zero {
+		t.Errorf("move = %+v", ins[0])
+	}
+	if ins[1].Op != isa.BEQ || ins[1].Rs != isa.Zero || ins[1].Imm != 0 {
+		t.Errorf("b = %+v", ins[1])
+	}
+	if ins[2].Op != isa.MULT || ins[3].Op != isa.MFLO || ins[3].Rd != isa.T2 {
+		t.Errorf("mul = %v, %v", ins[2], ins[3])
+	}
+	if ins[4].Op != isa.DIV || ins[5].Op != isa.MFHI || ins[5].Rd != isa.T5 {
+		t.Errorf("rem = %v, %v", ins[4], ins[5])
+	}
+	if ins[6].Op != isa.SUB || ins[6].Rs != isa.Zero || ins[6].Rt != isa.S1 {
+		t.Errorf("neg = %+v", ins[6])
+	}
+	if ins[7].Op != isa.NOR || ins[7].Rt != isa.Zero {
+		t.Errorf("not = %+v", ins[7])
+	}
+	// blt: slt $at, t0, t1; bne $at, zero
+	if ins[8].Op != isa.SLT || ins[8].Rd != isa.AT || ins[9].Op != isa.BNE {
+		t.Errorf("blt = %v, %v", ins[8], ins[9])
+	}
+	// bgt: operands swapped
+	if ins[12].Op != isa.SLT || ins[12].Rs != isa.T1 || ins[12].Rt != isa.T0 || ins[13].Op != isa.BNE {
+		t.Errorf("bgt = %+v, %+v", ins[12], ins[13])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	p := mustAssemble(t, `
+        .data
+x:      .double 2.5
+        .text
+main:   ldc1  $f0, x
+        li.d  $f2, 0.5
+        add.d $f4, $f0, $f2
+        mul.d $f6, $f4, $f4
+        c.lt.d $f6, $f0
+        bc1t  main
+        mov.d $f8, $f6
+        cvt.w.d $f10, $f8
+        mfc1  $t0, $f10
+        mtc1  $t1, $f12
+        cvt.d.w $f12, $f12
+        sdc1  $f6, x
+`)
+	ins := decodeAll(t, p)
+	// ldc1 via symbol expands to lui+ldc1.
+	if ins[0].Op != isa.LUI || ins[1].Op != isa.LDC1 || ins[1].Rt != isa.FPReg(0) {
+		t.Fatalf("ldc1 expansion: %v %v", ins[0], ins[1])
+	}
+	// li.d expands to lui $at + ldc1 from literal pool.
+	if ins[2].Op != isa.LUI || ins[3].Op != isa.LDC1 || ins[3].Rt != isa.FPReg(2) {
+		t.Fatalf("li.d expansion: %v %v", ins[2], ins[3])
+	}
+	litAddr := uint32(uint16(ins[2].Imm))<<16 + uint32(ins[3].Imm)
+	off := litAddr - DataBase
+	if f := math.Float64frombits(binary.LittleEndian.Uint64(p.Data[off:])); f != 0.5 {
+		t.Errorf("literal pool holds %v, want 0.5", f)
+	}
+	if ins[4] != (isa.Instruction{Op: isa.ADDD, Rd: isa.FPReg(4), Rs: isa.FPReg(0), Rt: isa.FPReg(2)}) {
+		t.Errorf("add.d = %+v", ins[4])
+	}
+	if ins[6].Op != isa.CLTD || ins[7].Op != isa.BC1T {
+		t.Errorf("compare/branch = %v %v", ins[6], ins[7])
+	}
+	if ins[8].Op != isa.MOVD || ins[9].Op != isa.CVTWD {
+		t.Errorf("mov/cvt = %v %v", ins[8], ins[9])
+	}
+	if ins[10].Op != isa.MFC1 || ins[10].Rt != isa.T0 || ins[10].Rs != isa.FPReg(10) {
+		t.Errorf("mfc1 = %+v", ins[10])
+	}
+	if ins[11].Op != isa.MTC1 || ins[11].Rt != isa.T1 || ins[11].Rd != isa.FPReg(12) {
+		t.Errorf("mtc1 = %+v", ins[11])
+	}
+	if ins[12].Op != isa.CVTDW {
+		t.Errorf("cvt.d.w = %+v", ins[12])
+	}
+}
+
+func TestLiteralPoolDedup(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   li.d $f0, 3.25
+        li.d $f2, 3.25
+        li.d $f4, 1.0
+`)
+	// Two distinct literals -> 16 bytes of pool.
+	if len(p.Data) != 16 {
+		t.Errorf("literal pool = %d bytes, want 16", len(p.Data))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown op", ".text\n frob $t0", "unknown instruction"},
+		{"unknown reg", ".text\n add $t0, $zz, $t1", "unknown register"},
+		{"bad operand count", ".text\n add $t0, $t1", "wants 3 operands"},
+		{"dup label", ".text\nx: nop\nx: nop", "duplicate label"},
+		{"undef branch", ".text\n beq $t0, $t1, nowhere", "undefined branch target"},
+		{"undef jump", ".text\n j nowhere", "undefined jump target"},
+		{"undef la", ".text\n la $t0, nowhere", "undefined symbol"},
+		{"imm range", ".text\n addi $t0, $t1, 100000", "out of 16-bit range"},
+		{"instr in data", ".data\n add $t0, $t1, $t2", "outside .text"},
+		{"bad directive", ".bogus 1", "unknown directive"},
+		{"bad shift", ".text\n sll $t0, $t1, 99", "bad shift amount"},
+		{"fp reg check", ".text\n add.d $t0, $f0, $f2", "wants FP registers"},
+		{"word in text", ".text\n .word 1", ".word outside .data"},
+		{"bad string", ".data\n .asciiz hello", "bad string"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("assembled successfully, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := Assemble(".text\nnop\nnop\n frob $t0\n")
+	var ae *Error
+	if !asError(err, &ae) {
+		t.Fatalf("error %T is not *Error", err)
+	}
+	if ae.Line != 4 {
+		t.Errorf("error line = %d, want 4", ae.Line)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	p := mustAssemble(t, `
+# leading comment
+        .data
+s:      .asciiz "has # not a comment"   # trailing comment
+        .text
+main:   nop # comment
+        add $t0,$t1,$t2#tight comment
+`)
+	if len(p.Text) != 2 {
+		t.Fatalf("got %d instructions", len(p.Text))
+	}
+	sOff := p.Symbols["s"] - DataBase
+	want := "has # not a comment\x00"
+	if string(p.Data[sOff:sOff+uint32(len(want))]) != want {
+		t.Errorf("string with # mangled: %q", p.Data[sOff:sOff+uint32(len(want))])
+	}
+}
+
+func TestMultipleLabelsSameAddress(t *testing.T) {
+	p := mustAssemble(t, ".text\na: b: c: nop\n")
+	for _, l := range []string{"a", "b", "c"} {
+		if p.Symbols[l] != TextBase {
+			t.Errorf("label %s = %#x", l, p.Symbols[l])
+		}
+	}
+}
+
+func TestSymbolAccessors(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain: nop\n")
+	if _, err := p.Symbol("main"); err != nil {
+		t.Errorf("Symbol(main): %v", err)
+	}
+	if _, err := p.Symbol("missing"); err == nil {
+		t.Errorf("Symbol(missing) succeeded")
+	}
+	if p.TextEnd() != TextBase+4 {
+		t.Errorf("TextEnd = %#x", p.TextEnd())
+	}
+	if p.DataEnd() != DataBase {
+		t.Errorf("DataEnd = %#x", p.DataEnd())
+	}
+}
+
+func TestNumericJumpTarget(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain: j 0x400000\n jal 0x400008\n nop\n")
+	ins := decodeAll(t, p)
+	if ins[0].Target != 0x400000>>2 || ins[1].Target != 0x400008>>2 {
+		t.Errorf("targets = %#x, %#x", ins[0].Target, ins[1].Target)
+	}
+	if _, err := Assemble(".text\n j 0x3\n"); err == nil {
+		t.Error("unaligned jump target accepted")
+	}
+}
+
+// TestDisassembleReassemble: disassembling a compiled program and feeding
+// the listing back through the assembler reproduces the same machine words
+// — the disassembler and assembler are inverses over generated code.
+func TestDisassembleReassemble(t *testing.T) {
+	src := `
+        .data
+v:      .word 7
+d:      .double 2.5
+        .text
+main:   lw   $t0, v
+        li   $t1, 100000
+        add  $t2, $t0, $t1
+        mult $t0, $t1
+        mflo $t3
+loop:   addi $t2, $t2, -1
+        bgtz $t2, loop
+        ldc1 $f2, d
+        add.d $f4, $f2, $f2
+        c.lt.d $f2, $f4
+        bc1t loop
+        jal  sub
+        j    done
+sub:    sll  $t4, $t0, 3
+        jr   $ra
+done:   syscall
+`
+	p := mustAssemble(t, src)
+	var relisted strings.Builder
+	relisted.WriteString("\t.text\n")
+	for _, w := range p.Text {
+		ins, err := isa.Decode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relisted.WriteString("\t" + isa.Disassemble(&ins) + "\n")
+	}
+	p2, err := Assemble(relisted.String())
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, relisted.String())
+	}
+	if len(p2.Text) != len(p.Text) {
+		t.Fatalf("reassembled %d words, want %d", len(p2.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if p.Text[i] != p2.Text[i] {
+			ins, _ := isa.Decode(p.Text[i])
+			t.Errorf("word %d: %#x != %#x (%s)", i, p.Text[i], p2.Text[i], isa.Disassemble(&ins))
+		}
+	}
+}
+
+func TestMoreErrorPaths(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"jalr arity", ".text\n jalr $t0, $t1, $t2", "jalr wants 1 or 2"},
+		{"bad mem operand", ".text\n lw $t0, 4[$sp]", "bad memory operand"},
+		{"unclosed paren", ".text\n lw $t0, 4($sp", "malformed memory operand"},
+		{"mem offset range", ".text\n lw $t0, 40000($sp)", "out of 16-bit range"},
+		{"li.d int reg", ".text\n li.d $t0, 1.5", "destination must be an FP register"},
+		{"li.d bad const", ".text\n li.d $f0, abc", "bad constant"},
+		{"la non-symbol", ".text\n la $t0, 42", "must be a symbol"},
+		{"bad label char", ".text\n9lbl: nop", "invalid label"},
+		{"space negative", ".data\n .space -1", "bad .space size"},
+		{"align range", ".data\n .align 99", "bad .align operand"},
+		{"half in text", ".text\n .half 1", ".half outside .data"},
+		{"byte in text", ".text\n .byte 1", ".byte outside .data"},
+		{"double in text", ".text\n .double 1.0", ".double outside .data"},
+		{"bad double", ".data\n .double xyz", "bad .double operand"},
+		{"bad half", ".data\n .half xyz", "bad .half operand"},
+		{"bad byte", ".data\n .byte xyz", "bad .byte operand"},
+		{"bad word", ".data\n .word 1.5", "bad .word operand"},
+		{"undef word sym", ".data\n .word nowhere\n .text\n nop", "undefined symbol"},
+		{"ascii arity", ".data\n .ascii \"a\", \"b\"", "wants one string"},
+		{"space in text", ".text\n .space 4", ".space outside .data"},
+		{"ldc1 int reg", ".text\n ldc1 $t0, 0($sp)", "data register must be FP"},
+		{"mtc1 wrong order", ".text\n mtc1 $f0, $t0", "integer source and FP destination"},
+		{"mfc1 wrong order", ".text\n mfc1 $f0, $t0", "FP source and integer destination"},
+		{"branch offset range", ".text\n beq $t0, $t1, 90000", "out of range"},
+		{"bad branch target", ".text\n beq $t0, $t1, 1.5", "bad branch target"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("assembled, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestJALRSingleOperand(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain: jalr $t9\n")
+	ins := decodeAll(t, p)
+	if ins[0].Op != isa.JALR || ins[0].Rd != isa.RA || ins[0].Rs != isa.T9 {
+		t.Errorf("jalr $t9 = %+v", ins[0])
+	}
+}
+
+func TestLSAliasesAndGlobl(t *testing.T) {
+	p := mustAssemble(t, `
+        .globl main
+        .data
+x:      .double 1.0
+        .text
+main:   l.d $f2, x
+        s.d $f2, x
+        mthi $t0
+        mtlo $t1
+`)
+	ins := decodeAll(t, p)
+	if ins[1].Op != isa.LDC1 || ins[3].Op != isa.SDC1 {
+		t.Errorf("l.d/s.d aliases: %v %v", ins[1].Op, ins[3].Op)
+	}
+	if ins[4].Op != isa.MTHI || ins[5].Op != isa.MTLO {
+		t.Errorf("mthi/mtlo: %v %v", ins[4].Op, ins[5].Op)
+	}
+}
+
+func TestBareOffsetMemOperand(t *testing.T) {
+	p := mustAssemble(t, ".text\nmain: lw $t0, ($sp)\n")
+	ins := decodeAll(t, p)
+	if ins[0].Imm != 0 || ins[0].Rs != isa.SP {
+		t.Errorf("($sp) operand = %+v", ins[0])
+	}
+}

@@ -1,0 +1,666 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"paragraph/internal/isa"
+)
+
+// regNames resolves register operand spellings.
+var regNames = func() map[string]isa.Reg {
+	m := map[string]isa.Reg{}
+	names := []string{
+		"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+		"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+		"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+		"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+	}
+	for i, n := range names {
+		m["$"+n] = isa.Reg(i)
+	}
+	m["$s8"] = isa.FP
+	for i := 0; i < 32; i++ {
+		m["$"+strconv.Itoa(i)] = isa.Reg(i)
+		m[fmt.Sprintf("$f%d", i)] = isa.FPReg(i)
+	}
+	return m
+}()
+
+func parseReg(s string) (isa.Reg, error) {
+	r, ok := regNames[strings.ToLower(s)]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// memOperand is a parsed memory reference: either offset($base), a bare
+// symbol, or symbol+offset.
+type memOperand struct {
+	base   isa.Reg
+	offset int32
+	symbol string // non-empty for symbolic references
+}
+
+func parseMem(s string) (memOperand, error) {
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return memOperand{}, fmt.Errorf("malformed memory operand %q", s)
+		}
+		base, err := parseReg(s[i+1 : len(s)-1])
+		if err != nil {
+			return memOperand{}, err
+		}
+		offStr := strings.TrimSpace(s[:i])
+		var off int64
+		if offStr != "" {
+			off, err = parseInt(offStr)
+			if err != nil {
+				return memOperand{}, fmt.Errorf("bad offset %q", offStr)
+			}
+		}
+		if off < math.MinInt16 || off > math.MaxInt16 {
+			return memOperand{}, fmt.Errorf("offset %d out of 16-bit range", off)
+		}
+		return memOperand{base: base, offset: int32(off)}, nil
+	}
+	// symbol or symbol+offset or symbol-offset
+	sym := s
+	var off int64
+	for _, sep := range []string{"+", "-"} {
+		if i := strings.Index(s, sep); i > 0 {
+			var err error
+			off, err = parseInt(s[i:])
+			if err != nil {
+				return memOperand{}, fmt.Errorf("bad symbol offset in %q", s)
+			}
+			sym = s[:i]
+			break
+		}
+	}
+	if !isIdent(sym) {
+		return memOperand{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	return memOperand{symbol: sym, offset: int32(off)}, nil
+}
+
+// instruction assembles one instruction line (possibly a pseudo-instruction
+// expanding to several machine instructions).
+func (a *Assembler) instruction(sl srcLine) error {
+	mn := sl.mnemonic
+	ops := sl.operands
+	n := sl.num
+
+	want := func(k int) error {
+		if len(ops) != k {
+			return errf(n, "%s wants %d operands, got %d", mn, k, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (isa.Reg, error) {
+		r, err := parseReg(ops[i])
+		if err != nil {
+			return 0, errf(n, "%s: %v", mn, err)
+		}
+		return r, nil
+	}
+	imm16 := func(i int) (int32, error) {
+		v, err := parseInt(ops[i])
+		if err != nil {
+			return 0, errf(n, "%s: bad immediate %q", mn, ops[i])
+		}
+		if v < math.MinInt16 || v > math.MaxUint16 {
+			return 0, errf(n, "%s: immediate %d out of 16-bit range", mn, v)
+		}
+		return int32(int16(v)), nil
+	}
+
+	// Pseudo-instructions first.
+	switch mn {
+	case "li":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[1])
+		if err != nil {
+			return errf(n, "li: bad immediate %q", ops[1])
+		}
+		a.emitLoadImm(n, rd, int32(v))
+		return nil
+	case "la":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		m, err := parseMem(ops[1])
+		if err != nil || m.symbol == "" {
+			return errf(n, "la: operand must be a symbol, got %q", ops[1])
+		}
+		a.emitFixup(n, isa.Instruction{Op: isa.LUI, Rt: rd}, fixHi, m.symbol, m.offset)
+		a.emitFixup(n, isa.Instruction{Op: isa.ADDIU, Rt: rd, Rs: rd}, fixLo, m.symbol, m.offset)
+		return nil
+	case "li.d":
+		if err := want(2); err != nil {
+			return err
+		}
+		fd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !fd.IsFP() {
+			return errf(n, "li.d: destination must be an FP register")
+		}
+		f, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return errf(n, "li.d: bad constant %q", ops[1])
+		}
+		idx := a.literal(math.Float64bits(f))
+		a.emitFixup(n, isa.Instruction{Op: isa.LUI, Rt: isa.AT}, fixLitHi, "", idx)
+		a.emitFixup(n, isa.Instruction{Op: isa.LDC1, Rt: fd, Rs: isa.AT}, fixLitLo, "", idx)
+		return nil
+	case "move":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: isa.ADDU, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+	case "b":
+		if err := want(1); err != nil {
+			return err
+		}
+		a.emitFixup(n, isa.Instruction{Op: isa.BEQ, Rs: isa.Zero, Rt: isa.Zero}, fixBranch, ops[0], 0)
+		return nil
+	case "mul", "rem", "div":
+		if mn == "div" && len(ops) == 2 {
+			break // real two-operand div, handled below
+		}
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		switch mn {
+		case "mul":
+			a.emit(n, isa.Instruction{Op: isa.MULT, Rs: rs, Rt: rt})
+			a.emit(n, isa.Instruction{Op: isa.MFLO, Rd: rd})
+		case "div":
+			a.emit(n, isa.Instruction{Op: isa.DIV, Rs: rs, Rt: rt})
+			a.emit(n, isa.Instruction{Op: isa.MFLO, Rd: rd})
+		default: // rem
+			a.emit(n, isa.Instruction{Op: isa.DIV, Rs: rs, Rt: rt})
+			a.emit(n, isa.Instruction{Op: isa.MFHI, Rd: rd})
+		}
+		return nil
+	case "neg":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: isa.SUB, Rd: rd, Rs: isa.Zero, Rt: rs})
+		return nil
+	case "not":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: isa.NOR, Rd: rd, Rs: rs, Rt: isa.Zero})
+		return nil
+	case "blt", "bge", "bgt", "ble":
+		if err := want(3); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		// blt rs,rt: slt $at,rs,rt; bne. bge: slt; beq.
+		// bgt rs,rt == blt rt,rs. ble rs,rt == bge rt,rs.
+		a1, b1 := rs, rt
+		branch := isa.BNE
+		switch mn {
+		case "bge":
+			branch = isa.BEQ
+		case "bgt":
+			a1, b1 = rt, rs
+		case "ble":
+			a1, b1 = rt, rs
+			branch = isa.BEQ
+		}
+		a.emit(n, isa.Instruction{Op: isa.SLT, Rd: isa.AT, Rs: a1, Rt: b1})
+		a.emitFixup(n, isa.Instruction{Op: branch, Rs: isa.AT, Rt: isa.Zero}, fixBranch, ops[2], 0)
+		return nil
+	case "l.d":
+		mn, sl.mnemonic = "ldc1", "ldc1"
+	case "s.d":
+		mn, sl.mnemonic = "sdc1", "sdc1"
+	}
+
+	op, ok := isa.LookupOp(mn)
+	if !ok {
+		return errf(n, "unknown instruction %q", mn)
+	}
+	info := op.Info()
+
+	switch {
+	case op == isa.NOP || op == isa.SYSCALL || op == isa.BREAK:
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op})
+		return nil
+
+	case op == isa.J || op == isa.JAL:
+		if err := want(1); err != nil {
+			return err
+		}
+		// Numeric absolute targets (as the disassembler prints) are
+		// accepted alongside labels.
+		if v, err := parseInt(ops[0]); err == nil {
+			if v < 0 || v&3 != 0 || v>>2 > 0x03ffffff {
+				return errf(n, "bad jump target %#x", v)
+			}
+			a.emit(n, isa.Instruction{Op: op, Target: uint32(v >> 2)})
+			return nil
+		}
+		a.emitFixup(n, isa.Instruction{Op: op}, fixJump, ops[0], 0)
+		return nil
+
+	case op == isa.JR || op == isa.MTHI || op == isa.MTLO:
+		if err := want(1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rs: rs})
+		return nil
+
+	case op == isa.JALR:
+		// jalr rs  (rd defaults to $ra), or jalr rd, rs.
+		var rd, rs isa.Reg
+		var err error
+		switch len(ops) {
+		case 1:
+			rd = isa.RA
+			rs, err = reg(0)
+		case 2:
+			rd, err = reg(0)
+			if err == nil {
+				rs, err = reg(1)
+			}
+		default:
+			return errf(n, "jalr wants 1 or 2 operands")
+		}
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rd: rd, Rs: rs})
+		return nil
+
+	case op == isa.MFHI || op == isa.MFLO:
+		if err := want(1); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rd: rd})
+		return nil
+
+	case op == isa.MULT || op == isa.MULTU || op == isa.DIV || op == isa.DIVU:
+		if err := want(2); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rs: rs, Rt: rt})
+		return nil
+
+	case op == isa.SLL || op == isa.SRL || op == isa.SRA:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		sh, err := parseInt(ops[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return errf(n, "%s: bad shift amount %q", mn, ops[2])
+		}
+		a.emit(n, isa.Instruction{Op: op, Rd: rd, Rt: rt, Shamt: uint8(sh)})
+		return nil
+
+	case op == isa.SLLV || op == isa.SRLV || op == isa.SRAV:
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rd: rd, Rt: rt, Rs: rs})
+		return nil
+
+	case op == isa.LUI:
+		if err := want(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		imm, err := imm16(1)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rt: rt, Imm: imm})
+		return nil
+
+	case info.IsLoad || info.IsStore:
+		if err := want(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if (op == isa.LDC1 || op == isa.SDC1) && !rt.IsFP() {
+			return errf(n, "%s: data register must be FP", mn)
+		}
+		m, err := parseMem(ops[1])
+		if err != nil {
+			return errf(n, "%s: %v", mn, err)
+		}
+		if m.symbol != "" {
+			a.emitFixup(n, isa.Instruction{Op: isa.LUI, Rt: isa.AT}, fixHi, m.symbol, m.offset)
+			a.emitFixup(n, isa.Instruction{Op: op, Rt: rt, Rs: isa.AT}, fixLo, m.symbol, m.offset)
+		} else {
+			a.emit(n, isa.Instruction{Op: op, Rt: rt, Rs: m.base, Imm: m.offset})
+		}
+		return nil
+
+	case op == isa.BEQ || op == isa.BNE:
+		if err := want(3); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		ins := isa.Instruction{Op: op, Rs: rs, Rt: rt}
+		return a.emitBranchTarget(n, ins, ops[2])
+
+	case op == isa.BLEZ || op == isa.BGTZ || op == isa.BLTZ || op == isa.BGEZ:
+		if err := want(2); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ins := isa.Instruction{Op: op, Rs: rs}
+		return a.emitBranchTarget(n, ins, ops[1])
+
+	case op == isa.BC1T || op == isa.BC1F:
+		if err := want(1); err != nil {
+			return err
+		}
+		return a.emitBranchTarget(n, isa.Instruction{Op: op}, ops[0])
+
+	case op == isa.MTC1:
+		if err := want(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		fd, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if !fd.IsFP() || rt.IsFP() {
+			return errf(n, "mtc1 wants an integer source and FP destination")
+		}
+		a.emit(n, isa.Instruction{Op: op, Rt: rt, Rd: fd})
+		return nil
+
+	case op == isa.MFC1:
+		if err := want(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		fs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if !fs.IsFP() || rt.IsFP() {
+			return errf(n, "mfc1 wants an FP source and integer destination")
+		}
+		a.emit(n, isa.Instruction{Op: op, Rt: rt, Rs: fs})
+		return nil
+
+	case info.Format == isa.FormatFR:
+		// add.d fd, fs, ft | abs.d fd, fs | c.eq.d fs, ft
+		switch {
+		case info.WritesRd && info.ReadsRt: // 3-operand
+			if err := want(3); err != nil {
+				return err
+			}
+			fd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			fs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			ft, err := reg(2)
+			if err != nil {
+				return err
+			}
+			if !fd.IsFP() || !fs.IsFP() || !ft.IsFP() {
+				return errf(n, "%s wants FP registers", mn)
+			}
+			a.emit(n, isa.Instruction{Op: op, Rd: fd, Rs: fs, Rt: ft})
+		case info.WritesRd: // 2-operand: fd, fs
+			if err := want(2); err != nil {
+				return err
+			}
+			fd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			fs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			if !fd.IsFP() || !fs.IsFP() {
+				return errf(n, "%s wants FP registers", mn)
+			}
+			a.emit(n, isa.Instruction{Op: op, Rd: fd, Rs: fs})
+		default: // compare: fs, ft
+			if err := want(2); err != nil {
+				return err
+			}
+			fs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			ft, err := reg(1)
+			if err != nil {
+				return err
+			}
+			if !fs.IsFP() || !ft.IsFP() {
+				return errf(n, "%s wants FP registers", mn)
+			}
+			a.emit(n, isa.Instruction{Op: op, Rs: fs, Rt: ft})
+		}
+		return nil
+
+	case info.Format == isa.FormatI && info.HasImm:
+		// addi rt, rs, imm and friends.
+		if err := want(3); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		imm, err := imm16(2)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rt: rt, Rs: rs, Imm: imm})
+		return nil
+
+	case info.Format == isa.FormatR:
+		// add rd, rs, rt.
+		if err := want(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emit(n, isa.Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		return nil
+	}
+
+	return errf(n, "cannot assemble %q", mn)
+}
+
+// emitBranchTarget emits ins with its target operand, which may be a label
+// or a numeric word offset.
+func (a *Assembler) emitBranchTarget(n int, ins isa.Instruction, target string) error {
+	if v, err := parseInt(target); err == nil {
+		if v < math.MinInt16 || v > math.MaxInt16 {
+			return errf(n, "branch offset %d out of range", v)
+		}
+		ins.Imm = int32(v)
+		a.emit(n, ins)
+		return nil
+	}
+	if !isIdent(target) {
+		return errf(n, "bad branch target %q", target)
+	}
+	a.emitFixup(n, ins, fixBranch, target, 0)
+	return nil
+}
+
+// emitLoadImm emits the minimal sequence to load a 32-bit constant.
+func (a *Assembler) emitLoadImm(n int, rd isa.Reg, v int32) {
+	switch {
+	case v >= math.MinInt16 && v <= math.MaxInt16:
+		a.emit(n, isa.Instruction{Op: isa.ADDIU, Rt: rd, Rs: isa.Zero, Imm: v})
+	case v >= 0 && v <= math.MaxUint16:
+		a.emit(n, isa.Instruction{Op: isa.ORI, Rt: rd, Rs: isa.Zero, Imm: int32(int16(v))})
+	default:
+		a.emit(n, isa.Instruction{Op: isa.LUI, Rt: rd, Imm: int32(int16(uint32(v) >> 16))})
+		if low := v & 0xffff; low != 0 {
+			a.emit(n, isa.Instruction{Op: isa.ORI, Rt: rd, Rs: rd, Imm: int32(int16(low))})
+		}
+	}
+}
+
+// literal interns an 8-byte FP constant in the literal pool and returns its
+// index.
+func (a *Assembler) literal(bits uint64) int32 {
+	if idx, ok := a.litIndex[bits]; ok {
+		return idx
+	}
+	idx := int32(len(a.litPool))
+	a.litPool = append(a.litPool, bits)
+	a.litIndex[bits] = idx
+	return idx
+}

@@ -1,0 +1,71 @@
+// Package asm implements a two-pass assembler for the ISA of package isa,
+// producing loadable program images for the CPU simulator.
+//
+// The accepted syntax is the conventional MIPS assembly subset that the
+// MiniC compiler emits and that hand-written workloads use:
+//
+//	        .data
+//	msg:    .asciiz "hello"
+//	vec:    .space 400
+//	pi:     .double 3.14159
+//	n:      .word 100
+//	        .text
+//	main:   li   $t0, 25          # pseudo: load immediate
+//	        la   $t1, vec         # pseudo: load address
+//	loop:   lw   $t2, 0($t1)
+//	        addiu $t1, $t1, 4
+//	        addiu $t0, $t0, -1
+//	        bgtz $t0, loop
+//	        jr   $ra
+//
+// Comments run from '#' to end of line. Registers are written with their
+// conventional names ($t0, $sp, $f2, …) or numerically ($8). Supported
+// pseudo-instructions: li, la, li.d, move, mov.d (alias of the real op), b,
+// mul, rem, neg, not, blt, bgt, ble, bge, and the canonical nop.
+package asm
+
+import "fmt"
+
+// Memory-layout constants of the loaded image. The values mirror the classic
+// MIPS/DECstation layout the paper's traces came from: text at 4 MB, static
+// data at 256 MB, the heap immediately above the data, and the stack growing
+// down from just below 2 GB.
+const (
+	TextBase  uint32 = 0x00400000
+	DataBase  uint32 = 0x10000000
+	StackBase uint32 = 0x7fffeffc
+)
+
+// Program is an assembled, loadable memory image.
+type Program struct {
+	// Text holds the instruction words; the instruction at index i lives
+	// at address TextBase + 4*i.
+	Text []uint32
+	// Data holds the initial contents of the static data segment,
+	// starting at DataBase.
+	Data []byte
+	// Entry is the address execution starts at: the "main" label if the
+	// source defines one, otherwise TextBase.
+	Entry uint32
+	// Symbols maps every label to its address.
+	Symbols map[string]uint32
+	// Source optionally records, for each text word, the 1-based source
+	// line it came from (for diagnostics and disassembly listings).
+	Source []int
+}
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint32 { return TextBase + uint32(4*len(p.Text)) }
+
+// DataEnd returns the first address past the initialized data segment; the
+// simulated heap begins here.
+func (p *Program) DataEnd() uint32 { return DataBase + uint32(len(p.Data)) }
+
+// Symbol returns the address of a label.
+func (p *Program) Symbol(name string) (uint32, error) {
+	addr, ok := p.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("asm: undefined symbol %q", name)
+	}
+	return addr, nil
+}

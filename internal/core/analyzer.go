@@ -1,0 +1,549 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"paragraph/internal/isa"
+	"paragraph/internal/stats"
+	"paragraph/internal/trace"
+)
+
+// Analyzer builds and analyzes the dynamic dependency graph of a serial
+// execution trace in a single forward pass. It implements trace.Sink, so it
+// can be attached directly to the CPU simulator or fed from a trace file.
+//
+// Feed events with Event, then call Finish exactly once to obtain the
+// metrics. An Analyzer is not safe for concurrent use.
+type Analyzer struct {
+	cfg  Config
+	well *liveWell
+
+	// highestLevel is the paper's firewall floor: no operation may be
+	// placed so that it begins above highestLevel-1. preLevel in the
+	// live well tracks highestLevel-1.
+	highestLevel int64
+	// deepest is the paper's deepestLevelYetUsed.
+	deepest int64
+	anyOps  bool
+
+	profile   *stats.LevelHistogram
+	lifetimes stats.LogDist
+	sharing   stats.LogDist
+
+	window  windowState
+	fu      *fuSchedule
+	pred    *predictor
+	deaths  *DeathSchedule
+	storage *stats.LevelHistogram
+
+	instructions uint64
+	ops          uint64
+	syscalls     uint64
+	classCounts  [16]uint64
+	maxLiveMem   int
+
+	srcBuf   []isa.Reg
+	finished bool
+}
+
+// NewAnalyzer creates an analyzer with the given configuration.
+func NewAnalyzer(cfg Config) *Analyzer {
+	a := &Analyzer{
+		cfg:     cfg,
+		well:    newLiveWell(),
+		deepest: -1,
+	}
+	a.well.preLevel = -1 // highestLevel(0) - 1
+	if cfg.Profile {
+		a.profile = stats.NewLevelHistogram(cfg.ProfileBuckets)
+	}
+	if cfg.FunctionalUnits > 0 {
+		a.fu = newFUSchedule(cfg.FunctionalUnits)
+	}
+	if cfg.Branches != BranchPerfect {
+		a.pred = newPredictor(cfg.Branches, cfg.PredictorBits)
+	}
+	if cfg.StorageProfile {
+		a.storage = stats.NewLevelHistogram(cfg.ProfileBuckets)
+	}
+	return a
+}
+
+// Event implements trace.Sink: it consumes one dynamically executed
+// instruction and updates the DDG state.
+func (a *Analyzer) Event(e *trace.Event) error {
+	if a.finished {
+		return errors.New("core: Event after Finish")
+	}
+	seq := a.instructions
+	if err := a.event(e, seq); err != nil {
+		return err
+	}
+	if a.deaths != nil {
+		a.evictDead(seq)
+	}
+	if a.storage != nil {
+		a.storage.Add(int64(seq), uint64(len(a.well.mem)))
+	}
+	return nil
+}
+
+// event dispatches one instruction; seq is its trace position.
+func (a *Analyzer) event(e *trace.Event, seq uint64) error {
+	a.instructions++
+
+	// Slide the instruction window: instructions displaced by this one
+	// carry a firewall (Section 3.2, Figure 6).
+	if w := a.cfg.WindowSize; w > 0 {
+		a.window.displace(seq, uint64(w), a)
+	}
+
+	op := e.Ins.Op
+	info := op.Info()
+	a.classCounts[info.Class]++
+
+	switch {
+	case op == isa.NOP:
+		return nil
+	case e.IsSyscall():
+		a.syscalls++
+		if a.cfg.Syscalls == SyscallOptimistic {
+			return nil // assumed to modify nothing; ignored
+		}
+		a.placeSyscall(seq)
+		return nil
+	case info.IsJump:
+		// Jumps and calls are control instructions and are excluded
+		// from the DDG, but calls produce a return-address value
+		// that later code saves and restores. The return address is
+		// a static constant (PC+4), so the value is bound as if it
+		// pre-existed: available immediately, delaying nothing.
+		if d, ok := e.Ins.Dest(); ok {
+			a.bindConstant(d)
+		}
+		return nil
+	case info.IsBranch:
+		// Control instructions are never placed, but under an
+		// imperfect branch model a misprediction firewalls the DDG at
+		// the branch's resolution level: nothing later may be placed
+		// above it.
+		if a.pred != nil && a.pred.mispredicted(e) {
+			a.raiseFloor(a.branchResolution(e) + 1)
+		}
+		return nil
+	}
+
+	a.place(e, seq)
+	return nil
+}
+
+// bindConstant binds a register to an immediately available value at the
+// current firewall floor.
+func (a *Analyzer) bindConstant(r isa.Reg) {
+	v := value{level: a.highestLevel - 1, lastUse: a.highestLevel - 1}
+	old, wasLive := a.well.setReg(r, v)
+	if wasLive {
+		a.retire(old)
+	}
+}
+
+// retire records the statistics of a value whose storage was just reused.
+func (a *Analyzer) retire(old value) {
+	if a.cfg.Lifetimes {
+		life := old.lastUse - old.level
+		if life < 0 {
+			life = 0 // created but never consumed
+		}
+		a.lifetimes.Add(life)
+	}
+	if a.cfg.Sharing {
+		a.sharing.Add(int64(old.uses))
+	}
+}
+
+// regDests appends the register destinations of the instruction (HI and LO
+// both, for multiply/divide).
+func regDests(ins *isa.Instruction, dst []isa.Reg) []isa.Reg {
+	info := ins.Op.Info()
+	switch {
+	case info.WritesRd:
+		dst = append(dst, ins.Rd)
+	case info.WritesRt:
+		dst = append(dst, ins.Rt)
+	case info.WritesHILO:
+		switch ins.Op {
+		case isa.MTHI:
+			dst = append(dst, isa.HI)
+		case isa.MTLO:
+			dst = append(dst, isa.LO)
+		default: // mult/div write both halves
+			dst = append(dst, isa.HI, isa.LO)
+		}
+	case info.WritesFCC:
+		dst = append(dst, isa.FCC)
+	}
+	return dst
+}
+
+// wordRange returns the inclusive range of word addresses covered by a
+// memory access. The live well tracks memory at word granularity, the
+// paper's "located by address" resolution; sub-word stores therefore kill
+// the whole word's value.
+func wordRange(addr uint32, size uint8) (lo, hi uint32) {
+	if size == 0 {
+		return 1, 0 // empty range
+	}
+	return addr >> 2, (addr + uint32(size) - 1) >> 2
+}
+
+// renamedSeg reports whether storage dependencies are removed for the given
+// memory segment under the current configuration.
+func (a *Analyzer) renamedSeg(seg trace.Segment) bool {
+	if seg == trace.SegStack {
+		return a.cfg.RenameStack
+	}
+	return a.cfg.RenameData
+}
+
+// place assigns the instruction its DDG level using the placement rule and
+// updates the live well. This is the heart of Paragraph.
+func (a *Analyzer) place(e *trace.Event, seq uint64) {
+	op := e.Ins.Op
+	info := op.Info()
+	top := a.cfg.latency(op)
+
+	// Base level: the deepest of the firewall floor and the source
+	// availability levels. The operation executes in levels
+	// base+1 .. base+top and its result becomes available at base+top.
+	base := a.highestLevel - 1
+
+	a.srcBuf = e.Ins.SourceRegs(a.srcBuf[:0])
+	for _, r := range a.srcBuf {
+		if r == isa.Zero {
+			continue // hardwired zero: a constant, never a dependency
+		}
+		if rec := a.well.reg(r); rec.level > base {
+			base = rec.level
+		}
+	}
+	var memLo, memHi uint32
+	if info.IsLoad {
+		memLo, memHi = wordRange(e.MemAddr, e.MemSize)
+		for w := memLo; w <= memHi; w++ {
+			if v := a.well.memRead(w); v.level > base {
+				base = v.level
+			}
+		}
+	}
+
+	// Storage-dependency term (Ddest+1): only when renaming is off for
+	// the destination's location class.
+	if !a.cfg.RenameRegisters {
+		var dbuf [2]isa.Reg
+		for _, d := range regDests(&e.Ins, dbuf[:0]) {
+			if d == isa.Zero {
+				continue
+			}
+			if rec, live := a.well.regIfLive(d); live && rec.lastUse+1 > base {
+				base = rec.lastUse + 1
+			}
+		}
+	}
+	if info.IsStore {
+		memLo, memHi = wordRange(e.MemAddr, e.MemSize)
+		if !a.renamedSeg(e.Seg) {
+			for w := memLo; w <= memHi; w++ {
+				if v, live := a.well.memGet(w); live && v.lastUse+1 > base {
+					base = v.lastUse + 1
+				}
+			}
+		}
+	}
+
+	// Resource dependencies: delay until top consecutive levels each
+	// have a free functional unit (Figure 4).
+	if a.fu != nil {
+		base = a.fu.schedule(base, top)
+	}
+
+	ldest := base + top
+
+	// The sources are consumed at the base level; record the deepest
+	// consumption for future storage dependencies, and the fan-out.
+	for _, r := range a.srcBuf {
+		if r == isa.Zero {
+			continue
+		}
+		rec := a.well.reg(r)
+		rec.uses++
+		if base > rec.lastUse {
+			rec.lastUse = base
+		}
+	}
+	if info.IsLoad {
+		for w := memLo; w <= memHi; w++ {
+			v := a.well.memRead(w)
+			v.uses++
+			if base > v.lastUse {
+				v.lastUse = base
+			}
+			a.well.memPut(w, v)
+		}
+	}
+
+	// Bind the created value(s). lastUse starts at the creating
+	// operation's base level: a later overwrite must begin strictly
+	// after this operation began (one level of WAW spacing), and the
+	// storage-dependency term then grows with each consumer.
+	newVal := value{level: ldest, lastUse: base}
+	{
+		var dbuf [2]isa.Reg
+		for _, d := range regDests(&e.Ins, dbuf[:0]) {
+			if d == isa.Zero {
+				continue
+			}
+			if old, wasLive := a.well.setReg(d, newVal); wasLive {
+				a.retire(old)
+			}
+		}
+	}
+	if info.IsStore {
+		for w := memLo; w <= memHi; w++ {
+			if old, wasLive := a.well.memPut(w, newVal); wasLive {
+				a.retire(old)
+			}
+		}
+		if n := len(a.well.mem); n > a.maxLiveMem {
+			a.maxLiveMem = n
+		}
+	}
+
+	a.placed(seq, ldest)
+}
+
+// placed records bookkeeping common to every operation that enters the DDG.
+func (a *Analyzer) placed(seq uint64, ldest int64) {
+	a.ops++
+	if !a.anyOps || ldest > a.deepest {
+		a.deepest = ldest
+		a.anyOps = true
+	}
+	if a.profile != nil {
+		a.profile.Add(ldest, 1)
+	}
+	if a.cfg.WindowSize > 0 {
+		a.window.push(seq, ldest)
+	}
+}
+
+// placeSyscall implements the conservative policy: a firewall is placed
+// immediately after the deepest computation yet seen, the system call
+// itself lands just below the firewall, and highestLevel advances past it
+// so that no later operation can be placed above the call (Section 3.2's
+// second special case).
+func (a *Analyzer) placeSyscall(seq uint64) {
+	base := a.highestLevel - 1
+	if a.anyOps && a.deepest > base {
+		base = a.deepest
+	}
+	ldest := base + a.cfg.latency(isa.SYSCALL)
+	a.placed(seq, ldest)
+	a.raiseFloor(ldest + 1)
+}
+
+// raiseFloor advances the firewall floor (highestLevel) monotonically.
+func (a *Analyzer) raiseFloor(level int64) {
+	if level > a.highestLevel {
+		a.highestLevel = level
+		a.well.preLevel = level - 1
+	}
+}
+
+// Result carries every metric of one analysis run.
+type Result struct {
+	Config Config
+
+	// Instructions is the number of trace events consumed, including
+	// control instructions and NOPs.
+	Instructions uint64
+	// Operations is the number of value-creating operations placed in
+	// the DDG; the paper computes available parallelism from these.
+	Operations uint64
+	// Syscalls is the number of system-call instructions seen.
+	Syscalls uint64
+
+	// CriticalPath is the height of the topologically sorted DDG: the
+	// minimum number of steps needed to execute the trace.
+	CriticalPath int64
+	// Available is the available parallelism: Operations / CriticalPath.
+	Available float64
+
+	// Profile is the parallelism profile (operations per DDG level,
+	// bucket-averaged); nil unless Config.Profile was set.
+	Profile []stats.ProfilePoint
+	// StorageProfile is the live-well occupancy curve (average live
+	// memory words per trace-position bucket); nil unless
+	// Config.StorageProfile was set.
+	StorageProfile []stats.ProfilePoint
+	// ProfileBucketWidth is the number of levels per profile bucket.
+	ProfileBucketWidth int64
+	// PeakOps is the highest bucket-averaged profile value.
+	PeakOps float64
+
+	// Lifetimes is the value-lifetime distribution in DDG levels; only
+	// populated when Config.Lifetimes was set.
+	Lifetimes stats.LogDist
+	// Sharing is the degree-of-sharing distribution (consumers per
+	// value); only populated when Config.Sharing was set.
+	Sharing stats.LogDist
+
+	// Branches and Mispredictions report the modelled predictor's
+	// behaviour (zero under the perfect policy).
+	Branches       uint64
+	Mispredictions uint64
+
+	// ClassCounts gives dynamic instruction counts per operation class.
+	ClassCounts map[isa.OpClass]uint64
+	// MaxLiveMemoryWords is the peak number of live memory words in the
+	// live well — the working set the paper needed 32 MB for.
+	MaxLiveMemoryWords int
+}
+
+// Finish flushes end-of-trace state and returns the metrics. The analyzer
+// rejects further events afterwards.
+func (a *Analyzer) Finish() *Result {
+	if a.finished {
+		panic("core: Finish called twice")
+	}
+	a.finished = true
+
+	// Values still live at the end of the trace die here.
+	if a.cfg.Lifetimes || a.cfg.Sharing {
+		a.well.forEachLive(func(v value) { a.retire(v) })
+	}
+
+	r := &Result{
+		Config:             a.cfg,
+		Instructions:       a.instructions,
+		Operations:         a.ops,
+		Syscalls:           a.syscalls,
+		ClassCounts:        make(map[isa.OpClass]uint64),
+		MaxLiveMemoryWords: a.maxLiveMem,
+	}
+	for cls, n := range a.classCounts {
+		if n > 0 {
+			r.ClassCounts[isa.OpClass(cls)] = n
+		}
+	}
+	if a.pred != nil {
+		r.Branches = a.pred.branches
+		r.Mispredictions = a.pred.mispredicts
+	}
+	if a.anyOps {
+		r.CriticalPath = a.deepest + 1
+		r.Available = float64(a.ops) / float64(r.CriticalPath)
+	}
+	if a.storage != nil {
+		r.StorageProfile = a.storage.Profile()
+	}
+	if a.profile != nil {
+		r.Profile = a.profile.Profile()
+		r.ProfileBucketWidth = a.profile.Width()
+		for _, p := range r.Profile {
+			if p.Ops > r.PeakOps {
+				r.PeakOps = p.Ops
+			}
+		}
+	}
+	if a.cfg.Lifetimes {
+		r.Lifetimes = a.lifetimes
+	}
+	if a.cfg.Sharing {
+		r.Sharing = a.sharing
+	}
+	return r
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("ops=%d critical-path=%d available=%.2f (syscalls=%d, %s)",
+		r.Operations, r.CriticalPath, r.Available, r.Syscalls, r.Config.Syscalls)
+}
+
+// windowState implements the sliding instruction window as a FIFO of
+// (sequence number, level) pairs for placed instructions. Displacement of
+// an instruction raises the firewall floor past its level, so nothing later
+// can be placed at or above it.
+type windowState struct {
+	seqs   []uint64
+	levels []int64
+	head   int
+}
+
+func (w *windowState) push(seq uint64, level int64) {
+	// Compact when the head has consumed half the backing array.
+	if w.head > 1024 && w.head*2 > len(w.seqs) {
+		n := copy(w.seqs, w.seqs[w.head:])
+		copy(w.levels, w.levels[w.head:])
+		w.seqs = w.seqs[:n]
+		w.levels = w.levels[:n]
+		w.head = 0
+	}
+	w.seqs = append(w.seqs, seq)
+	w.levels = append(w.levels, level)
+}
+
+// displace pops every instruction that has left the window now that seq is
+// entering, firing its firewall.
+func (w *windowState) displace(seq, size uint64, a *Analyzer) {
+	if seq < size {
+		return
+	}
+	cutoff := seq - size
+	for w.head < len(w.seqs) && w.seqs[w.head] <= cutoff {
+		a.raiseFloor(w.levels[w.head] + 1)
+		w.head++
+	}
+}
+
+// fuSchedule tracks per-level functional-unit occupancy. Levels at or below
+// floor are known full and pruned, bounding memory.
+type fuSchedule struct {
+	units  int
+	counts map[int64]int
+	floor  int64 // every level <= floor holds `units` busy FUs
+}
+
+func newFUSchedule(units int) *fuSchedule {
+	return &fuSchedule{units: units, counts: make(map[int64]int), floor: -1}
+}
+
+// schedule finds the earliest base >= the data-ready base such that levels
+// base+1 .. base+top all have a free unit, and claims them.
+func (f *fuSchedule) schedule(base, top int64) int64 {
+	if base < f.floor {
+		base = f.floor
+	}
+	for {
+		conflict := int64(-1)
+		for l := base + 1; l <= base+top; l++ {
+			if f.counts[l] >= f.units {
+				conflict = l
+				break
+			}
+		}
+		if conflict < 0 {
+			break
+		}
+		base = conflict
+	}
+	for l := base + 1; l <= base+top; l++ {
+		f.counts[l]++
+	}
+	for f.counts[f.floor+1] >= f.units {
+		f.floor++
+		delete(f.counts, f.floor)
+	}
+	return base
+}

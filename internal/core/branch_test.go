@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+)
+
+func evBranch(pc uint32, rs isa.Reg, imm int32, taken bool) trace.Event {
+	return trace.Event{
+		PC:    pc,
+		Ins:   isa.Instruction{Op: isa.BNE, Rs: rs, Rt: isa.Zero, Imm: imm},
+		Taken: taken,
+	}
+}
+
+// TestBranchStallFirewalls: with the stall policy every branch firewalls
+// the DDG, so independent work separated by branches serializes.
+func TestBranchStallFirewalls(t *testing.T) {
+	events := []trace.Event{
+		evAddi(isa.T0, isa.Zero, 1),          // L0
+		evBranch(0x400004, isa.T0, -1, true), // resolves at L1, firewall
+		evAddi(isa.T1, isa.Zero, 2),          // forced below: L2
+		evBranch(0x40000c, isa.T1, -1, true), // resolves at L3
+		evAddi(isa.T2, isa.Zero, 3),          // L4
+	}
+	perfect := Dataflow(SyscallConservative)
+	r := analyze(t, perfect, events)
+	if r.CriticalPath != 1 {
+		t.Errorf("perfect: critical path = %d, want 1 (all addi independent)", r.CriticalPath)
+	}
+	stall := Dataflow(SyscallConservative)
+	stall.Branches = BranchStall
+	r = analyze(t, stall, events)
+	if r.CriticalPath != 5 {
+		t.Errorf("stall: critical path = %d, want 5", r.CriticalPath)
+	}
+	if r.Branches != 2 || r.Mispredictions != 2 {
+		t.Errorf("stall: branches=%d mispredicts=%d, want 2/2", r.Branches, r.Mispredictions)
+	}
+}
+
+// TestBranchStaticBTFN: backward-taken predictions are correct for
+// backward-taken branches and wrong for forward-taken ones.
+func TestBranchStaticBTFN(t *testing.T) {
+	events := []trace.Event{
+		evAddi(isa.T0, isa.Zero, 1),
+		evBranch(0x400004, isa.T0, -4, true), // backward taken: predicted
+		evAddi(isa.T1, isa.Zero, 2),
+		evBranch(0x40000c, isa.T1, +4, true), // forward taken: mispredicted
+		evAddi(isa.T2, isa.Zero, 3),
+	}
+	cfg := Dataflow(SyscallConservative)
+	cfg.Branches = BranchStatic
+	r := analyze(t, cfg, events)
+	if r.Branches != 2 || r.Mispredictions != 1 {
+		t.Errorf("branches=%d mispredicts=%d, want 2/1", r.Branches, r.Mispredictions)
+	}
+	// Only the second branch firewalls: t2 forced below it.
+	if r.CriticalPath != 3 {
+		t.Errorf("critical path = %d, want 3", r.CriticalPath)
+	}
+}
+
+// TestBranchTwoBitLearns: a two-bit counter mispredicts a steady branch at
+// most twice, then tracks it.
+func TestBranchTwoBitLearns(t *testing.T) {
+	var events []trace.Event
+	for i := 0; i < 50; i++ {
+		events = append(events, evAddi(isa.T0, isa.Zero, int32(i)))
+		events = append(events, evBranch(0x400100, isa.T0, -8, true))
+	}
+	cfg := Dataflow(SyscallConservative)
+	cfg.Branches = BranchTwoBit
+	r := analyze(t, cfg, events)
+	if r.Branches != 50 {
+		t.Fatalf("branches = %d", r.Branches)
+	}
+	if r.Mispredictions > 2 {
+		t.Errorf("mispredictions = %d, want <= 2 for a monotone branch", r.Mispredictions)
+	}
+}
+
+// TestBranchTwoBitAlternating: a strictly alternating branch defeats a
+// two-bit counter initialized weakly-not-taken no worse than 100% and at
+// least 50%.
+func TestBranchTwoBitAlternating(t *testing.T) {
+	var events []trace.Event
+	for i := 0; i < 40; i++ {
+		events = append(events, evAddi(isa.T0, isa.Zero, int32(i)))
+		events = append(events, evBranch(0x400200, isa.T0, -8, i%2 == 0))
+	}
+	cfg := Dataflow(SyscallConservative)
+	cfg.Branches = BranchTwoBit
+	r := analyze(t, cfg, events)
+	rate := float64(r.Mispredictions) / float64(r.Branches)
+	if rate < 0.4 {
+		t.Errorf("alternating branch mispredict rate = %.2f, want >= 0.4", rate)
+	}
+}
+
+// TestBranchResolutionDepth: a mispredicted branch whose condition comes
+// from a deep chain stalls later work until the chain resolves.
+func TestBranchResolutionDepth(t *testing.T) {
+	var events []trace.Event
+	for i := 0; i < 10; i++ {
+		events = append(events, evAddi(isa.T0, isa.T0, 1)) // chain to L10
+	}
+	events = append(events, evBranch(0x400000, isa.T0, +4, true)) // resolves at L11
+	events = append(events, evAddi(isa.T1, isa.Zero, 1))          // forced to L12
+	cfg := Dataflow(SyscallConservative)
+	cfg.Branches = BranchStall
+	r := analyze(t, cfg, events)
+	if r.CriticalPath != 12 {
+		t.Errorf("critical path = %d, want 12", r.CriticalPath)
+	}
+}
+
+// TestBranchPolicyMonotonic: better prediction never reduces parallelism.
+func TestBranchPolicyMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	base := randomTrace(rng, 300)
+	// Sprinkle branches with plausible taken patterns.
+	var events []trace.Event
+	for i, e := range base {
+		events = append(events, e)
+		if i%7 == 3 {
+			events = append(events, evBranch(uint32(0x400000+8*i), isa.T0, -4, i%3 != 0))
+		}
+	}
+	policies := []BranchPolicy{BranchStall, BranchStatic, BranchTwoBit, BranchPerfect}
+	var prevStall, prevPerfect float64
+	for i, p := range policies {
+		cfg := Dataflow(SyscallConservative)
+		cfg.Profile = false
+		cfg.Branches = p
+		r := analyze(t, cfg, events)
+		if i == 0 {
+			prevStall = r.Available
+		}
+		if p == BranchPerfect {
+			prevPerfect = r.Available
+		}
+	}
+	if prevPerfect < prevStall-1e-9 {
+		t.Errorf("perfect (%.2f) below stall (%.2f)", prevPerfect, prevStall)
+	}
+}
+
+// TestBranchPolicyStrings covers the Stringer.
+func TestBranchPolicyStrings(t *testing.T) {
+	for p, want := range map[BranchPolicy]string{
+		BranchPerfect: "perfect", BranchStall: "stall",
+		BranchStatic: "static-btfn", BranchTwoBit: "two-bit",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+// TestPredictorTableBounds: extreme PredictorBits values are clamped.
+func TestPredictorTableBounds(t *testing.T) {
+	p := newPredictor(BranchTwoBit, -5)
+	if len(p.counters) != 1<<defaultPredictorBits {
+		t.Errorf("default table size = %d", len(p.counters))
+	}
+	p = newPredictor(BranchTwoBit, 30)
+	if len(p.counters) != 1<<24 {
+		t.Errorf("clamped table size = %d", len(p.counters))
+	}
+}

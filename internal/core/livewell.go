@@ -1,0 +1,131 @@
+package core
+
+import (
+	"paragraph/internal/isa"
+)
+
+// value is one live-well record: the state of the value currently bound to a
+// storage location.
+type value struct {
+	// level is the DDG level at which the value becomes available for
+	// use by other computation (the paper's L).
+	level int64
+	// lastUse is the deepest base level of any consumer of the value,
+	// initialized to the creation level. The storage-dependency term of
+	// the placement rule is lastUse+1 (the paper's Ddest+1).
+	lastUse int64
+	// uses counts consumers (the degree of sharing of the token).
+	uses uint32
+}
+
+// liveWell is the hash table of live values of Section 3.2. Register-space
+// locations use a dense array; memory words use a map keyed by word address.
+// A value becomes dead when its location is overwritten, at which point the
+// record is recycled — the paper's single-pass forward cleanup strategy
+// ("a value has become dead after its storage location is reused").
+type liveWell struct {
+	regs    [isa.NumRegs]value
+	regLive [isa.NumRegs]bool
+	mem     map[uint32]value
+
+	// preLevel is where locations that existed before the program began
+	// (pre-initialized registers, DATA-segment words) are considered to
+	// have been created; it tracks highestLevel-1 so pre-existing values
+	// never delay any computation (the paper's first special case).
+	preLevel int64
+}
+
+func newLiveWell() *liveWell {
+	return &liveWell{mem: make(map[uint32]value)}
+}
+
+// preExisting returns a fresh record for a location touched before ever
+// being written during the analyzed trace.
+func (w *liveWell) preExisting() value {
+	return value{level: w.preLevel, lastUse: w.preLevel}
+}
+
+// reg returns the record for a register, creating a pre-existing-value
+// record on first touch. The returned pointer is stable and mutable.
+func (w *liveWell) reg(r isa.Reg) *value {
+	if !w.regLive[r] {
+		w.regs[r] = w.preExisting()
+		w.regLive[r] = true
+	}
+	return &w.regs[r]
+}
+
+// regIfLive returns the register record only if the register currently
+// holds a live (previously written or read) value.
+func (w *liveWell) regIfLive(r isa.Reg) (value, bool) {
+	if !w.regLive[r] {
+		return value{}, false
+	}
+	return w.regs[r], true
+}
+
+// setReg binds a new value record to a register, returning the previous
+// record and whether one was live (for lifetime/sharing accounting).
+func (w *liveWell) setReg(r isa.Reg, v value) (value, bool) {
+	old, wasLive := w.regs[r], w.regLive[r]
+	w.regs[r] = v
+	w.regLive[r] = true
+	return old, wasLive
+}
+
+// memGet returns the record for a memory word (by word address = byte
+// address >> 2), creating nothing. The bool reports liveness.
+func (w *liveWell) memGet(word uint32) (value, bool) {
+	v, ok := w.mem[word]
+	return v, ok
+}
+
+// memRead returns the record for a memory word for use as a source,
+// creating a pre-existing record on first touch (DATA-segment values and
+// untouched stack/heap read before any traced write).
+func (w *liveWell) memRead(word uint32) value {
+	if v, ok := w.mem[word]; ok {
+		return v
+	}
+	v := w.preExisting()
+	w.mem[word] = v
+	return v
+}
+
+// memPut stores the record for a memory word, returning the previous record
+// and whether one was live.
+func (w *liveWell) memPut(word uint32, v value) (value, bool) {
+	old, wasLive := w.mem[word]
+	w.mem[word] = v
+	return old, wasLive
+}
+
+// memDelete evicts a memory word's record (two-pass dead-value analysis).
+func (w *liveWell) memDelete(word uint32) {
+	delete(w.mem, word)
+}
+
+// size returns the number of live locations (registers + memory words);
+// this is the live-well working set the paper had to fight to keep in 32 MB.
+func (w *liveWell) size() int {
+	n := len(w.mem)
+	for _, live := range w.regLive {
+		if live {
+			n++
+		}
+	}
+	return n
+}
+
+// forEachLive visits every live record; used to flush lifetime/sharing
+// statistics at the end of the trace.
+func (w *liveWell) forEachLive(fn func(v value)) {
+	for r := range w.regs {
+		if w.regLive[r] {
+			fn(w.regs[r])
+		}
+	}
+	for _, v := range w.mem {
+		fn(v)
+	}
+}

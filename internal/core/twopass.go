@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"paragraph/internal/trace"
+)
+
+// Two-pass dead-value analysis.
+//
+// Section 3.2 of the paper gives two ways to keep the live well from
+// growing without bound. Method 2 — used for the paper's SPEC runs, and by
+// Analyzer on its own — frees a value only when its storage location is
+// reused, which required 32 MB of memory for 100M-instruction traces.
+// Method 1 processes the trace twice: a first pass discovers each value's
+// last use ("if the instructions are processed in reverse, the first
+// occurrence of a value is its last use"), so the second, analyzing pass
+// can evict values the moment they die.
+//
+// Our binary trace format is forward-only, so the discovery pass runs
+// forward and records, per memory word, where the current value's last
+// access happens; the information is identical to what the paper's reverse
+// pass inserts into the trace. Eviction is only performed for words in
+// renamed segments: a value in a non-renamed segment must stay resident
+// after its last read because the next write still needs its lastUse level
+// for the storage-dependency term.
+
+// DeathSchedule records, for each trace position, the memory words whose
+// values die there (are never accessed again before being overwritten or
+// the trace ends).
+type DeathSchedule struct {
+	byIndex map[uint64][]uint32
+	values  uint64
+}
+
+// ComputeDeathSchedule scans a trace and builds the eviction schedule; the
+// paper's "value lifetime information ... inserted into the trace".
+func ComputeDeathSchedule(r *trace.Reader) (*DeathSchedule, error) {
+	ds := &DeathSchedule{byIndex: make(map[uint64][]uint32)}
+	// lastAccess holds, for each word with a live value, the index of the
+	// value's most recent access (its creation or a later read).
+	lastAccess := make(map[uint32]uint64)
+	var idx uint64
+	err := r.ForEach(func(e *trace.Event) error {
+		info := e.Ins.Op.Info()
+		if info.IsLoad || info.IsStore {
+			lo, hi := wordRange(e.MemAddr, e.MemSize)
+			for w := lo; w <= hi; w++ {
+				if info.IsStore {
+					if death, live := lastAccess[w]; live {
+						ds.byIndex[death] = append(ds.byIndex[death], w)
+						ds.values++
+					}
+				}
+				lastAccess[w] = idx
+			}
+		}
+		idx++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Values never accessed again before the trace ends are dead after
+	// their final access, exactly like overwritten ones ("a value is dead
+	// when it will never again be referenced by an instruction in the
+	// trace").
+	for w, death := range lastAccess {
+		ds.byIndex[death] = append(ds.byIndex[death], w)
+		ds.values++
+	}
+	return ds, nil
+}
+
+// Values returns how many value deaths the schedule recorded.
+func (ds *DeathSchedule) Values() uint64 { return ds.values }
+
+// at returns the words dying at trace position idx (nil for most positions).
+func (ds *DeathSchedule) at(idx uint64) []uint32 {
+	return ds.byIndex[idx]
+}
+
+// UseDeathSchedule arms the analyzer with an eviction schedule from a prior
+// discovery pass. Must be called before the first Event.
+func (a *Analyzer) UseDeathSchedule(ds *DeathSchedule) error {
+	if a.instructions > 0 || a.finished {
+		return fmt.Errorf("core: UseDeathSchedule after analysis started")
+	}
+	a.deaths = ds
+	return nil
+}
+
+// evictDead drops live-well entries for words whose values died at the
+// event just processed. Only words in renamed segments are evicted (their
+// lastUse will never be consulted again); the segment of a word is
+// recovered from its address by the same classification the tracer used.
+func (a *Analyzer) evictDead(seq uint64) {
+	words := a.deaths.at(seq)
+	if len(words) == 0 {
+		return
+	}
+	for _, w := range words {
+		seg := segmentOfWord(w)
+		if !a.renamedSeg(seg) {
+			continue
+		}
+		if v, live := a.well.memGet(w); live {
+			a.retire(v)
+			a.well.memDelete(w)
+		}
+	}
+}
+
+// segmentOfWord classifies a word address with the same boundaries the CPU
+// tracer uses (trace.SegStack above 0x70000000, data/heap below). Heap and
+// data share a renaming switch, so the heap boundary is not needed here.
+func segmentOfWord(w uint32) trace.Segment {
+	if w >= 0x70000000>>2 {
+		return trace.SegStack
+	}
+	return trace.SegData
+}
+
+// AnalyzeTwoPass runs the paper's Method-1 pipeline over a stored trace:
+// discovery pass, rewind, analysis pass with eager eviction. The metrics
+// are identical to a single-pass analysis; the live-well footprint
+// (Result.MaxLiveMemoryWords) is what shrinks.
+func AnalyzeTwoPass(rs io.ReadSeeker, cfg Config) (*Result, error) {
+	r, err := trace.NewReader(rs)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := ComputeDeathSchedule(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: discovery pass: %w", err)
+	}
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r, err = trace.NewReader(rs)
+	if err != nil {
+		return nil, err
+	}
+	a := NewAnalyzer(cfg)
+	if err := a.UseDeathSchedule(ds); err != nil {
+		return nil, err
+	}
+	if err := r.ForEach(a.Event); err != nil {
+		return nil, fmt.Errorf("core: analysis pass: %w", err)
+	}
+	return a.Finish(), nil
+}

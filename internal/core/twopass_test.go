@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+)
+
+// storeTrace serializes hand-built events into the binary format with
+// synthetic ascending PCs.
+func storeTrace(t *testing.T, events []trace.Event) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint32(0x400000)
+	for i := range events {
+		e := events[i]
+		e.PC = pc
+		pc += 4
+		if err := w.Event(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// sweepTrace writes and reloads n distinct memory words, then repeats; the
+// one-pass live well holds all n words, the two-pass one a constant few.
+func sweepTrace(n, rounds int) []trace.Event {
+	var events []trace.Event
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			addr := uint32(0x10000000 + 4*i)
+			events = append(events, evAddi(isa.T0, isa.Zero, int32(i)))
+			events = append(events, evStore(isa.T0, addr, trace.SegData))
+			events = append(events, evLoad(isa.T1, addr, trace.SegData))
+		}
+	}
+	return events
+}
+
+func TestComputeDeathSchedule(t *testing.T) {
+	events := []trace.Event{
+		evAddi(isa.T0, isa.Zero, 1),
+		evStore(isa.T0, 0x10000000, trace.SegData), // idx 1: creates value A
+		evLoad(isa.T1, 0x10000000, trace.SegData),  // idx 2: last read of A
+		evStore(isa.T0, 0x10000000, trace.SegData), // idx 3: overwrites -> A died at idx 2
+		evStore(isa.T0, 0x10000004, trace.SegData), // idx 4: never reused -> no death entry
+	}
+	rd := storeTrace(t, events)
+	r, err := trace.NewReader(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ComputeDeathSchedule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three deaths: value A (overwritten, last read idx 2), the value
+	// that overwrote it (never accessed again, dies at its store idx 3),
+	// and the idx-4 store's value (dies at its own creation).
+	if ds.Values() != 3 {
+		t.Errorf("deaths = %d, want 3", ds.Values())
+	}
+	if got := ds.at(2); len(got) != 1 || got[0] != 0x10000000>>2 {
+		t.Errorf("death at idx 2 = %v", got)
+	}
+	if got := ds.at(3); len(got) != 1 || got[0] != 0x10000000>>2 {
+		t.Errorf("death at idx 3 = %v", got)
+	}
+	if got := ds.at(4); len(got) != 1 || got[0] != 0x10000004>>2 {
+		t.Errorf("death at idx 4 = %v", got)
+	}
+}
+
+// TestTwoPassMatchesOnePass: metrics identical, footprint smaller.
+func TestTwoPassMatchesOnePass(t *testing.T) {
+	events := sweepTrace(64, 4)
+	rd := storeTrace(t, events)
+
+	cfg := Dataflow(SyscallConservative)
+	cfg.Lifetimes = true
+	cfg.Sharing = true
+
+	two, err := AnalyzeTwoPass(rd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := rd.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.NewReader(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAnalyzer(cfg)
+	if err := tr.ForEach(a.Event); err != nil {
+		t.Fatal(err)
+	}
+	one := a.Finish()
+
+	if one.CriticalPath != two.CriticalPath || one.Operations != two.Operations ||
+		one.Available != two.Available || one.Syscalls != two.Syscalls {
+		t.Errorf("metrics differ: one-pass %v, two-pass %v", one, two)
+	}
+	if one.Lifetimes.Count() != two.Lifetimes.Count() ||
+		one.Lifetimes.Mean() != two.Lifetimes.Mean() {
+		t.Errorf("lifetime stats differ: %v vs %v", one.Lifetimes.String(), two.Lifetimes.String())
+	}
+	if one.Sharing.Count() != two.Sharing.Count() {
+		t.Errorf("sharing counts differ: %d vs %d", one.Sharing.Count(), two.Sharing.Count())
+	}
+	// The whole point: the two-pass live well stays small.
+	if one.MaxLiveMemoryWords < 64 {
+		t.Fatalf("one-pass footprint = %d, expected >= 64", one.MaxLiveMemoryWords)
+	}
+	if two.MaxLiveMemoryWords > one.MaxLiveMemoryWords/8 {
+		t.Errorf("two-pass footprint %d not much smaller than one-pass %d",
+			two.MaxLiveMemoryWords, one.MaxLiveMemoryWords)
+	}
+}
+
+// TestTwoPassKeepsNonRenamedValues: without data renaming, entries must
+// survive their last read (the next write still consults lastUse), and the
+// analysis must still agree with one-pass.
+func TestTwoPassKeepsNonRenamedValues(t *testing.T) {
+	events := sweepTrace(16, 3)
+	rd := storeTrace(t, events)
+	cfg := Config{Syscalls: SyscallConservative, RenameRegisters: true} // stack+data kept
+	two, err := AnalyzeTwoPass(rd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := trace.NewReader(rd)
+	a := NewAnalyzer(cfg)
+	if err := tr.ForEach(a.Event); err != nil {
+		t.Fatal(err)
+	}
+	one := a.Finish()
+	if one.CriticalPath != two.CriticalPath || one.Available != two.Available {
+		t.Errorf("non-renamed metrics differ: %v vs %v", one, two)
+	}
+	if two.MaxLiveMemoryWords != one.MaxLiveMemoryWords {
+		t.Errorf("non-renamed footprints differ: %d vs %d (nothing should be evicted)",
+			two.MaxLiveMemoryWords, one.MaxLiveMemoryWords)
+	}
+}
+
+func TestUseDeathScheduleTooLate(t *testing.T) {
+	a := NewAnalyzer(Dataflow(SyscallConservative))
+	e := evAddi(isa.T0, isa.Zero, 1)
+	if err := a.Event(&e); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.UseDeathSchedule(&DeathSchedule{}); err == nil {
+		t.Error("UseDeathSchedule accepted mid-analysis")
+	}
+}
+
+// TestStorageProfile: the occupancy curve tracks the live well.
+func TestStorageProfile(t *testing.T) {
+	events := sweepTrace(32, 1)
+	cfg := Dataflow(SyscallConservative)
+	cfg.StorageProfile = true
+	r := analyze(t, cfg, events)
+	if len(r.StorageProfile) == 0 {
+		t.Fatal("no storage profile")
+	}
+	last := r.StorageProfile[len(r.StorageProfile)-1]
+	if last.Ops < 30 {
+		t.Errorf("final occupancy %.1f, want ~32 live words", last.Ops)
+	}
+	// Occupancy must be nondecreasing for a pure write-sweep.
+	var prev float64
+	for _, p := range r.StorageProfile {
+		if p.Ops < prev-1e-9 {
+			t.Errorf("occupancy dipped at %d: %v -> %v", p.Level, prev, p.Ops)
+		}
+		prev = p.Ops
+	}
+}
+
+// TestStorageProfileWithEviction: under the two-pass regime the curve stays
+// flat instead of growing.
+func TestStorageProfileWithEviction(t *testing.T) {
+	events := sweepTrace(64, 2)
+	rd := storeTrace(t, events)
+	cfg := Dataflow(SyscallConservative)
+	cfg.StorageProfile = true
+	r, err := AnalyzeTwoPass(rd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak float64
+	for _, p := range r.StorageProfile {
+		if p.Ops > peak {
+			peak = p.Ops
+		}
+	}
+	if peak > 8 {
+		t.Errorf("evicted occupancy peak %.1f, want small", peak)
+	}
+}

@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"sort"
+
+	"paragraph/internal/asm"
+	"paragraph/internal/isa"
+)
+
+// BBProfile is a Pixie-flavoured basic-block execution profile. Basic-block
+// leaders are identified statically from the text segment (the entry point,
+// branch/jump targets, and the instructions following control transfers);
+// at run time, executing a leader bumps its block's counter.
+type BBProfile struct {
+	leaders map[uint32]int // leader PC -> block index
+	counts  []uint64
+	blocks  []uint32 // leader PC per block, sorted
+}
+
+func newBBProfile(p *asm.Program) *BBProfile {
+	leaderSet := map[uint32]bool{p.Entry: true, asm.TextBase: true}
+	for i, word := range p.Text {
+		ins, err := isa.Decode(word)
+		if err != nil {
+			continue
+		}
+		pc := asm.TextBase + uint32(4*i)
+		info := ins.Op.Info()
+		switch {
+		case info.IsBranch:
+			leaderSet[branchTarget(pc, ins.Imm)] = true
+			leaderSet[pc+4] = true
+		case ins.Op == isa.J || ins.Op == isa.JAL:
+			leaderSet[ins.Target<<2] = true
+			leaderSet[pc+4] = true
+		case info.IsJump: // jr/jalr: target unknown statically
+			leaderSet[pc+4] = true
+		}
+	}
+	blocks := make([]uint32, 0, len(leaderSet))
+	for pc := range leaderSet {
+		if pc >= asm.TextBase && pc < p.TextEnd() {
+			blocks = append(blocks, pc)
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	leaders := make(map[uint32]int, len(blocks))
+	for i, pc := range blocks {
+		leaders[pc] = i
+	}
+	return &BBProfile{leaders: leaders, counts: make([]uint64, len(blocks)), blocks: blocks}
+}
+
+// note records execution of the instruction at pc.
+func (b *BBProfile) note(pc uint32) {
+	if idx, ok := b.leaders[pc]; ok {
+		b.counts[idx]++
+	}
+}
+
+// NumBlocks returns the number of static basic blocks.
+func (b *BBProfile) NumBlocks() int { return len(b.blocks) }
+
+// Count returns the execution count of the block whose leader is pc.
+func (b *BBProfile) Count(pc uint32) uint64 {
+	if idx, ok := b.leaders[pc]; ok {
+		return b.counts[idx]
+	}
+	return 0
+}
+
+// Hot returns the n most frequently executed blocks as (leader, count)
+// pairs, most frequent first.
+func (b *BBProfile) Hot(n int) []struct {
+	PC    uint32
+	Count uint64
+} {
+	type bc struct {
+		PC    uint32
+		Count uint64
+	}
+	all := make([]bc, len(b.blocks))
+	for i, pc := range b.blocks {
+		all[i] = bc{pc, b.counts[i]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].PC < all[j].PC
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		PC    uint32
+		Count uint64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			PC    uint32
+			Count uint64
+		}{all[i].PC, all[i].Count}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package cpu
+
+import "encoding/binary"
+
+// pageBits selects a 4 KiB page size for the sparse memory.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Memory is a sparse, paged, little-endian 32-bit address space. Pages are
+// allocated on first touch; reads of untouched memory return zeroes, which
+// matches the zero-initialized BSS/stack semantics the workloads rely on.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+
+	// One-entry page cache: most accesses hit the same page as their
+	// predecessor (stack frames, array sweeps).
+	lastPageNum uint32
+	lastPage    *[pageSize]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32) *[pageSize]byte {
+	num := addr >> pageBits
+	if m.lastPage != nil && num == m.lastPageNum {
+		return m.lastPage
+	}
+	p, ok := m.pages[num]
+	if !ok {
+		p = new([pageSize]byte)
+		m.pages[num] = p
+	}
+	m.lastPageNum, m.lastPage = num, p
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	return m.page(addr)[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.page(addr)[addr&pageMask] = b
+}
+
+// ReadWord returns the 32-bit little-endian word at addr. The access may
+// straddle a page boundary when addr is unaligned.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr)
+		return binary.LittleEndian.Uint32(p[addr&pageMask:])
+	}
+	var b [4]byte
+	for i := range b {
+		b[i] = m.LoadByte(addr + uint32(i))
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteWord stores a 32-bit little-endian word at addr.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	if addr&pageMask <= pageSize-4 {
+		p := m.page(addr)
+		binary.LittleEndian.PutUint32(p[addr&pageMask:], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	for i := range b {
+		m.StoreByte(addr+uint32(i), b[i])
+	}
+}
+
+// ReadHalf returns the 16-bit little-endian halfword at addr.
+func (m *Memory) ReadHalf(addr uint32) uint16 {
+	if addr&pageMask <= pageSize-2 {
+		p := m.page(addr)
+		return binary.LittleEndian.Uint16(p[addr&pageMask:])
+	}
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// WriteHalf stores a 16-bit little-endian halfword at addr.
+func (m *Memory) WriteHalf(addr uint32, v uint16) {
+	if addr&pageMask <= pageSize-2 {
+		p := m.page(addr)
+		binary.LittleEndian.PutUint16(p[addr&pageMask:], v)
+		return
+	}
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// ReadDouble returns the 64-bit little-endian word at addr.
+func (m *Memory) ReadDouble(addr uint32) uint64 {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr)
+		return binary.LittleEndian.Uint64(p[addr&pageMask:])
+	}
+	return uint64(m.ReadWord(addr)) | uint64(m.ReadWord(addr+4))<<32
+}
+
+// WriteDouble stores a 64-bit little-endian word at addr.
+func (m *Memory) WriteDouble(addr uint32, v uint64) {
+	if addr&pageMask <= pageSize-8 {
+		p := m.page(addr)
+		binary.LittleEndian.PutUint64(p[addr&pageMask:], v)
+		return
+	}
+	m.WriteWord(addr, uint32(v))
+	m.WriteWord(addr+4, uint32(v>>32))
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for len(b) > 0 {
+		p := m.page(addr)
+		off := addr & pageMask
+		n := copy(p[off:], b)
+		b = b[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (to bound damage from unterminated strings).
+func (m *Memory) ReadCString(addr uint32, max int) string {
+	var out []byte
+	for i := 0; i < max; i++ {
+		b := m.LoadByte(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// Pages returns the number of resident pages; used in tests and for
+// footprint reporting.
+func (m *Memory) Pages() int { return len(m.pages) }

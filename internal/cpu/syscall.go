@@ -1,0 +1,72 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"paragraph/internal/isa"
+)
+
+// System-call numbers follow the SPIM convention: the service is selected by
+// $v0, arguments arrive in $a0/$f12, results return in $v0/$f0.
+const (
+	SysPrintInt    = 1
+	SysPrintDouble = 3
+	SysPrintString = 4
+	SysReadInt     = 5
+	SysReadDouble  = 7
+	SysSbrk        = 9
+	SysExit        = 10
+	SysPrintChar   = 11
+	SysExit2       = 17
+)
+
+// maxCString bounds string reads so an unterminated string cannot wedge the
+// simulator.
+const maxCString = 1 << 20
+
+func (c *CPU) syscall() error {
+	service := c.intRegs[isa.V0]
+	switch service {
+	case SysPrintInt:
+		fmt.Fprintf(c.stdout, "%d", int32(c.intRegs[isa.A0]))
+	case SysPrintDouble:
+		fmt.Fprintf(c.stdout, "%g", math.Float64frombits(c.fpRegs[12]))
+	case SysPrintString:
+		fmt.Fprint(c.stdout, c.mem.ReadCString(c.intRegs[isa.A0], maxCString))
+	case SysPrintChar:
+		fmt.Fprintf(c.stdout, "%c", rune(c.intRegs[isa.A0]))
+	case SysReadInt:
+		var v int32
+		if c.stdin != nil {
+			if _, err := fmt.Fscan(c.stdin, &v); err != nil {
+				v = 0
+			}
+		}
+		c.intRegs[isa.V0] = uint32(v)
+	case SysReadDouble:
+		var v float64
+		if c.stdin != nil {
+			if _, err := fmt.Fscan(c.stdin, &v); err != nil {
+				v = 0
+			}
+		}
+		c.fpRegs[0] = math.Float64bits(v)
+	case SysSbrk:
+		n := c.intRegs[isa.A0]
+		c.intRegs[isa.V0] = c.brk
+		c.brk += (n + 7) &^ 7
+		if c.brk >= stackRegionFloor {
+			return &Fault{PC: c.pc, Msg: "sbrk: heap collided with stack region"}
+		}
+	case SysExit:
+		c.exited = true
+		c.exitCode = 0
+	case SysExit2:
+		c.exited = true
+		c.exitCode = int(int32(c.intRegs[isa.A0]))
+	default:
+		return &Fault{PC: c.pc, Msg: fmt.Sprintf("unknown syscall %d", service)}
+	}
+	return nil
+}

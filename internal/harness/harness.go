@@ -1,0 +1,531 @@
+// Package harness reruns the paper's evaluation: it wires workloads
+// (package workloads) through the CPU tracer (package cpu) into the
+// Paragraph analyzer (package core) and reshapes the results into the rows
+// and series of the paper's Tables 2-4 and Figures 7-8, plus the extension
+// experiments documented in DESIGN.md (functional-unit limits, lifetime and
+// sharing distributions, and the loop-unrolling ablation).
+//
+// One simulated execution can feed any number of analyzer configurations
+// simultaneously (the trace fans out through trace.Tee), so a whole
+// renaming or window sweep costs a single simulation pass per workload.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"paragraph/internal/core"
+	"paragraph/internal/minic"
+	"paragraph/internal/stats"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+// Suite fixes the run parameters shared by every experiment.
+type Suite struct {
+	// Scale multiplies workload sizes; 1 is the test-friendly default.
+	Scale int
+	// MaxInstr caps the analyzed trace length per run, mirroring the
+	// paper's 100M-instruction budget. 0 means run to completion.
+	MaxInstr uint64
+	// Unroll passes a loop-unrolling factor to the MiniC compiler
+	// (used by the E7 ablation; 0 disables).
+	Unroll int
+	// Workloads lists the benchmarks to run; defaults to all ten.
+	Workloads []*workloads.Workload
+	// Parallelism bounds how many workloads run concurrently within one
+	// experiment; 0 selects GOMAXPROCS. Every workload's simulation and
+	// analysis is independent, so experiments parallelize perfectly.
+	Parallelism int
+}
+
+// NewSuite returns the default suite: all ten analogues at the given scale.
+func NewSuite(scale int) *Suite {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Suite{Scale: scale, Workloads: workloads.All()}
+}
+
+func (s *Suite) options() minic.Options {
+	return minic.Options{Unroll: s.Unroll}
+}
+
+// forEachWorkload runs fn once per suite workload, concurrently up to the
+// suite's parallelism bound, preserving result order. The first error wins.
+func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) error {
+	limit := s.Parallelism
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if limit > len(s.Workloads) {
+		limit = len(s.Workloads)
+	}
+	if limit <= 1 {
+		for i, w := range s.Workloads {
+			if err := fn(i, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, limit)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for i, w := range s.Workloads {
+		i, w := i, w
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i, w); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// AnalyzeMulti executes one workload once and runs every analyzer
+// configuration over the same trace.
+func (s *Suite) AnalyzeMulti(w *workloads.Workload, cfgs []core.Config) ([]*core.Result, error) {
+	analyzers := make([]*core.Analyzer, len(cfgs))
+	sinks := make([]trace.Sink, len(cfgs))
+	for i, cfg := range cfgs {
+		analyzers[i] = core.NewAnalyzer(cfg)
+		sinks[i] = analyzers[i]
+	}
+	if _, err := w.Run(s.Scale, s.options(), trace.Tee(sinks...), s.MaxInstr); err != nil {
+		return nil, err
+	}
+	results := make([]*core.Result, len(cfgs))
+	for i, a := range analyzers {
+		results[i] = a.Finish()
+	}
+	return results, nil
+}
+
+// Analyze runs a single configuration.
+func (s *Suite) Analyze(w *workloads.Workload, cfg core.Config) (*core.Result, error) {
+	rs, err := s.AnalyzeMulti(w, []core.Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// Table2Row is one row of the paper's Table 2 (benchmark inventory).
+type Table2Row struct {
+	Name         string
+	Original     string
+	Language     string
+	BenchType    string
+	Instructions uint64
+	Output       string
+}
+
+// Table2 runs every workload (without analysis) and reports the inventory.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	rows := make([]Table2Row, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		res, err := w.Run(s.Scale, s.options(), nil, s.MaxInstr)
+		if err != nil {
+			return err
+		}
+		rows[i] = Table2Row{
+			Name:         w.Name,
+			Original:     w.Original,
+			Language:     w.Language,
+			BenchType:    w.BenchType,
+			Instructions: res.Instructions,
+			Output:       res.Output,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// Table3Row is one row of the paper's Table 3 (dataflow limit under the
+// two system-call assumptions).
+type Table3Row struct {
+	Name             string
+	Syscalls         uint64
+	ConsCriticalPath int64
+	ConsAvailable    float64
+	OptCriticalPath  int64
+	OptAvailable     float64
+	// MaxError is the paper's "Maximum Measurement Error":
+	// (optimistic - conservative) / optimistic.
+	MaxError float64
+}
+
+// Table3 reproduces Table 3: full renaming, unlimited window and
+// functional units, conservative vs optimistic system calls.
+func (s *Suite) Table3() ([]Table3Row, error) {
+	cfgs := []core.Config{
+		core.Dataflow(core.SyscallConservative),
+		core.Dataflow(core.SyscallOptimistic),
+	}
+	// The profile is not needed for the table itself.
+	cfgs[0].Profile = false
+	cfgs[1].Profile = false
+	rows := make([]Table3Row, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		rs, err := s.AnalyzeMulti(w, cfgs)
+		if err != nil {
+			return err
+		}
+		cons, opt := rs[0], rs[1]
+		row := Table3Row{
+			Name:             w.Name,
+			Syscalls:         cons.Syscalls,
+			ConsCriticalPath: cons.CriticalPath,
+			ConsAvailable:    cons.Available,
+			OptCriticalPath:  opt.CriticalPath,
+			OptAvailable:     opt.Available,
+		}
+		if opt.Available > 0 {
+			row.MaxError = (opt.Available - cons.Available) / opt.Available
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// ProfileResult is one benchmark's Figure-7 parallelism profile.
+type ProfileResult struct {
+	Name         string
+	Profile      []stats.ProfilePoint
+	BucketWidth  int64
+	CriticalPath int64
+	Available    float64
+	PeakOps      float64
+}
+
+// Figure7 reproduces the parallelism profiles: conservative system calls,
+// full renaming, whole-trace window.
+func (s *Suite) Figure7() ([]ProfileResult, error) {
+	out := make([]ProfileResult, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		cfg := core.Dataflow(core.SyscallConservative)
+		r, err := s.Analyze(w, cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = ProfileResult{
+			Name:         w.Name,
+			Profile:      r.Profile,
+			BucketWidth:  r.ProfileBucketWidth,
+			CriticalPath: r.CriticalPath,
+			Available:    r.Available,
+			PeakOps:      r.PeakOps,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Table4Row is one row of the paper's Table 4 (renaming conditions).
+type Table4Row struct {
+	Name       string
+	NoRenaming float64
+	Regs       float64
+	RegsStack  float64
+	RegsMem    float64
+}
+
+// Table4 reproduces Table 4: available parallelism under the four renaming
+// conditions, conservative system calls, whole-trace window, no functional
+// unit limits.
+func (s *Suite) Table4() ([]Table4Row, error) {
+	cfgs := []core.Config{
+		{Syscalls: core.SyscallConservative},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true, RenameData: true},
+	}
+	rows := make([]Table4Row, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		rs, err := s.AnalyzeMulti(w, cfgs)
+		if err != nil {
+			return err
+		}
+		rows[i] = Table4Row{
+			Name:       w.Name,
+			NoRenaming: rs[0].Available,
+			Regs:       rs[1].Available,
+			RegsStack:  rs[2].Available,
+			RegsMem:    rs[3].Available,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// DefaultWindowSizes is the Figure-8 sweep: powers of two from 1 to 2^20,
+// then 0 (the whole trace).
+func DefaultWindowSizes() []int {
+	sizes := []int{1}
+	for w := 2; w <= 1<<20; w *= 2 {
+		sizes = append(sizes, w)
+	}
+	return append(sizes, 0)
+}
+
+// WindowPoint is one point of a Figure-8 series.
+type WindowPoint struct {
+	Window    int // 0 = whole trace
+	Available float64
+	// Percent is available parallelism as a percentage of the
+	// whole-trace ("total available") parallelism.
+	Percent float64
+}
+
+// WindowSeries is one benchmark's Figure-8 curve.
+type WindowSeries struct {
+	Name   string
+	Points []WindowPoint
+}
+
+// Figure8 reproduces the window-size sweep: conservative system calls,
+// full renaming, no functional-unit limits, window sizes as given (use
+// DefaultWindowSizes for the paper's log-scale axis). Each workload is
+// simulated once; all window sizes analyze the same trace.
+func (s *Suite) Figure8(sizes []int) ([]WindowSeries, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultWindowSizes()
+	}
+	out := make([]WindowSeries, len(s.Workloads))
+	err := s.forEachWorkload(func(wi int, w *workloads.Workload) error {
+		cfgs := make([]core.Config, len(sizes))
+		for i, size := range sizes {
+			cfg := core.Dataflow(core.SyscallConservative)
+			cfg.Profile = false
+			cfg.WindowSize = size
+			cfgs[i] = cfg
+		}
+		rs, err := s.AnalyzeMulti(w, cfgs)
+		if err != nil {
+			return err
+		}
+		var total float64
+		for i, size := range sizes {
+			if size == 0 {
+				total = rs[i].Available
+			}
+		}
+		if total == 0 {
+			// No whole-trace point requested; normalize against the
+			// largest window.
+			for _, r := range rs {
+				if r.Available > total {
+					total = r.Available
+				}
+			}
+		}
+		series := WindowSeries{Name: w.Name}
+		for i, size := range sizes {
+			pt := WindowPoint{Window: size, Available: rs[i].Available}
+			if total > 0 {
+				pt.Percent = rs[i].Available / total * 100
+			}
+			series.Points = append(series.Points, pt)
+		}
+		out[wi] = series
+		return nil
+	})
+	return out, err
+}
+
+// FURow is one row of the functional-unit extension experiment (E8).
+type FURow struct {
+	Name   string
+	Limits []int
+	Avail  []float64
+}
+
+// FunctionalUnits sweeps generic functional-unit counts (Figure 4's
+// resource dependencies, quantified): full renaming, conservative
+// syscalls.
+func (s *Suite) FunctionalUnits(limits []int) ([]FURow, error) {
+	if len(limits) == 0 {
+		limits = []int{1, 2, 4, 8, 16, 32, 64, 0}
+	}
+	rows := make([]FURow, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		cfgs := make([]core.Config, len(limits))
+		for j, f := range limits {
+			cfg := core.Dataflow(core.SyscallConservative)
+			cfg.Profile = false
+			cfg.FunctionalUnits = f
+			cfgs[j] = cfg
+		}
+		rs, err := s.AnalyzeMulti(w, cfgs)
+		if err != nil {
+			return err
+		}
+		row := FURow{Name: w.Name, Limits: limits}
+		for _, r := range rs {
+			row.Avail = append(row.Avail, r.Available)
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// LifetimeRow carries the E9 extension distributions for one benchmark.
+type LifetimeRow struct {
+	Name          string
+	Lifetimes     stats.LogDist
+	Sharing       stats.LogDist
+	MaxLiveMemory int
+}
+
+// Lifetimes collects value-lifetime and degree-of-sharing distributions
+// (Section 2.3's "distribution of value lifetimes" and "degree of sharing
+// of each computed value").
+func (s *Suite) Lifetimes() ([]LifetimeRow, error) {
+	rows := make([]LifetimeRow, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		cfg := core.Dataflow(core.SyscallConservative)
+		cfg.Profile = false
+		cfg.Lifetimes = true
+		cfg.Sharing = true
+		r, err := s.Analyze(w, cfg)
+		if err != nil {
+			return err
+		}
+		rows[i] = LifetimeRow{
+			Name:          w.Name,
+			Lifetimes:     r.Lifetimes,
+			Sharing:       r.Sharing,
+			MaxLiveMemory: r.MaxLiveMemoryWords,
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// UnrollRow is one row of the E7 compiler ablation.
+type UnrollRow struct {
+	Name          string
+	Factor        int
+	Instructions  uint64
+	Available     float64
+	AvailRegsOnly float64
+}
+
+// AblationUnroll measures the compiler's second-order effect (Section
+// 3.1's caveat): the same workload compiled with and without loop
+// unrolling, analyzed under full renaming and under register-only
+// renaming (where loop-counter recurrences matter most).
+func (s *Suite) AblationUnroll(name string, factors []int) ([]UnrollRow, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown workload %q", name)
+	}
+	if len(factors) == 0 {
+		factors = []int{1, 2, 4, 8}
+	}
+	var rows []UnrollRow
+	for _, f := range factors {
+		sub := *s
+		sub.Unroll = f
+		full := core.Dataflow(core.SyscallConservative)
+		full.Profile = false
+		regsOnly := core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true}
+		rs, err := sub.AnalyzeMulti(w, []core.Config{full, regsOnly})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, UnrollRow{
+			Name:          name,
+			Factor:        f,
+			Instructions:  rs[0].Instructions,
+			Available:     rs[0].Available,
+			AvailRegsOnly: rs[1].Available,
+		})
+	}
+	return rows, nil
+}
+
+// BranchRow is one row of the branch-prediction extension experiment
+// (E10): available parallelism under each control-dependency model, plus
+// the modelled misprediction rates.
+type BranchRow struct {
+	Name     string
+	Policies []core.BranchPolicy
+	Avail    []float64
+	MissRate []float64 // mispredictions / branches, per policy
+}
+
+// BranchPrediction sweeps the control-dependency models (perfect, two-bit,
+// static BTFN, stall), quantifying Section 3.2's observation that the
+// firewall can model mispredicted branches. Renaming is full and windows
+// unlimited, so control is the only constraint varied.
+func (s *Suite) BranchPrediction(policies []core.BranchPolicy) ([]BranchRow, error) {
+	if len(policies) == 0 {
+		policies = []core.BranchPolicy{
+			core.BranchStall, core.BranchStatic, core.BranchTwoBit, core.BranchPerfect,
+		}
+	}
+	rows := make([]BranchRow, len(s.Workloads))
+	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+		cfgs := make([]core.Config, len(policies))
+		for j, p := range policies {
+			cfg := core.Dataflow(core.SyscallConservative)
+			cfg.Profile = false
+			cfg.Branches = p
+			cfgs[j] = cfg
+		}
+		rs, err := s.AnalyzeMulti(w, cfgs)
+		if err != nil {
+			return err
+		}
+		row := BranchRow{Name: w.Name, Policies: policies}
+		for _, r := range rs {
+			row.Avail = append(row.Avail, r.Available)
+			rate := 0.0
+			if r.Branches > 0 {
+				rate = float64(r.Mispredictions) / float64(r.Branches)
+			}
+			row.MissRate = append(row.MissRate, rate)
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// Table1Row describes one instruction latency class (the paper's Table 1).
+type Table1Row struct {
+	Class string
+	Steps int
+}
+
+// Table1 returns the operation-time table; it is configuration, not
+// measurement, but cmd/specrun prints it for completeness.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"Integer ALU", 1},
+		{"Integer Multiply", 6},
+		{"Integer Division", 12},
+		{"Floating Point Add/Sub", 6},
+		{"Floating Point Multiply", 6},
+		{"Floating Point Division", 12},
+		{"Load/Store", 1},
+		{"System Calls", 1},
+	}
+}

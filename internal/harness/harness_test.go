@@ -1,0 +1,408 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paragraph/internal/core"
+	"paragraph/internal/workloads"
+)
+
+// suite returns a small shared suite; experiments that only need a few
+// workloads slice it down to keep the test fast.
+func suite(names ...string) *Suite {
+	s := NewSuite(1)
+	if len(names) > 0 {
+		s.Workloads = nil
+		for _, n := range names {
+			w, ok := workloads.ByName(n)
+			if !ok {
+				panic("unknown workload " + n)
+			}
+			s.Workloads = append(s.Workloads, w)
+		}
+	}
+	return s
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(rows))
+	}
+	want := map[string]int{
+		"Integer ALU": 1, "Integer Multiply": 6, "Integer Division": 12,
+		"Floating Point Add/Sub": 6, "Floating Point Multiply": 6,
+		"Floating Point Division": 12, "Load/Store": 1, "System Calls": 1,
+	}
+	for _, r := range rows {
+		if want[r.Class] != r.Steps {
+			t.Errorf("%s = %d steps, want %d", r.Class, r.Steps, want[r.Class])
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Integer Division") {
+		t.Errorf("render missing rows:\n%s", buf.String())
+	}
+}
+
+func TestTable2Inventory(t *testing.T) {
+	s := suite("xlispx", "naskerx")
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Instructions == 0 {
+			t.Errorf("%s traced 0 instructions", r.Name)
+		}
+		if !strings.HasPrefix(r.Output, r.Name) {
+			t.Errorf("%s output %q", r.Name, r.Output)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "xlispx") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+// TestTable3Claims verifies the paper's headline Table-3 claims on a
+// three-benchmark slice: the optimistic bound is at least the conservative
+// one, the measurement error is small when system calls are rare, and the
+// interpreter benchmark has by far the least parallelism.
+func TestTable3Claims(t *testing.T) {
+	s := suite("xlispx", "naskerx", "matrixx")
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.OptAvailable < r.ConsAvailable-1e-9 {
+			t.Errorf("%s: optimistic %.2f < conservative %.2f",
+				r.Name, r.OptAvailable, r.ConsAvailable)
+		}
+		if r.MaxError < 0 || r.MaxError > 0.5 {
+			t.Errorf("%s: error %.2f out of plausible range", r.Name, r.MaxError)
+		}
+		if r.Syscalls == 0 {
+			t.Errorf("%s: no system calls seen", r.Name)
+		}
+	}
+	if byName["xlispx"].ConsAvailable >= byName["naskerx"].ConsAvailable {
+		t.Errorf("xlispx (%.1f) should be less parallel than naskerx (%.1f)",
+			byName["xlispx"].ConsAvailable, byName["naskerx"].ConsAvailable)
+	}
+	if byName["matrixx"].ConsAvailable <= byName["naskerx"].ConsAvailable {
+		t.Errorf("matrixx (%.1f) should dominate naskerx (%.1f)",
+			byName["matrixx"].ConsAvailable, byName["naskerx"].ConsAvailable)
+	}
+	var buf bytes.Buffer
+	if err := RenderTable3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Max Error") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+// TestTable4Claims verifies the renaming story: monotonicity everywhere;
+// matrixx needs stack renaming (its Regs->Regs/Stack jump is large);
+// espressox needs memory renaming.
+func TestTable4Claims(t *testing.T) {
+	s := suite("matrixx", "espressox", "xlispx")
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table4Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.NoRenaming > r.Regs+1e-9 || r.Regs > r.RegsStack+1e-9 || r.RegsStack > r.RegsMem+1e-9 {
+			t.Errorf("%s: renaming columns not monotone: %+v", r.Name, r)
+		}
+		if r.NoRenaming > 5 {
+			t.Errorf("%s: no-renaming parallelism %.2f implausibly high", r.Name, r.NoRenaming)
+		}
+	}
+	if m := byName["matrixx"]; m.RegsStack < 10*m.Regs {
+		t.Errorf("matrixx stack-renaming jump too small: regs %.1f -> stack %.1f", m.Regs, m.RegsStack)
+	}
+	if e := byName["espressox"]; e.RegsMem < 2*e.RegsStack {
+		t.Errorf("espressox memory-renaming jump too small: stack %.1f -> mem %.1f", e.RegsStack, e.RegsMem)
+	}
+	if x := byName["xlispx"]; x.RegsMem > 2*x.Regs {
+		t.Errorf("xlispx should stay flat under renaming: %+v", x)
+	}
+	var buf bytes.Buffer
+	if err := RenderTable4(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure7Profiles checks profile integrity: mass equals operations and
+// the profile spans the critical path.
+func TestFigure7Profiles(t *testing.T) {
+	s := suite("doducx", "xlispx")
+	profiles, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if len(p.Profile) == 0 {
+			t.Errorf("%s: empty profile", p.Name)
+			continue
+		}
+		last := p.Profile[len(p.Profile)-1]
+		if last.Level >= p.CriticalPath {
+			t.Errorf("%s: profile bucket at %d beyond critical path %d",
+				p.Name, last.Level, p.CriticalPath)
+		}
+		if p.PeakOps < p.Available {
+			t.Errorf("%s: peak %.1f below average %.1f", p.Name, p.PeakOps, p.Available)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure7(&buf, profiles); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProfileCSV(&buf, profiles[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure8Claims verifies the window-size story: percent exposed grows
+// monotonically with window size, small windows expose only modest
+// parallelism, and the full window reaches 100%.
+func TestFigure8Claims(t *testing.T) {
+	s := suite("matrixx", "xlispx")
+	sizes := []int{1, 4, 16, 64, 256, 1024, 8192, 0}
+	series, err := s.Figure8(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ser := range series {
+		var prev float64
+		for i, pt := range ser.Points {
+			if pt.Window != 0 && pt.Percent < prev-1e-6 {
+				t.Errorf("%s: window %d percent %.2f below previous %.2f",
+					ser.Name, pt.Window, pt.Percent, prev)
+			}
+			prev = pt.Percent
+			if pt.Window == 0 && (pt.Percent < 99.9 || pt.Percent > 100.1) {
+				t.Errorf("%s: full window = %.2f%%", ser.Name, pt.Percent)
+			}
+			_ = i
+		}
+	}
+	// The paper: "modest levels of parallelism ... can be obtained for
+	// all benchmarks with window sizes as small as 100 instructions",
+	// but the high-parallelism codes need very large windows.
+	for _, ser := range series {
+		if ser.Name != "matrixx" {
+			continue
+		}
+		for _, pt := range ser.Points {
+			if pt.Window == 64 && pt.Percent > 50 {
+				t.Errorf("matrixx exposes %.1f%% at window 64; expected far less", pt.Percent)
+			}
+			if pt.Window == 64 && pt.Available < 3 {
+				t.Errorf("matrixx at window 64 = %.2f ops/cycle; expected a useful amount", pt.Available)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure8(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFigure8CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFunctionalUnitsClaims: fewer units mean less parallelism; one unit
+// means (at most) fully serial execution; the unlimited column matches the
+// dataflow limit.
+func TestFunctionalUnitsClaims(t *testing.T) {
+	s := suite("naskerx")
+	rows, err := s.FunctionalUnits([]int{1, 4, 16, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	for i := 1; i < len(r.Avail); i++ {
+		if r.Avail[i] < r.Avail[i-1]-1e-9 {
+			t.Errorf("FU sweep not monotone: %v", r.Avail)
+		}
+	}
+	if r.Avail[0] > 1+1e-9 {
+		t.Errorf("1 FU yields parallelism %.2f > 1", r.Avail[0])
+	}
+	var buf bytes.Buffer
+	if err := RenderFunctionalUnits(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLifetimesClaims: distributions are populated and self-consistent.
+func TestLifetimesClaims(t *testing.T) {
+	s := suite("doducx")
+	rows, err := s.Lifetimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Lifetimes.Count() == 0 || r.Sharing.Count() == 0 {
+		t.Fatalf("empty distributions: %+v", r)
+	}
+	if r.Lifetimes.Max() < r.Lifetimes.Quantile(0.9) {
+		t.Errorf("lifetime max %d < p90 %d", r.Lifetimes.Max(), r.Lifetimes.Quantile(0.9))
+	}
+	if r.MaxLiveMemory == 0 {
+		t.Error("no live-memory footprint recorded")
+	}
+	var buf bytes.Buffer
+	if err := RenderLifetimes(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAblationUnroll: unrolling shrinks the dynamic instruction count and
+// does not reduce register-only parallelism (the paper's second-order
+// compiler effect).
+func TestAblationUnroll(t *testing.T) {
+	s := suite()
+	rows, err := s.AblationUnroll("naskerx", []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].Instructions >= rows[0].Instructions {
+		t.Errorf("unroll 4 executes %d instructions, plain %d; expected fewer",
+			rows[1].Instructions, rows[0].Instructions)
+	}
+	if rows[1].AvailRegsOnly < rows[0].AvailRegsOnly*0.8 {
+		t.Errorf("unrolling collapsed regs-only parallelism: %.2f -> %.2f",
+			rows[0].AvailRegsOnly, rows[1].AvailRegsOnly)
+	}
+	var buf bytes.Buffer
+	if err := RenderUnroll(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AblationUnroll("nope", nil); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+// TestSharedTraceConsistency: analyzing one simulated execution with two
+// identical configs through AnalyzeMulti must give identical results.
+func TestSharedTraceConsistency(t *testing.T) {
+	s := suite()
+	w, _ := workloads.ByName("xlispx")
+	cfg := core.Dataflow(core.SyscallConservative)
+	cfg.Profile = false
+	rs, err := s.AnalyzeMulti(w, []core.Config{cfg, cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].CriticalPath != rs[1].CriticalPath || rs[0].Operations != rs[1].Operations {
+		t.Errorf("identical configs disagree: %v vs %v", rs[0], rs[1])
+	}
+}
+
+// TestMaxInstrBudget: the suite's trace cap applies.
+func TestMaxInstrBudget(t *testing.T) {
+	s := suite("cc1x")
+	s.MaxInstr = 20_000
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instructions analyzed should equal the cap (cc1x runs longer).
+	r, err := s.Analyze(s.Workloads[0], core.Dataflow(core.SyscallConservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instructions != 20_000 {
+		t.Errorf("analyzed %d instructions, want 20,000", r.Instructions)
+	}
+	_ = rows
+}
+
+// TestBranchPredictionClaims (E10): better prediction exposes more
+// parallelism, stall mispredicts everything, perfect mispredicts nothing —
+// quantifying the paper's closing observation that available predictors
+// "are not accurate enough to expose even hundreds of instructions".
+func TestBranchPredictionClaims(t *testing.T) {
+	s := suite("xlispx", "matrixx")
+	rows, err := s.BranchPrediction(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Avail) != 4 {
+			t.Fatalf("%s: %d policies", r.Name, len(r.Avail))
+		}
+		stall, twoBit, perfect := r.Avail[0], r.Avail[2], r.Avail[3]
+		if stall > twoBit+1e-9 || twoBit > perfect+1e-9 {
+			t.Errorf("%s: policies not monotone: %v", r.Name, r.Avail)
+		}
+		if r.MissRate[0] != 1.0 {
+			t.Errorf("%s: stall miss rate = %v, want 1", r.Name, r.MissRate[0])
+		}
+		if r.MissRate[3] != 0 {
+			t.Errorf("%s: perfect miss rate = %v, want 0", r.Name, r.MissRate[3])
+		}
+		// The paper's point: real prediction reaches only a fraction of
+		// the dataflow limit for high-parallelism codes.
+		if r.Name == "matrixx" && twoBit > perfect/2 {
+			t.Errorf("matrixx: two-bit (%.1f) suspiciously close to perfect (%.1f)", twoBit, perfect)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderBranches(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "two-bit") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+// TestParallelExperimentsDeterministic: running an experiment with
+// concurrent workloads produces exactly the serial rows, in order.
+func TestParallelExperimentsDeterministic(t *testing.T) {
+	serial := suite("xlispx", "naskerx", "matrixx")
+	serial.Parallelism = 1
+	par := suite("xlispx", "naskerx", "matrixx")
+	par.Parallelism = 4
+
+	s3, err := serial.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := par.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3) != len(p3) {
+		t.Fatalf("row counts differ: %d vs %d", len(s3), len(p3))
+	}
+	for i := range s3 {
+		if s3[i] != p3[i] {
+			t.Errorf("row %d differs: serial %+v, parallel %+v", i, s3[i], p3[i])
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders an instruction in the same assembly syntax accepted by
+// the assembler (package internal/asm). Branch and jump targets are printed
+// numerically; the assembler-level symbolic form is reconstructed by callers
+// that hold a symbol table.
+func Disassemble(ins *Instruction) string {
+	info := ins.Op.Info()
+	var b strings.Builder
+	b.WriteString(info.Name)
+
+	arg := func(s string) {
+		if strings.HasSuffix(b.String(), info.Name) {
+			b.WriteByte(' ')
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(s)
+	}
+
+	switch ins.Op {
+	case NOP, SYSCALL, BREAK:
+		return b.String()
+	case J, JAL:
+		arg(fmt.Sprintf("%#x", ins.Target<<2))
+		return b.String()
+	case JR, MTHI, MTLO:
+		arg(ins.Rs.String())
+		return b.String()
+	case JALR:
+		arg(ins.Rd.String())
+		arg(ins.Rs.String())
+		return b.String()
+	case MFHI, MFLO:
+		arg(ins.Rd.String())
+		return b.String()
+	case MULT, MULTU, DIV, DIVU:
+		arg(ins.Rs.String())
+		arg(ins.Rt.String())
+		return b.String()
+	case SLL, SRL, SRA:
+		arg(ins.Rd.String())
+		arg(ins.Rt.String())
+		arg(fmt.Sprintf("%d", ins.Shamt))
+		return b.String()
+	case LUI:
+		arg(ins.Rt.String())
+		arg(fmt.Sprintf("%d", ins.Imm))
+		return b.String()
+	case BC1T, BC1F:
+		arg(fmt.Sprintf("%d", ins.Imm))
+		return b.String()
+	case MFC1:
+		arg(ins.Rt.String())
+		arg(ins.Rs.String())
+		return b.String()
+	case MTC1:
+		arg(ins.Rt.String())
+		arg(ins.Rd.String())
+		return b.String()
+	}
+
+	if info.IsLoad || info.IsStore {
+		arg(ins.Rt.String())
+		arg(fmt.Sprintf("%d(%s)", ins.Imm, ins.Rs))
+		return b.String()
+	}
+
+	switch info.Format {
+	case FormatR, FormatFR:
+		if info.WritesRd {
+			arg(ins.Rd.String())
+		}
+		if info.ReadsRs {
+			arg(ins.Rs.String())
+		}
+		if info.ReadsRt {
+			arg(ins.Rt.String())
+		}
+	case FormatI:
+		if info.IsBranch {
+			if info.ReadsRs {
+				arg(ins.Rs.String())
+			}
+			if info.ReadsRt {
+				arg(ins.Rt.String())
+			}
+			arg(fmt.Sprintf("%d", ins.Imm))
+			return b.String()
+		}
+		if info.WritesRt {
+			arg(ins.Rt.String())
+		}
+		if info.ReadsRs {
+			arg(ins.Rs.String())
+		}
+		if info.HasImm {
+			arg(fmt.Sprintf("%d", ins.Imm))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. The layout follows MIPS-I: a 6-bit major opcode, with
+// R-format instructions selected by a 6-bit function field under opcode 0,
+// REGIMM branches under opcode 1, and floating point under the COP1 opcode
+// 0x11. Double-precision FP uses the fmt value 0x11 (.D) in the rs slot.
+
+const (
+	opcSpecial = 0x00
+	opcRegimm  = 0x01
+	opcJ       = 0x02
+	opcJAL     = 0x03
+	opcBEQ     = 0x04
+	opcBNE     = 0x05
+	opcBLEZ    = 0x06
+	opcBGTZ    = 0x07
+	opcADDI    = 0x08
+	opcADDIU   = 0x09
+	opcSLTI    = 0x0a
+	opcSLTIU   = 0x0b
+	opcANDI    = 0x0c
+	opcORI     = 0x0d
+	opcXORI    = 0x0e
+	opcLUI     = 0x0f
+	opcCOP1    = 0x11
+	opcLB      = 0x20
+	opcLH      = 0x21
+	opcLW      = 0x23
+	opcLBU     = 0x24
+	opcLHU     = 0x25
+	opcSB      = 0x28
+	opcSH      = 0x29
+	opcSW      = 0x2b
+	opcLDC1    = 0x35
+	opcSDC1    = 0x3d
+)
+
+// SPECIAL function codes.
+const (
+	fnSLL     = 0x00
+	fnSRL     = 0x02
+	fnSRA     = 0x03
+	fnSLLV    = 0x04
+	fnSRLV    = 0x06
+	fnSRAV    = 0x07
+	fnJR      = 0x08
+	fnJALR    = 0x09
+	fnSYSCALL = 0x0c
+	fnBREAK   = 0x0d
+	fnMFHI    = 0x10
+	fnMTHI    = 0x11
+	fnMFLO    = 0x12
+	fnMTLO    = 0x13
+	fnMULT    = 0x18
+	fnMULTU   = 0x19
+	fnDIV     = 0x1a
+	fnDIVU    = 0x1b
+	fnADD     = 0x20
+	fnADDU    = 0x21
+	fnSUB     = 0x22
+	fnSUBU    = 0x23
+	fnAND     = 0x24
+	fnOR      = 0x25
+	fnXOR     = 0x26
+	fnNOR     = 0x27
+	fnSLT     = 0x2a
+	fnSLTU    = 0x2b
+)
+
+// COP1 rs-slot selectors and .D-format function codes.
+const (
+	cop1MFC1 = 0x00
+	cop1MTC1 = 0x04
+	cop1BC   = 0x08
+	cop1FmtD = 0x11
+	cop1FmtW = 0x14
+
+	fpADD  = 0x00
+	fpSUB  = 0x01
+	fpMUL  = 0x02
+	fpDIV  = 0x03
+	fpABS  = 0x05
+	fpMOV  = 0x06
+	fpNEG  = 0x07
+	fpCVTD = 0x21
+	fpCVTW = 0x24
+	fpCEQ  = 0x32
+	fpCLT  = 0x3c
+	fpCLE  = 0x3e
+)
+
+var specialFn = map[Op]uint32{
+	SLL: fnSLL, SRL: fnSRL, SRA: fnSRA, SLLV: fnSLLV, SRLV: fnSRLV, SRAV: fnSRAV,
+	JR: fnJR, JALR: fnJALR, SYSCALL: fnSYSCALL, BREAK: fnBREAK,
+	MFHI: fnMFHI, MTHI: fnMTHI, MFLO: fnMFLO, MTLO: fnMTLO,
+	MULT: fnMULT, MULTU: fnMULTU, DIV: fnDIV, DIVU: fnDIVU,
+	ADD: fnADD, ADDU: fnADDU, SUB: fnSUB, SUBU: fnSUBU,
+	AND: fnAND, OR: fnOR, XOR: fnXOR, NOR: fnNOR, SLT: fnSLT, SLTU: fnSLTU,
+}
+
+var fnToOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(specialFn))
+	for op, fn := range specialFn {
+		m[fn] = op
+	}
+	return m
+}()
+
+var iFormatOpc = map[Op]uint32{
+	ADDI: opcADDI, ADDIU: opcADDIU, SLTI: opcSLTI, SLTIU: opcSLTIU,
+	ANDI: opcANDI, ORI: opcORI, XORI: opcXORI, LUI: opcLUI,
+	LB: opcLB, LBU: opcLBU, LH: opcLH, LHU: opcLHU, LW: opcLW,
+	SB: opcSB, SH: opcSH, SW: opcSW, LDC1: opcLDC1, SDC1: opcSDC1,
+	BEQ: opcBEQ, BNE: opcBNE, BLEZ: opcBLEZ, BGTZ: opcBGTZ,
+}
+
+var opcToIOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iFormatOpc))
+	for op, opc := range iFormatOpc {
+		if op == BLTZ || op == BGEZ {
+			continue
+		}
+		m[opc] = op
+	}
+	return m
+}()
+
+var fpFn = map[Op]uint32{
+	ADDD: fpADD, SUBD: fpSUB, MULD: fpMUL, DIVD: fpDIV,
+	ABSD: fpABS, MOVD: fpMOV, NEGD: fpNEG,
+	CVTWD: fpCVTW, CEQD: fpCEQ, CLTD: fpCLT, CLED: fpCLE,
+}
+
+var fpFnToOp = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(fpFn))
+	for op, fn := range fpFn {
+		m[fn] = op
+	}
+	return m
+}()
+
+func regField(r Reg) uint32 {
+	if r.IsFP() {
+		return uint32(r - F0)
+	}
+	return uint32(r)
+}
+
+// Encode converts the instruction to its 32-bit machine word.
+func Encode(ins *Instruction) (uint32, error) {
+	imm16 := uint32(uint16(ins.Imm))
+	switch ins.Op {
+	case NOP:
+		return 0, nil // sll $zero,$zero,0
+	case J:
+		return opcJ<<26 | ins.Target&0x03ffffff, nil
+	case JAL:
+		return opcJAL<<26 | ins.Target&0x03ffffff, nil
+	case BLTZ:
+		return opcRegimm<<26 | regField(ins.Rs)<<21 | 0<<16 | imm16, nil
+	case BGEZ:
+		return opcRegimm<<26 | regField(ins.Rs)<<21 | 1<<16 | imm16, nil
+	case MFC1:
+		return opcCOP1<<26 | cop1MFC1<<21 | regField(ins.Rt)<<16 | regField(ins.Rs)<<11, nil
+	case MTC1:
+		return opcCOP1<<26 | cop1MTC1<<21 | regField(ins.Rt)<<16 | regField(ins.Rd)<<11, nil
+	case BC1F:
+		return opcCOP1<<26 | cop1BC<<21 | 0<<16 | imm16, nil
+	case BC1T:
+		return opcCOP1<<26 | cop1BC<<21 | 1<<16 | imm16, nil
+	case CVTDW:
+		// cvt.d.w converts from the W (integer word) format.
+		return opcCOP1<<26 | uint32(cop1FmtW)<<21 | regField(ins.Rs)<<11 | regField(ins.Rd)<<6 | fpCVTD, nil
+	}
+	if fn, ok := fpFn[ins.Op]; ok {
+		return opcCOP1<<26 | uint32(cop1FmtD)<<21 | regField(ins.Rt)<<16 |
+			regField(ins.Rs)<<11 | regField(ins.Rd)<<6 | fn, nil
+	}
+	if fn, ok := specialFn[ins.Op]; ok {
+		return regField(ins.Rs)<<21 | regField(ins.Rt)<<16 | regField(ins.Rd)<<11 |
+			uint32(ins.Shamt&0x1f)<<6 | fn, nil
+	}
+	if opc, ok := iFormatOpc[ins.Op]; ok {
+		return opc<<26 | regField(ins.Rs)<<21 | regField(ins.Rt)<<16 | imm16, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode op %v", ins.Op)
+}
+
+// Decode converts a 32-bit machine word back to an Instruction. It is the
+// inverse of Encode for every encodable instruction.
+func Decode(word uint32) (Instruction, error) {
+	opc := word >> 26
+	rs := Reg(word >> 21 & 0x1f)
+	rt := Reg(word >> 16 & 0x1f)
+	rd := Reg(word >> 11 & 0x1f)
+	shamt := uint8(word >> 6 & 0x1f)
+	fn := word & 0x3f
+	imm := int32(int16(word & 0xffff))
+
+	switch opc {
+	case opcSpecial:
+		if word == 0 {
+			return Instruction{Op: NOP}, nil
+		}
+		op, ok := fnToOp[fn]
+		if !ok {
+			return Instruction{}, fmt.Errorf("isa: unknown SPECIAL function %#x", fn)
+		}
+		return Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt, Shamt: shamt}, nil
+	case opcRegimm:
+		switch rt {
+		case 0:
+			return Instruction{Op: BLTZ, Rs: rs, Imm: imm}, nil
+		case 1:
+			return Instruction{Op: BGEZ, Rs: rs, Imm: imm}, nil
+		}
+		return Instruction{}, fmt.Errorf("isa: unknown REGIMM rt %d", rt)
+	case opcJ:
+		return Instruction{Op: J, Target: word & 0x03ffffff}, nil
+	case opcJAL:
+		return Instruction{Op: JAL, Target: word & 0x03ffffff}, nil
+	case opcCOP1:
+		sel := word >> 21 & 0x1f
+		switch sel {
+		case cop1MFC1:
+			return Instruction{Op: MFC1, Rt: rt, Rs: F0 + rd}, nil
+		case cop1MTC1:
+			return Instruction{Op: MTC1, Rt: rt, Rd: F0 + rd}, nil
+		case cop1BC:
+			if rt == 1 {
+				return Instruction{Op: BC1T, Imm: imm}, nil
+			}
+			return Instruction{Op: BC1F, Imm: imm}, nil
+		case cop1FmtW:
+			if fn == fpCVTD {
+				return Instruction{Op: CVTDW, Rs: F0 + rd, Rd: F0 + Reg(shamt)}, nil
+			}
+			return Instruction{}, fmt.Errorf("isa: unknown COP1.W function %#x", fn)
+		case cop1FmtD:
+			op, ok := fpFnToOp[fn]
+			if !ok {
+				return Instruction{}, fmt.Errorf("isa: unknown COP1.D function %#x", fn)
+			}
+			ins := Instruction{Op: op, Rt: F0 + rt, Rs: F0 + rd, Rd: F0 + Reg(shamt)}
+			info := op.Info()
+			if !info.ReadsRt {
+				ins.Rt = 0
+			}
+			if !info.WritesRd {
+				ins.Rd = 0
+			}
+			return ins, nil
+		}
+		return Instruction{}, fmt.Errorf("isa: unknown COP1 selector %#x", sel)
+	}
+
+	if op, ok := opcToIOp[opc]; ok {
+		ins := Instruction{Op: op, Rs: rs, Rt: rt, Imm: imm}
+		if op == LDC1 {
+			ins.Rt = F0 + rt
+		}
+		if op == SDC1 {
+			ins.Rt = F0 + rt
+		}
+		info := op.Info()
+		if !info.ReadsRt && !info.WritesRt {
+			ins.Rt = 0
+		}
+		return ins, nil
+	}
+	return Instruction{}, fmt.Errorf("isa: unknown opcode %#x", opc)
+}

@@ -1,0 +1,489 @@
+// Package isa defines the instruction-set architecture used throughout the
+// reproduction: a MIPS-I–like 32-bit RISC with 32 integer registers, 32
+// floating-point registers (each holding a 64-bit value), HI/LO multiply
+// registers and a single floating-point condition flag.
+//
+// The paper traced SPEC'89 binaries compiled for DECstation (MIPS R2000/3000)
+// workstations. Paragraph, the dynamic dependency analyzer, only consumes the
+// dynamic stream of (operation class, register and memory operands), so any
+// ISA with the same operand structure and the paper's Table-1 latency classes
+// exercises the identical analysis code paths. This package supplies that
+// ISA: instruction definitions, operand metadata, the Table-1 latency
+// mapping, and a faithful 32-bit binary encoding with a disassembler.
+//
+// Deviations from real MIPS-I, chosen for simplicity and documented here:
+//
+//   - Floating point is double precision only (.D format, plus CVT to/from
+//     32-bit integers). Each FP register holds a full 64-bit value; there is
+//     no even/odd register pairing.
+//   - There are no branch delay slots; branches take effect immediately.
+//   - Loads have no load-delay slot.
+//
+// None of these affect the dependency structure that the DDG analysis
+// observes, and all are common simplifications in architectural simulators.
+package isa
+
+import "fmt"
+
+// Reg identifies a storage location in the register space. Values 0–31 are
+// the integer registers, 32–63 the floating-point registers, followed by the
+// HI/LO multiply-divide registers and the floating-point condition flag.
+type Reg uint8
+
+// Integer register names follow the MIPS o32 convention.
+const (
+	Zero Reg = iota // $0, hardwired zero
+	AT              // $1, assembler temporary
+	V0              // $2, result
+	V1              // $3, result
+	A0              // $4, argument
+	A1              // $5, argument
+	A2              // $6, argument
+	A3              // $7, argument
+	T0              // $8, caller-saved temporary
+	T1
+	T2
+	T3
+	T4
+	T5
+	T6
+	T7
+	S0 // $16, callee-saved
+	S1
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	T8 // $24
+	T9
+	K0 // $26, kernel reserved
+	K1
+	GP // $28, global pointer
+	SP // $29, stack pointer
+	FP // $30, frame pointer
+	RA // $31, return address
+)
+
+// F0 is the first floating-point register; F0+i is $fi for i in [0,32).
+const F0 Reg = 32
+
+// Special (non-addressable-by-number) locations.
+const (
+	HI  Reg = 64 + iota // multiply/divide high result
+	LO                  // multiply/divide low result
+	FCC                 // floating-point condition code flag
+
+	// NumRegs is the total number of register-space locations; useful for
+	// sizing dense per-register tables.
+	NumRegs
+)
+
+var intRegNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional assembly name of the register ("$t0",
+// "$f2", "$hi", …).
+func (r Reg) String() string {
+	switch {
+	case r < 32:
+		return "$" + intRegNames[r]
+	case r < 64:
+		return fmt.Sprintf("$f%d", r-F0)
+	case r == HI:
+		return "$hi"
+	case r == LO:
+		return "$lo"
+	case r == FCC:
+		return "$fcc"
+	}
+	return fmt.Sprintf("$?%d", uint8(r))
+}
+
+// IsFP reports whether r is a floating-point data register.
+func (r Reg) IsFP() bool { return r >= 32 && r < 64 }
+
+// IsInt reports whether r is a general-purpose integer register.
+func (r Reg) IsInt() bool { return r < 32 }
+
+// IntReg returns the integer register with the given number, panicking if n
+// is out of range. It exists to make call sites self-describing.
+func IntReg(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: integer register number %d out of range", n))
+	}
+	return Reg(n)
+}
+
+// FPReg returns the floating-point register $fn.
+func FPReg(n int) Reg {
+	if n < 0 || n > 31 {
+		panic(fmt.Sprintf("isa: FP register number %d out of range", n))
+	}
+	return F0 + Reg(n)
+}
+
+// OpClass partitions operations into the latency classes of the paper's
+// Table 1 ("Instruction Class Operation Times").
+type OpClass uint8
+
+const (
+	ClassNone    OpClass = iota // not placed in the DDG and no latency (e.g. NOP)
+	ClassIntALU                 // integer ALU: 1 step
+	ClassIntMul                 // integer multiply: 6 steps
+	ClassIntDiv                 // integer division: 12 steps
+	ClassFPAdd                  // FP add/sub (also compare, convert): 6 steps
+	ClassFPMul                  // FP multiply: 6 steps
+	ClassFPDiv                  // FP division: 12 steps
+	ClassLoad                   // memory load: 1 step
+	ClassStore                  // memory store: 1 step
+	ClassBranch                 // conditional branch: control only, excluded from DDG
+	ClassJump                   // unconditional jump/call/return: excluded from DDG
+	ClassSyscall                // system call: 1 step
+
+	numOpClasses
+)
+
+var opClassNames = [numOpClasses]string{
+	"none", "int-alu", "int-mul", "int-div", "fp-add", "fp-mul", "fp-div",
+	"load", "store", "branch", "jump", "syscall",
+}
+
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Latency returns the operation time of the class in DDG levels, exactly the
+// values of Table 1 in the paper. Branches and jumps return 1 although they
+// are never placed in the DDG (the value is used only if a machine model
+// chooses to account for them).
+func (c OpClass) Latency() int {
+	switch c {
+	case ClassIntALU, ClassLoad, ClassStore, ClassSyscall, ClassBranch, ClassJump:
+		return 1
+	case ClassIntMul, ClassFPAdd, ClassFPMul:
+		return 6
+	case ClassIntDiv, ClassFPDiv:
+		return 12
+	}
+	return 1
+}
+
+// Format describes the binary-encoding format of an operation.
+type Format uint8
+
+const (
+	FormatR  Format = iota // register: op rd, rs, rt (or shifts with shamt)
+	FormatI                // immediate: op rt, rs, imm16
+	FormatJ                // jump: op target26
+	FormatFR               // COP1 register: op fd, fs, ft
+	FormatFI               // COP1 branch / move: mixed
+)
+
+// Op enumerates every operation in the ISA.
+type Op uint8
+
+const (
+	// Integer register-register arithmetic.
+	ADD Op = iota
+	ADDU
+	SUB
+	SUBU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	SLL
+	SRL
+	SRA
+	SLLV
+	SRLV
+	SRAV
+	MULT
+	MULTU
+	DIV
+	DIVU
+	MFHI
+	MFLO
+	MTHI
+	MTLO
+	JR
+	JALR
+	SYSCALL
+	BREAK
+
+	// Integer immediate arithmetic.
+	ADDI
+	ADDIU
+	SLTI
+	SLTIU
+	ANDI
+	ORI
+	XORI
+	LUI
+
+	// Memory.
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	SB
+	SH
+	SW
+	LDC1
+	SDC1
+
+	// Control.
+	J
+	JAL
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+
+	// Floating point (double precision).
+	ADDD
+	SUBD
+	MULD
+	DIVD
+	ABSD
+	NEGD
+	MOVD
+	CVTDW
+	CVTWD
+	CEQD
+	CLTD
+	CLED
+	BC1T
+	BC1F
+	MFC1
+	MTC1
+
+	NOP
+
+	// NumOps is the number of defined operations.
+	NumOps
+)
+
+// OpInfo is the static metadata of an operation.
+type OpInfo struct {
+	Name   string
+	Class  OpClass
+	Format Format
+
+	// Operand roles, used by the assembler, disassembler and simulator.
+	ReadsRs  bool
+	ReadsRt  bool
+	WritesRd bool // destination is the Rd slot (R/FR formats)
+	WritesRt bool // destination is the Rt slot (I-format ALU ops and loads)
+	HasImm   bool
+	HasShamt bool
+
+	// Memory behaviour.
+	IsLoad  bool
+	IsStore bool
+	MemSize int // bytes accessed for loads/stores
+
+	// Control behaviour.
+	IsBranch bool // PC-relative conditional branch
+	IsJump   bool // unconditional jump (J/JAL/JR/JALR)
+	IsCall   bool // writes a return address (JAL/JALR)
+
+	// Implicit register effects.
+	ReadsHILO  bool
+	WritesHILO bool
+	ReadsFCC   bool
+	WritesFCC  bool
+}
+
+var opInfos = [NumOps]OpInfo{
+	ADD:   {Name: "add", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	ADDU:  {Name: "addu", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SUB:   {Name: "sub", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SUBU:  {Name: "subu", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	AND:   {Name: "and", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	OR:    {Name: "or", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	XOR:   {Name: "xor", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	NOR:   {Name: "nor", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SLT:   {Name: "slt", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SLTU:  {Name: "sltu", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SLL:   {Name: "sll", Class: ClassIntALU, Format: FormatR, ReadsRt: true, WritesRd: true, HasShamt: true},
+	SRL:   {Name: "srl", Class: ClassIntALU, Format: FormatR, ReadsRt: true, WritesRd: true, HasShamt: true},
+	SRA:   {Name: "sra", Class: ClassIntALU, Format: FormatR, ReadsRt: true, WritesRd: true, HasShamt: true},
+	SLLV:  {Name: "sllv", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SRLV:  {Name: "srlv", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SRAV:  {Name: "srav", Class: ClassIntALU, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	MULT:  {Name: "mult", Class: ClassIntMul, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesHILO: true},
+	MULTU: {Name: "multu", Class: ClassIntMul, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesHILO: true},
+	DIV:   {Name: "div", Class: ClassIntDiv, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesHILO: true},
+	DIVU:  {Name: "divu", Class: ClassIntDiv, Format: FormatR, ReadsRs: true, ReadsRt: true, WritesHILO: true},
+	MFHI:  {Name: "mfhi", Class: ClassIntALU, Format: FormatR, WritesRd: true, ReadsHILO: true},
+	MFLO:  {Name: "mflo", Class: ClassIntALU, Format: FormatR, WritesRd: true, ReadsHILO: true},
+	MTHI:  {Name: "mthi", Class: ClassIntALU, Format: FormatR, ReadsRs: true, WritesHILO: true},
+	MTLO:  {Name: "mtlo", Class: ClassIntALU, Format: FormatR, ReadsRs: true, WritesHILO: true},
+	JR:    {Name: "jr", Class: ClassJump, Format: FormatR, ReadsRs: true, IsJump: true},
+	JALR:  {Name: "jalr", Class: ClassJump, Format: FormatR, ReadsRs: true, WritesRd: true, IsJump: true, IsCall: true},
+
+	SYSCALL: {Name: "syscall", Class: ClassSyscall, Format: FormatR},
+	BREAK:   {Name: "break", Class: ClassSyscall, Format: FormatR},
+
+	ADDI:  {Name: "addi", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	ADDIU: {Name: "addiu", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	SLTI:  {Name: "slti", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	SLTIU: {Name: "sltiu", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	ANDI:  {Name: "andi", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	ORI:   {Name: "ori", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	XORI:  {Name: "xori", Class: ClassIntALU, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true},
+	LUI:   {Name: "lui", Class: ClassIntALU, Format: FormatI, WritesRt: true, HasImm: true},
+
+	LB:   {Name: "lb", Class: ClassLoad, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true, IsLoad: true, MemSize: 1},
+	LBU:  {Name: "lbu", Class: ClassLoad, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true, IsLoad: true, MemSize: 1},
+	LH:   {Name: "lh", Class: ClassLoad, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true, IsLoad: true, MemSize: 2},
+	LHU:  {Name: "lhu", Class: ClassLoad, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true, IsLoad: true, MemSize: 2},
+	LW:   {Name: "lw", Class: ClassLoad, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true, IsLoad: true, MemSize: 4},
+	SB:   {Name: "sb", Class: ClassStore, Format: FormatI, ReadsRs: true, ReadsRt: true, HasImm: true, IsStore: true, MemSize: 1},
+	SH:   {Name: "sh", Class: ClassStore, Format: FormatI, ReadsRs: true, ReadsRt: true, HasImm: true, IsStore: true, MemSize: 2},
+	SW:   {Name: "sw", Class: ClassStore, Format: FormatI, ReadsRs: true, ReadsRt: true, HasImm: true, IsStore: true, MemSize: 4},
+	LDC1: {Name: "ldc1", Class: ClassLoad, Format: FormatI, ReadsRs: true, WritesRt: true, HasImm: true, IsLoad: true, MemSize: 8},
+	SDC1: {Name: "sdc1", Class: ClassStore, Format: FormatI, ReadsRs: true, ReadsRt: true, HasImm: true, IsStore: true, MemSize: 8},
+
+	J:    {Name: "j", Class: ClassJump, Format: FormatJ, IsJump: true},
+	JAL:  {Name: "jal", Class: ClassJump, Format: FormatJ, IsJump: true, IsCall: true},
+	BEQ:  {Name: "beq", Class: ClassBranch, Format: FormatI, ReadsRs: true, ReadsRt: true, HasImm: true, IsBranch: true},
+	BNE:  {Name: "bne", Class: ClassBranch, Format: FormatI, ReadsRs: true, ReadsRt: true, HasImm: true, IsBranch: true},
+	BLEZ: {Name: "blez", Class: ClassBranch, Format: FormatI, ReadsRs: true, HasImm: true, IsBranch: true},
+	BGTZ: {Name: "bgtz", Class: ClassBranch, Format: FormatI, ReadsRs: true, HasImm: true, IsBranch: true},
+	BLTZ: {Name: "bltz", Class: ClassBranch, Format: FormatI, ReadsRs: true, HasImm: true, IsBranch: true},
+	BGEZ: {Name: "bgez", Class: ClassBranch, Format: FormatI, ReadsRs: true, HasImm: true, IsBranch: true},
+
+	ADDD:  {Name: "add.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	SUBD:  {Name: "sub.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	MULD:  {Name: "mul.d", Class: ClassFPMul, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	DIVD:  {Name: "div.d", Class: ClassFPDiv, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesRd: true},
+	ABSD:  {Name: "abs.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, WritesRd: true},
+	NEGD:  {Name: "neg.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, WritesRd: true},
+	MOVD:  {Name: "mov.d", Class: ClassIntALU, Format: FormatFR, ReadsRs: true, WritesRd: true},
+	CVTDW: {Name: "cvt.d.w", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, WritesRd: true},
+	CVTWD: {Name: "cvt.w.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, WritesRd: true},
+	CEQD:  {Name: "c.eq.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesFCC: true},
+	CLTD:  {Name: "c.lt.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesFCC: true},
+	CLED:  {Name: "c.le.d", Class: ClassFPAdd, Format: FormatFR, ReadsRs: true, ReadsRt: true, WritesFCC: true},
+	BC1T:  {Name: "bc1t", Class: ClassBranch, Format: FormatFI, HasImm: true, IsBranch: true, ReadsFCC: true},
+	BC1F:  {Name: "bc1f", Class: ClassBranch, Format: FormatFI, HasImm: true, IsBranch: true, ReadsFCC: true},
+	MFC1:  {Name: "mfc1", Class: ClassIntALU, Format: FormatFI, ReadsRs: true, WritesRt: true},
+	MTC1:  {Name: "mtc1", Class: ClassIntALU, Format: FormatFI, ReadsRt: true, WritesRd: true},
+
+	NOP: {Name: "nop", Class: ClassNone, Format: FormatR},
+}
+
+// Info returns the static metadata of op.
+func (op Op) Info() *OpInfo {
+	if op >= NumOps {
+		panic(fmt.Sprintf("isa: invalid opcode %d", uint8(op)))
+	}
+	return &opInfos[op]
+}
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if op < NumOps {
+		return opInfos[op].Name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class returns the latency class of op.
+func (op Op) Class() OpClass { return op.Info().Class }
+
+// Latency returns the Table-1 operation time of op in DDG levels.
+func (op Op) Latency() int { return op.Info().Class.Latency() }
+
+// opsByName maps mnemonics to opcodes; built once at init.
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(0); op < NumOps; op++ {
+		m[opInfos[op].Name] = op
+	}
+	return m
+}()
+
+// LookupOp resolves a mnemonic to its opcode.
+func LookupOp(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+// Instruction is a decoded machine instruction. The meaning of the register
+// fields depends on the format; Imm holds the sign-extended 16-bit immediate
+// for I-format instructions, and Target the 26-bit word target for J-format.
+type Instruction struct {
+	Op     Op
+	Rd     Reg
+	Rs     Reg
+	Rt     Reg
+	Shamt  uint8
+	Imm    int32
+	Target uint32
+}
+
+// Dest returns the register written by the instruction (register
+// destinations only — stores write memory) and whether there is one.
+// Instructions with implicit destinations (HI/LO, FCC) report those.
+func (ins *Instruction) Dest() (Reg, bool) {
+	info := ins.Op.Info()
+	switch {
+	case info.WritesRd:
+		return ins.Rd, true
+	case info.WritesRt:
+		return ins.Rt, true
+	case info.WritesHILO:
+		// MULT/DIV write both HI and LO; callers that need both use
+		// the info flags directly. LO carries the primary result.
+		return LO, true
+	case info.WritesFCC:
+		return FCC, true
+	}
+	return 0, false
+}
+
+// SourceRegs appends the register sources of the instruction to dst and
+// returns the extended slice. The $zero register is included (callers that
+// want to ignore it can filter); HI/LO and FCC implicit reads are included.
+func (ins *Instruction) SourceRegs(dst []Reg) []Reg {
+	info := ins.Op.Info()
+	if info.ReadsRs {
+		dst = append(dst, ins.Rs)
+	}
+	if info.ReadsRt {
+		dst = append(dst, ins.Rt)
+	}
+	if info.ReadsHILO {
+		if ins.Op == MFHI {
+			dst = append(dst, HI)
+		} else {
+			dst = append(dst, LO)
+		}
+	}
+	if info.ReadsFCC {
+		dst = append(dst, FCC)
+	}
+	return dst
+}
+
+// String disassembles the instruction without symbolic labels.
+func (ins *Instruction) String() string {
+	return Disassemble(ins)
+}

@@ -1,0 +1,305 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Latencies(t *testing.T) {
+	// The paper's Table 1: Instruction Class Operation Times.
+	cases := []struct {
+		class OpClass
+		want  int
+	}{
+		{ClassIntALU, 1},
+		{ClassIntMul, 6},
+		{ClassIntDiv, 12},
+		{ClassFPAdd, 6},
+		{ClassFPMul, 6},
+		{ClassFPDiv, 12},
+		{ClassLoad, 1},
+		{ClassStore, 1},
+		{ClassSyscall, 1},
+	}
+	for _, c := range cases {
+		if got := c.class.Latency(); got != c.want {
+			t.Errorf("latency(%v) = %d, want %d", c.class, got, c.want)
+		}
+	}
+}
+
+func TestOpLatencies(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want int
+	}{
+		{ADD, 1}, {MULT, 6}, {DIV, 12}, {ADDD, 6}, {SUBD, 6},
+		{MULD, 6}, {DIVD, 12}, {LW, 1}, {SW, 1}, {SYSCALL, 1},
+	}
+	for _, c := range cases {
+		if got := c.op.Latency(); got != c.want {
+			t.Errorf("latency(%v) = %d, want %d", c.op, got, c.want)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{Zero, "$zero"}, {SP, "$sp"}, {RA, "$ra"}, {T0, "$t0"},
+		{F0, "$f0"}, {FPReg(31), "$f31"}, {HI, "$hi"}, {LO, "$lo"}, {FCC, "$fcc"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRegHelpers(t *testing.T) {
+	if !FPReg(3).IsFP() || FPReg(3).IsInt() {
+		t.Errorf("FPReg(3) misclassified")
+	}
+	if !IntReg(5).IsInt() || IntReg(5).IsFP() {
+		t.Errorf("IntReg(5) misclassified")
+	}
+	if HI.IsInt() || HI.IsFP() {
+		t.Errorf("HI should be neither int nor FP data register")
+	}
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { IntReg(32) })
+	mustPanic(func() { FPReg(-1) })
+}
+
+func TestLookupOp(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		got, ok := LookupOp(op.String())
+		if !ok || got != op {
+			t.Errorf("LookupOp(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := LookupOp("frobnicate"); ok {
+		t.Errorf("LookupOp accepted a bogus mnemonic")
+	}
+}
+
+func TestDestAndSources(t *testing.T) {
+	add := Instruction{Op: ADD, Rd: T0, Rs: T1, Rt: T2}
+	d, ok := add.Dest()
+	if !ok || d != T0 {
+		t.Errorf("ADD dest = %v, %v", d, ok)
+	}
+	srcs := add.SourceRegs(nil)
+	if len(srcs) != 2 || srcs[0] != T1 || srcs[1] != T2 {
+		t.Errorf("ADD sources = %v", srcs)
+	}
+
+	lw := Instruction{Op: LW, Rt: T0, Rs: SP, Imm: 4}
+	d, ok = lw.Dest()
+	if !ok || d != T0 {
+		t.Errorf("LW dest = %v, %v", d, ok)
+	}
+
+	sw := Instruction{Op: SW, Rt: T0, Rs: SP, Imm: 4}
+	if _, ok := sw.Dest(); ok {
+		t.Errorf("SW should not report a register destination")
+	}
+
+	mult := Instruction{Op: MULT, Rs: T0, Rt: T1}
+	d, ok = mult.Dest()
+	if !ok || d != LO {
+		t.Errorf("MULT dest = %v, %v", d, ok)
+	}
+
+	mfhi := Instruction{Op: MFHI, Rd: T3}
+	srcs = mfhi.SourceRegs(nil)
+	if len(srcs) != 1 || srcs[0] != HI {
+		t.Errorf("MFHI sources = %v", srcs)
+	}
+
+	ceq := Instruction{Op: CEQD, Rs: F0, Rt: F0 + 2}
+	d, ok = ceq.Dest()
+	if !ok || d != FCC {
+		t.Errorf("C.EQ.D dest = %v, %v", d, ok)
+	}
+
+	bc1t := Instruction{Op: BC1T, Imm: 8}
+	srcs = bc1t.SourceRegs(nil)
+	if len(srcs) != 1 || srcs[0] != FCC {
+		t.Errorf("BC1T sources = %v", srcs)
+	}
+}
+
+// sampleInstructions returns one representative instruction per opcode with
+// plausible operand values for round-trip testing.
+func sampleInstructions() []Instruction {
+	var out []Instruction
+	for op := Op(0); op < NumOps; op++ {
+		info := op.Info()
+		ins := Instruction{Op: op}
+		fp := info.Format == FormatFR
+		pick := func(n int) Reg {
+			if fp {
+				return FPReg(n)
+			}
+			return IntReg(n)
+		}
+		if info.ReadsRs {
+			ins.Rs = pick(4)
+		}
+		if info.ReadsRt || info.WritesRt {
+			ins.Rt = pick(5)
+		}
+		if info.WritesRd {
+			ins.Rd = pick(6)
+		}
+		if info.HasImm {
+			ins.Imm = -42
+		}
+		if info.HasShamt {
+			ins.Shamt = 7
+		}
+		switch op {
+		case J, JAL:
+			ins.Target = 0x123456
+		case MFC1:
+			ins.Rs = FPReg(8) // FP source, int dest
+		case MTC1:
+			ins.Rd = FPReg(9) // int source, FP dest
+		case LDC1, SDC1:
+			ins.Rt = FPReg(10)
+			ins.Rs = SP
+		case CVTDW, CVTWD:
+			ins.Rs = FPReg(2)
+			ins.Rd = FPReg(4)
+		}
+		out = append(out, ins)
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, ins := range sampleInstructions() {
+		word, err := Encode(&ins)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", &ins, err)
+			continue
+		}
+		got, err := Decode(word)
+		if err != nil {
+			t.Errorf("Decode(Encode(%v)) = %#x: %v", &ins, word, err)
+			continue
+		}
+		if got != ins {
+			t.Errorf("round trip %v: got %+v want %+v (word %#x)", ins.Op, got, ins, word)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []uint32{
+		0x3f<<26 | 1,      // unassigned major opcode
+		0x00<<26 | 1,      // SPECIAL with unknown function 1 (non-zero word)
+		0x01<<26 | 31<<16, // REGIMM with unknown rt
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestDecodeZeroIsNOP(t *testing.T) {
+	ins, err := Decode(0)
+	if err != nil || ins.Op != NOP {
+		t.Fatalf("Decode(0) = %v, %v; want NOP", ins, err)
+	}
+}
+
+// TestEncodeDecodeQuick fuzzes random R-format integer instructions through
+// the encoder and decoder.
+func TestEncodeDecodeQuick(t *testing.T) {
+	rOps := []Op{ADD, ADDU, SUB, SUBU, AND, OR, XOR, NOR, SLT, SLTU, SLLV, SRLV, SRAV}
+	f := func(opIdx, rd, rs, rt uint8) bool {
+		ins := Instruction{
+			Op: rOps[int(opIdx)%len(rOps)],
+			Rd: Reg(rd % 32), Rs: Reg(rs % 32), Rt: Reg(rt % 32),
+		}
+		w, err := Encode(&ins)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == ins
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeQuickImm fuzzes random I-format instructions, including
+// negative immediates.
+func TestEncodeDecodeQuickImm(t *testing.T) {
+	iOps := []Op{ADDI, ADDIU, SLTI, SLTIU, ANDI, ORI, XORI, LW, SW, BEQ, BNE}
+	f := func(opIdx, rs, rt uint8, imm int16) bool {
+		ins := Instruction{
+			Op: iOps[int(opIdx)%len(iOps)],
+			Rs: Reg(rs % 32), Rt: Reg(rt % 32), Imm: int32(imm),
+		}
+		w, err := Encode(&ins)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == ins
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisassembleForms(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: ADD, Rd: T0, Rs: T1, Rt: T2}, "add $t0, $t1, $t2"},
+		{Instruction{Op: ADDI, Rt: T0, Rs: T1, Imm: -4}, "addi $t0, $t1, -4"},
+		{Instruction{Op: LW, Rt: T0, Rs: SP, Imm: 8}, "lw $t0, 8($sp)"},
+		{Instruction{Op: SW, Rt: T0, Rs: SP, Imm: -12}, "sw $t0, -12($sp)"},
+		{Instruction{Op: SLL, Rd: T0, Rt: T1, Shamt: 3}, "sll $t0, $t1, 3"},
+		{Instruction{Op: LUI, Rt: T0, Imm: 100}, "lui $t0, 100"},
+		{Instruction{Op: BEQ, Rs: T0, Rt: T1, Imm: 16}, "beq $t0, $t1, 16"},
+		{Instruction{Op: BLEZ, Rs: T0, Imm: -8}, "blez $t0, -8"},
+		{Instruction{Op: J, Target: 0x100}, "j 0x400"},
+		{Instruction{Op: JR, Rs: RA}, "jr $ra"},
+		{Instruction{Op: JALR, Rd: RA, Rs: T9}, "jalr $ra, $t9"},
+		{Instruction{Op: SYSCALL}, "syscall"},
+		{Instruction{Op: NOP}, "nop"},
+		{Instruction{Op: MULT, Rs: T0, Rt: T1}, "mult $t0, $t1"},
+		{Instruction{Op: MFLO, Rd: T2}, "mflo $t2"},
+		{Instruction{Op: ADDD, Rd: FPReg(0), Rs: FPReg(2), Rt: FPReg(4)}, "add.d $f0, $f2, $f4"},
+		{Instruction{Op: LDC1, Rt: FPReg(2), Rs: SP, Imm: 16}, "ldc1 $f2, 16($sp)"},
+		{Instruction{Op: MTC1, Rt: T0, Rd: FPReg(2)}, "mtc1 $t0, $f2"},
+		{Instruction{Op: MFC1, Rt: T0, Rs: FPReg(2)}, "mfc1 $t0, $f2"},
+		{Instruction{Op: BC1T, Imm: 4}, "bc1t 4"},
+		{Instruction{Op: CEQD, Rs: FPReg(0), Rt: FPReg(2)}, "c.eq.d $f0, $f2"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(&c.ins); got != c.want {
+			t.Errorf("Disassemble(%v) = %q, want %q", c.ins.Op, got, c.want)
+		}
+	}
+}

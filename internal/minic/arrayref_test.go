@@ -1,0 +1,228 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// Array-reference parameters: C's pointer-decay calling convention.
+
+func TestArrayRefBasics(t *testing.T) {
+	got := run(t, `
+int sum(int a[], int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    return s;
+}
+void fill(int a[], int n, int base) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { a[i] = base + i; }
+}
+int g[10];
+int main() {
+    fill(g, 10, 5);
+    print_int(sum(g, 10));   // 5+6+...+14 = 95
+    print_char(10);
+    int local[6];
+    fill(local, 6, 100);
+    print_int(sum(local, 6)); // 100+...+105 = 615
+    print_char(10);
+    return 0;
+}`)
+	if got != "95\n615\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestArrayRefMutationVisible(t *testing.T) {
+	// Reference semantics: callee writes are seen by the caller.
+	got := run(t, `
+void double_all(int a[], int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { a[i] = a[i] * 2; }
+}
+int main() {
+    int v[4];
+    v[0] = 1; v[1] = 2; v[2] = 3; v[3] = 4;
+    double_all(v, 4);
+    print_int(v[0] + v[1] + v[2] + v[3]);  // 20
+    print_char(10);
+    return 0;
+}`)
+	if got != "20\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestArrayRefMultiDim(t *testing.T) {
+	got := run(t, `
+double trace3(double m[][3]) {
+    return m[0][0] + m[1][1] + m[2][2];
+}
+void scale3(double m[][3], double k) {
+    int i; int j;
+    for (i = 0; i < 3; i = i + 1) {
+        for (j = 0; j < 3; j = j + 1) { m[i][j] = m[i][j] * k; }
+    }
+}
+double mat[3][3];
+int main() {
+    int i; int j;
+    for (i = 0; i < 3; i = i + 1) {
+        for (j = 0; j < 3; j = j + 1) { mat[i][j] = i * 3 + j; }
+    }
+    print_double(trace3(mat));     // 0 + 4 + 8 = 12
+    print_char(32);
+    scale3(mat, 0.5);
+    print_double(trace3(mat));     // 6
+    print_char(10);
+    return 0;
+}`)
+	if got != "12 6\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestArrayRefForwarding(t *testing.T) {
+	// A reference parameter can itself be passed on.
+	got := run(t, `
+int head(int a[]) { return a[0]; }
+int second_level(int a[]) { return head(a) + a[1]; }
+int main() {
+    int v[2];
+    v[0] = 40;
+    v[1] = 2;
+    print_int(second_level(v));
+    print_char(10);
+    return 0;
+}`)
+	if got != "42\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestArrayRefQuicksort(t *testing.T) {
+	// Recursion + two reference arrays: an in-place quicksort.
+	got := run(t, `
+void qsort_range(int a[], int lo, int hi) {
+    if (lo >= hi) { return; }
+    int pivot = a[hi];
+    int i = lo - 1;
+    int j;
+    for (j = lo; j < hi; j = j + 1) {
+        if (a[j] < pivot) {
+            i = i + 1;
+            int t = a[i];
+            a[i] = a[j];
+            a[j] = t;
+        }
+    }
+    int t = a[i+1];
+    a[i+1] = a[hi];
+    a[hi] = t;
+    qsort_range(a, lo, i);
+    qsort_range(a, i + 2, hi);
+}
+int data[16];
+int main() {
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        data[i] = (i * 7 + 3) % 16;
+    }
+    qsort_range(data, 0, 15);
+    int sorted = 1;
+    for (i = 1; i < 16; i = i + 1) {
+        if (data[i-1] > data[i]) { sorted = 0; }
+    }
+    print_int(sorted); print_char(32);
+    print_int(data[0]); print_char(32);
+    print_int(data[15]);
+    print_char(10);
+    return 0;
+}`)
+	if got != "1 0 15\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestArrayRefDoubleElems(t *testing.T) {
+	got := run(t, `
+double dot(double x[], double y[], int n) {
+    double s = 0.0;
+    int i;
+    for (i = 0; i < n; i = i + 1) { s = s + x[i] * y[i]; }
+    return s;
+}
+int main() {
+    double a[4];
+    double b[4];
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        a[i] = i + 1;
+        b[i] = 0.5;
+    }
+    print_double(dot(a, b, 4));   // (1+2+3+4)*0.5 = 5
+    print_char(10);
+    return 0;
+}`)
+	if got != "5\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestArrayRefErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"scalar arg", "int f(int a[]) { return a[0]; } int main() { return f(3); }",
+			"must be an array name"},
+		{"kind mismatch", "int f(int a[]) { return a[0]; } double d[3]; int main() { return f(d); }",
+			"wants"},
+		{"dim mismatch", "int f(int a[][4]) { return a[0][0]; } int g[3][5]; int main() { return f(g); }",
+			"inner dimensions"},
+		{"rank mismatch", "int f(int a[]) { return a[0]; } int g[3][5]; int main() { return f(g); }",
+			"wants"},
+		{"not an array", "int f(int a[]) { return a[0]; } int main() { int x = 1; return f(x); }",
+			"is not an array"},
+		{"value array param", "int f(int a[3]) { return a[0]; } int main() { return 0; }",
+			"empty first dimension"},
+		{"missing first dim ok, bad inner", "int f(int a[][0]) { return 0; } int main() { return 0; }",
+			"bad array dimension"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestArrayRefManyArgsStackFallback(t *testing.T) {
+	// More than four arguments: references travel through the stack
+	// calling convention too.
+	got := run(t, `
+int combine(int a[], int b[], int n, int scale, int offset) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) { s = s + a[i] * scale + b[i] + offset; }
+    return s;
+}
+int x[3];
+int y[3];
+int main() {
+    int i;
+    for (i = 0; i < 3; i = i + 1) { x[i] = i; y[i] = 10 * i; }
+    print_int(combine(x, y, 3, 2, 1));  // sum(2i + 10i + 1) = 12*3+3 = 39
+    print_char(10);
+    return 0;
+}`)
+	if got != "39\n" {
+		t.Errorf("output = %q", got)
+	}
+}

@@ -1,0 +1,305 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind is the scalar base kind of a MiniC type.
+type TypeKind uint8
+
+const (
+	TypeVoid TypeKind = iota
+	TypeInt
+	TypeDouble
+)
+
+// Type describes a MiniC type: a scalar kind plus optional array
+// dimensions. Arrays are rectangular with compile-time-constant dimensions
+// and decay to their element type on full indexing; partial indexing and
+// pointers are not in the language.
+type Type struct {
+	Kind TypeKind
+	Dims []int
+}
+
+// IsArray reports whether the type has array dimensions.
+func (t Type) IsArray() bool { return len(t.Dims) > 0 }
+
+// IsArrayRef reports whether the type is an array reference (a parameter
+// declared with an empty first dimension, `int a[]` or `double m[][20]`):
+// the callee receives the address of the caller's array, C's pointer-decay
+// semantics.
+func (t Type) IsArrayRef() bool { return len(t.Dims) > 0 && t.Dims[0] == 0 }
+
+// IsScalar reports whether the type is a non-void scalar.
+func (t Type) IsScalar() bool { return !t.IsArray() && t.Kind != TypeVoid }
+
+// Elem returns the scalar element type of an array type.
+func (t Type) Elem() Type { return Type{Kind: t.Kind} }
+
+// ElemSize returns the storage size of one element in bytes.
+func (t Type) ElemSize() int {
+	if t.Kind == TypeDouble {
+		return 8
+	}
+	return 4
+}
+
+// Size returns the total storage size in bytes.
+func (t Type) Size() int {
+	n := t.ElemSize()
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+func (t Type) String() string {
+	var b strings.Builder
+	switch t.Kind {
+	case TypeVoid:
+		b.WriteString("void")
+	case TypeInt:
+		b.WriteString("int")
+	case TypeDouble:
+		b.WriteString("double")
+	}
+	for _, d := range t.Dims {
+		fmt.Fprintf(&b, "[%d]", d)
+	}
+	return b.String()
+}
+
+// symKind distinguishes storage classes.
+type symKind uint8
+
+const (
+	symGlobal symKind = iota
+	symLocal
+	symParam
+)
+
+// Symbol is a resolved variable.
+type Symbol struct {
+	Name string
+	Type Type
+	Kind symKind
+
+	// Label is the data-segment label for globals.
+	Label string
+	// Offset is the frame-pointer-relative offset for locals and
+	// parameters (assigned during code generation).
+	Offset int32
+}
+
+// Program is a parsed and (after analyze) type-checked compilation unit.
+type Program struct {
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+
+	funcsByName map[string]*FuncDecl
+}
+
+// VarDecl declares a variable; Init is non-nil only for scalars with
+// initializers.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr
+	Line int
+
+	Sym *Symbol
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []*VarDecl
+	Body   *Block
+	Line   int
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// AssignStmt stores Value into the lvalue Target (an *Ident or *IndexExpr).
+type AssignStmt struct {
+	Target Expr
+	Value  Expr
+	Line   int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop; Init and Post may be nil.
+type ForStmt struct {
+	Init Stmt // AssignStmt or DeclStmt or ExprStmt
+	Cond Expr // may be nil (infinite)
+	Post Stmt
+	Body Stmt
+}
+
+// ReturnStmt returns Value (nil for void returns).
+type ReturnStmt struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates X for its side effects (calls).
+type ExprStmt struct {
+	X Expr
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Line int }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is implemented by all expression nodes. Type returns the checked
+// type (valid after analyze).
+type Expr interface {
+	exprNode()
+	Type() Type
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Line  int
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Value float64
+	Line  int
+}
+
+// StrLit is a string literal; allowed only as the argument of print_str.
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Line int
+	Sym  *Symbol
+}
+
+// IndexExpr is a fully indexed array access: base[e1][e2]...
+type IndexExpr struct {
+	Base    *Ident
+	Indices []Expr
+	Line    int
+}
+
+// BinaryExpr is a binary operation; Op is the operator token kind.
+type BinaryExpr struct {
+	Op   tokKind
+	L, R Expr
+	Line int
+
+	typ Type
+}
+
+// UnaryExpr is unary minus or logical not.
+type UnaryExpr struct {
+	Op   tokKind
+	X    Expr
+	Line int
+
+	typ Type
+}
+
+// CallExpr is a function or builtin call.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+
+	fn  *FuncDecl // nil for builtins
+	typ Type
+}
+
+// CastExpr converts between int and double; inserted by the type checker.
+type CastExpr struct {
+	X  Expr
+	To Type
+}
+
+// ArrayRefExpr passes an array's address as a call argument; inserted by
+// the type checker when an argument binds to an array-reference parameter.
+type ArrayRefExpr struct {
+	Base *Ident
+	To   Type // the parameter's reference type
+}
+
+func (*IntLit) exprNode()       {}
+func (*FloatLit) exprNode()     {}
+func (*StrLit) exprNode()       {}
+func (*Ident) exprNode()        {}
+func (*IndexExpr) exprNode()    {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*CastExpr) exprNode()     {}
+func (*ArrayRefExpr) exprNode() {}
+
+// Type implementations.
+
+func (*IntLit) Type() Type   { return Type{Kind: TypeInt} }
+func (*FloatLit) Type() Type { return Type{Kind: TypeDouble} }
+func (*StrLit) Type() Type   { return Type{Kind: TypeVoid} }
+func (e *Ident) Type() Type {
+	if e.Sym == nil {
+		return Type{}
+	}
+	return e.Sym.Type
+}
+func (e *IndexExpr) Type() Type {
+	if e.Base.Sym == nil {
+		return Type{}
+	}
+	return e.Base.Sym.Type.Elem()
+}
+func (e *BinaryExpr) Type() Type   { return e.typ }
+func (e *UnaryExpr) Type() Type    { return e.typ }
+func (e *CallExpr) Type() Type     { return e.typ }
+func (e *CastExpr) Type() Type     { return e.To }
+func (e *ArrayRefExpr) Type() Type { return e.To }

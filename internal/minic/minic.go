@@ -1,0 +1,80 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+
+	"paragraph/internal/asm"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Unroll applies loop unrolling by the given factor to eligible
+	// counted loops; 0 or 1 disables it. Used by the E7 ablation.
+	Unroll int
+	// NoFold disables constant folding (for compiler-effect studies).
+	NoFold bool
+}
+
+// Compile compiles MiniC source to assembly text for package asm.
+func Compile(src string, opts Options) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if err := analyze(prog); err != nil {
+		return "", err
+	}
+	main, ok := prog.funcsByName["main"]
+	if !ok {
+		return "", fmt.Errorf("minic: no main function")
+	}
+	if len(main.Params) != 0 {
+		return "", errf(main.Line, "main must take no parameters")
+	}
+	if !opts.NoFold {
+		foldProgram(prog)
+	}
+	if opts.Unroll > 1 {
+		unrollProgram(prog, opts.Unroll)
+		if !opts.NoFold {
+			foldProgram(prog)
+		}
+	}
+	return newCodegen(prog, opts).generate()
+}
+
+// Build compiles MiniC source all the way to a loadable program image.
+func Build(src string, opts Options) (*asm.Program, error) {
+	asmText, err := Compile(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := asm.Assemble(asmText)
+	if err != nil {
+		// An assembly error here is a compiler bug; include context.
+		return nil, fmt.Errorf("minic: internal error assembling generated code: %w\n%s",
+			err, numberLines(asmText))
+	}
+	return p, nil
+}
+
+// funcLabel maps a MiniC function name to its assembly label. main keeps
+// its name (the assembler uses it as the entry point); everything else is
+// prefixed to avoid collisions with generated data labels.
+func funcLabel(name string) string {
+	if name == "main" {
+		return "main"
+	}
+	return "f_" + name
+}
+
+// numberLines prefixes each line with its number, for compiler-bug reports.
+func numberLines(s string) string {
+	lines := strings.Split(s, "\n")
+	var b strings.Builder
+	for i, l := range lines {
+		fmt.Fprintf(&b, "%4d| %s\n", i+1, l)
+	}
+	return b.String()
+}

@@ -1,0 +1,733 @@
+package minic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paragraph/internal/cpu"
+)
+
+// runProgram compiles, assembles and executes src, returning its output.
+func runProgram(t *testing.T, src string, opts Options) string {
+	t.Helper()
+	prog, err := Build(src, opts)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var out bytes.Buffer
+	c, err := cpu.New(prog, cpu.WithStdout(&out))
+	if err != nil {
+		t.Fatalf("cpu: %v", err)
+	}
+	if _, err := c.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v\noutput so far: %q", err, out.String())
+	}
+	return out.String()
+}
+
+func run(t *testing.T, src string) string {
+	t.Helper()
+	return runProgram(t, src, Options{})
+}
+
+func TestHelloArithmetic(t *testing.T) {
+	got := run(t, `
+int main() {
+    int a = 6;
+    int b = 7;
+    print_int(a * b);
+    print_char(10);
+    return 0;
+}`)
+	if got != "42\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestIntOperators(t *testing.T) {
+	got := run(t, `
+int main() {
+    print_int(17 / 5); print_char(32);
+    print_int(17 % 5); print_char(32);
+    int x = 17;
+    int y = 5;
+    print_int(x / y); print_char(32);
+    print_int(x % y); print_char(32);
+    print_int(-x / y); print_char(32);
+    print_int(x & y); print_char(32);
+    print_int(x | y); print_char(32);
+    print_int(x ^ y); print_char(32);
+    print_int(x << 2); print_char(32);
+    print_int(-x >> 2); print_char(32);
+    print_int(1 << 20);
+    print_char(10);
+    return 0;
+}`)
+	want := "3 2 3 2 -3 1 21 20 68 -5 1048576\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	got := run(t, `
+int main() {
+    int a = 3;
+    int b = 7;
+    print_int(a < b); print_int(a > b); print_int(a <= b);
+    print_int(a >= b); print_int(a == b); print_int(a != b);
+    print_int(b <= b); print_int(b >= b); print_int(b == b);
+    print_char(10);
+    return 0;
+}`)
+	// a<b a>b a<=b a>=b a==b a!=b b<=b b>=b b==b
+	if got != "101001111\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestDoubleArithmetic(t *testing.T) {
+	got := run(t, `
+int main() {
+    double a = 1.5;
+    double b = 0.25;
+    print_double(a + b); print_char(32);
+    print_double(a - b); print_char(32);
+    print_double(a * b); print_char(32);
+    print_double(a / b); print_char(32);
+    print_double(-a);
+    print_char(10);
+    return 0;
+}`)
+	want := "1.75 1.25 0.375 6 -1.5\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestDoubleComparisons(t *testing.T) {
+	got := run(t, `
+int main() {
+    double a = 2.5;
+    double b = 2.5;
+    double c = 3.0;
+    print_int(a == b); print_int(a != b); print_int(a < c);
+    print_int(c <= a); print_int(c > a); print_int(a >= b);
+    print_char(10);
+    return 0;
+}`)
+	if got != "101011\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestMixedTypePromotion(t *testing.T) {
+	got := run(t, `
+int main() {
+    int n = 3;
+    double x = 2.5;
+    double y = n * x;       // int promoted to double
+    print_double(y); print_char(32);
+    int trunc = x * 2.0;    // 5.0 truncates to 5
+    print_int(trunc); print_char(32);
+    print_int(n < x);       // mixed comparison
+    print_char(10);
+    return 0;
+}`)
+	want := "7.5 5 0\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	got := run(t, `
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 1; i <= 10; i = i + 1) {
+        if (i % 2 == 0) {
+            sum = sum + i;
+        } else {
+            sum = sum - 1;
+        }
+    }
+    print_int(sum);       // 2+4+6+8+10 - 5 = 25
+    print_char(10);
+    int n = 0;
+    while (n * n < 50) {
+        n = n + 1;
+    }
+    print_int(n);          // 8
+    print_char(10);
+    return 0;
+}`)
+	if got != "25\n8\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	got := run(t, `
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        if (i == 10) { break; }
+        if (i % 2 == 1) { continue; }
+        sum = sum + i;     // 0+2+4+6+8 = 20
+    }
+    print_int(sum);
+    print_char(10);
+    return 0;
+}`)
+	if got != "20\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestShortCircuitConditions(t *testing.T) {
+	// Division guarded by && must not fault when the guard is false.
+	got := run(t, `
+int main() {
+    int zero = 0;
+    int x = 10;
+    if (zero != 0 && x / zero > 1) {
+        print_str("bad");
+    } else {
+        print_str("ok");
+    }
+    if (x > 5 || x / zero > 1) {
+        print_str(" ok2");
+    }
+    print_char(10);
+    return 0;
+}`)
+	if got != "ok ok2\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestLogicalValues(t *testing.T) {
+	got := run(t, `
+int main() {
+    int a = 5;
+    int b = 0;
+    print_int(a && b); print_int(a || b); print_int(!a); print_int(!b);
+    print_int(a && 3); print_int(b || 0);
+    print_char(10);
+    return 0;
+}`)
+	// a&&b a||b !a !b a&&3 b||0
+	if got != "010110\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestGlobalVariables(t *testing.T) {
+	got := run(t, `
+int counter = 100;
+double scale = 2.5;
+int arr[10];
+
+void bump() { counter = counter + 1; }
+
+int main() {
+    bump();
+    bump();
+    print_int(counter); print_char(32);
+    print_double(scale); print_char(32);
+    int i;
+    for (i = 0; i < 10; i = i + 1) { arr[i] = i * i; }
+    print_int(arr[7]);
+    print_char(10);
+    return 0;
+}`)
+	want := "102 2.5 49\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestLocalArrays(t *testing.T) {
+	got := run(t, `
+int main() {
+    int a[20];
+    double d[5];
+    int i;
+    for (i = 0; i < 20; i = i + 1) { a[i] = 2 * i; }
+    for (i = 0; i < 5; i = i + 1) { d[i] = a[i] * 0.5; }
+    print_int(a[19]); print_char(32);
+    print_double(d[4]);
+    print_char(10);
+    return 0;
+}`)
+	if got != "38 4\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	got := run(t, `
+int m[4][5];
+double g[3][3][2];
+
+int main() {
+    int i;
+    int j;
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 5; j = j + 1) {
+            m[i][j] = 10 * i + j;
+        }
+    }
+    print_int(m[3][4]); print_char(32);
+    print_int(m[2][1]); print_char(32);
+    g[2][1][1] = 6.25;
+    print_double(g[2][1][1]); print_char(32);
+    print_double(g[0][0][0]);
+    print_char(10);
+    return 0;
+}`)
+	want := "34 21 6.25 0\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	got := run(t, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+
+double avg(double a, double b) { return (a + b) / 2.0; }
+
+int main() {
+    print_int(fib(15)); print_char(32);
+    print_int(gcd(462, 1071)); print_char(32);
+    print_double(avg(3.0, 4.5));
+    print_char(10);
+    return 0;
+}`)
+	want := "610 21 3.75\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestManyArguments(t *testing.T) {
+	got := run(t, `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + b + c + d + e + f + g + h;
+}
+double wsum(double x, int k, double y) { return x * k + y; }
+
+int main() {
+    print_int(sum8(1, 2, 3, 4, 5, 6, 7, 8)); print_char(32);
+    print_double(wsum(1.5, 4, 0.25));
+    print_char(10);
+    return 0;
+}`)
+	want := "36 6.25\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestCallInExpression(t *testing.T) {
+	// Calls nested inside expressions force temporaries to be
+	// caller-saved across the call.
+	got := run(t, `
+int id(int x) { return x; }
+int main() {
+    int a = 100;
+    print_int(a + id(20) + a + id(3));
+    print_char(10);
+    return 0;
+}`)
+	if got != "223\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestDeepExpressionSpills(t *testing.T) {
+	// Expression depth exceeds the 10 integer temporaries, forcing
+	// spills: right-nested additions evaluate left operand first, so the
+	// virtual stack holds every intermediate.
+	got := run(t, `
+int main() {
+    int x = 1;
+    print_int(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+x)))))))))))))))))));
+    print_char(10);
+    return 0;
+}`)
+	if got != "20\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestDeepFPExpressionSpills(t *testing.T) {
+	got := run(t, `
+int main() {
+    double x = 0.5;
+    print_double(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+(x+x))))))))))))))))))))));
+    print_char(10);
+    return 0;
+}`)
+	if got != "11.5\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	got := run(t, `
+int main() {
+    int i = 7;
+    double d = i / 2;       // int division, then widen: 3.0
+    double e = i / 2.0;     // promoted division: 3.5
+    print_double(d); print_char(32);
+    print_double(e); print_char(32);
+    int back = e * 2.0;     // 7
+    print_int(back);
+    print_char(10);
+    return 0;
+}`)
+	want := "3 3.5 7\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	got := run(t, `
+int a = 42;
+int b = -7;
+double pi = 3.25;
+double c = 2;     // int literal widened at compile time
+
+int main() {
+    print_int(a); print_char(32);
+    print_int(b); print_char(32);
+    print_double(pi); print_char(32);
+    print_double(c);
+    print_char(10);
+    return 0;
+}`)
+	want := "42 -7 3.25 2\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	got := run(t, `
+int total = 0;
+void add(int k) {
+    total = total + k;
+    if (total > 100) { return; }
+    total = total * 2;
+}
+int main() {
+    add(10);     // 10 -> 20
+    add(60);     // 80 -> 160
+    add(5);      // 165, early return
+    print_int(total);
+    print_char(10);
+    return 0;
+}`)
+	if got != "165\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestNewtonSqrtDouble(t *testing.T) {
+	got := run(t, `
+double sqrt_newton(double x) {
+    double guess = x / 2.0;
+    int i;
+    for (i = 0; i < 30; i = i + 1) {
+        guess = (guess + x / guess) / 2.0;
+    }
+    return guess;
+}
+int main() {
+    print_double(sqrt_newton(2.0) * sqrt_newton(2.0));
+    print_char(10);
+    return 0;
+}`)
+	if !strings.HasPrefix(got, "2\n") && !strings.HasPrefix(got, "2.0000") && !strings.HasPrefix(got, "1.9999") {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestMatrixMultiplySmall(t *testing.T) {
+	got := run(t, `
+double a[4][4];
+double b[4][4];
+double c[4][4];
+int main() {
+    int i; int j; int k;
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 4; j = j + 1) {
+            a[i][j] = i + j;
+            b[i][j] = i - j;
+            c[i][j] = 0.0;
+        }
+    }
+    for (i = 0; i < 4; i = i + 1) {
+        for (j = 0; j < 4; j = j + 1) {
+            for (k = 0; k < 4; k = k + 1) {
+                c[i][j] = c[i][j] + a[i][k] * b[k][j];
+            }
+        }
+    }
+    print_double(c[2][3]); print_char(32);
+    print_double(c[0][0]); print_char(32);
+    print_double(c[3][1]);
+    print_char(10);
+    return 0;
+}`)
+	// c[i][j] = sum_k (i+k)(k-j): c[2][3] = -6-6-4+0 = -16,
+	// c[0][0] = 0+1+4+9 = 14, c[3][1] = -3+0+5+12 = 14.
+	want := "-16 14 14\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestUnrolledLoopSameResult(t *testing.T) {
+	src := `
+int acc = 0;
+int main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        acc = acc + i * i;
+    }
+    print_int(acc);
+    print_char(10);
+    return 0;
+}`
+	plain := run(t, src)
+	unrolled := runProgram(t, src, Options{Unroll: 4})
+	if plain != unrolled {
+		t.Errorf("unrolled output %q != plain %q", unrolled, plain)
+	}
+	if plain != "85344\n" {
+		t.Errorf("output = %q", plain)
+	}
+}
+
+func TestUnrollReducesDynamicBranches(t *testing.T) {
+	src := `
+int acc = 0;
+int main() {
+    int i;
+    for (i = 0; i < 400; i = i + 1) {
+        acc = acc + i;
+    }
+    print_int(acc);
+    print_char(10);
+    return 0;
+}`
+	count := func(opts Options) uint64 {
+		prog, err := Build(src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cpu.New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(10_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.ICount()
+	}
+	plain := count(Options{})
+	unrolled := count(Options{Unroll: 8})
+	if unrolled >= plain {
+		t.Errorf("unrolled executes %d instructions, plain %d; expected fewer", unrolled, plain)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no main", "int f() { return 0; }", "no main function"},
+		{"undefined var", "int main() { return x; }", "undefined variable"},
+		{"undefined func", "int main() { return f(); }", "undefined function"},
+		{"type mismatch mod", "int main() { double d = 1.0; return d % 2; }", "needs int operands"},
+		{"arity", "int f(int a) { return a; } int main() { return f(); }", "takes 1 argument"},
+		{"array index count", "int a[2][2]; int main() { return a[0]; }", "2 dimensions"},
+		{"not array", "int main() { int x = 0; return x[0]; }", "not an array"},
+		{"void value", "void f() {} int main() { return f(); }", "void"},
+		{"break outside", "int main() { break; return 0; }", "break outside loop"},
+		{"redeclare", "int main() { int x = 1; int x = 2; return x; }", "redeclared"},
+		{"assign to array", "int a[3]; int main() { a = 0; return 0; }", "must be indexed"},
+		{"string misuse", `int main() { int x = "hi"; return x; }`, "string literal"},
+		{"bad char", "int main() { return 0; } @", "unexpected character"},
+		{"unterminated comment", "/* int main() { }", "unterminated block comment"},
+		{"double condition", "int main() { double d = 1.0; if (d) { } return 0; }", "condition must be int"},
+		{"non-const global", "int g = 1 + f(); int f() { return 2; } int main() { return g; }", "must be a constant"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(c.src, Options{})
+			if err == nil {
+				t.Fatalf("compiled, want error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	// Folding must preserve semantics; compare folded and unfolded runs.
+	src := `
+int main() {
+    print_int(2 + 3 * 4 - 10 / 2);       // 9
+    print_char(32);
+    print_int((1 << 10) % 1000);         // 24
+    print_char(32);
+    print_double(1.5 * 4.0 + 0.25);      // 6.25
+    print_char(32);
+    print_int(3 < 4);                    // 1
+    print_char(32);
+    print_int(-(-5));                    // 5
+    print_char(10);
+    return 0;
+}`
+	folded := runProgram(t, src, Options{})
+	unfolded := runProgram(t, src, Options{NoFold: true})
+	if folded != unfolded {
+		t.Errorf("folded %q != unfolded %q", folded, unfolded)
+	}
+	if folded != "9 24 6.25 1 5\n" {
+		t.Errorf("output = %q", folded)
+	}
+}
+
+func TestFoldingShrinksCode(t *testing.T) {
+	src := "int main() { return 1 + 2 * 3 + 4 * 5 + 6 * 7; }"
+	folded, err := Compile(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfolded, err := Compile(src, Options{NoFold: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folded) >= len(unfolded) {
+		t.Errorf("folded code (%d bytes) not smaller than unfolded (%d)", len(folded), len(unfolded))
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	_, err := Compile(`
+int main() {
+    double big[100][100];   // 80 KB frame
+    big[0][0] = 1.0;
+    return 0;
+}`, Options{})
+	if err == nil || !strings.Contains(err.Error(), "stack frame") {
+		t.Fatalf("err = %v, want stack-frame error", err)
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := run(t, `
+// line comment
+int main() {
+    /* block
+       comment */
+    int x = 5; // trailing
+    print_int(x /* inline */ + 1);
+    print_char(10);
+    return 0;
+}`)
+	if got != "6\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestHexLiterals(t *testing.T) {
+	got := run(t, `
+int main() {
+    print_int(0xff); print_char(32);
+    print_int(0x10 * 2);
+    print_char(10);
+    return 0;
+}`)
+	if got != "255 32\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestFloatLiteralForms(t *testing.T) {
+	got := run(t, `
+int main() {
+    print_double(1.0e3); print_char(32);
+    print_double(2.5e-1); print_char(32);
+    print_double(1e2);
+    print_char(10);
+    return 0;
+}`)
+	if got != "1000 0.25 100\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	got := run(t, `
+int main() {
+    int i = 0;
+    int j = 20;
+    while (i < 10 && j > 12) {
+        i = i + 1;
+        j = j - 1;
+    }
+    print_int(i); print_char(32); print_int(j);
+    print_char(10);
+    return 0;
+}`)
+	if got != "8 12\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestGlobalsAndLocalsShadowing(t *testing.T) {
+	got := run(t, `
+int x = 1;
+int main() {
+    print_int(x);
+    {
+        int x = 2;
+        print_int(x);
+        {
+            int x = 3;
+            print_int(x);
+        }
+        print_int(x);
+    }
+    print_int(x);
+    print_char(10);
+    return 0;
+}`)
+	if got != "12321\n" {
+		t.Errorf("output = %q", got)
+	}
+}

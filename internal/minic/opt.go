@@ -1,0 +1,447 @@
+package minic
+
+// Optimization passes. Constant folding runs by default (the MIPS compilers
+// the paper used ran at -O3); loop unrolling is opt-in via Options.Unroll,
+// reproducing the paper's observation that compiler loop unrolling
+// "decreases the recurrences created by loop counters, thus increasing the
+// parallelism in the program" — a second-order effect the ablation
+// experiment E7 measures.
+
+// foldProgram folds constants in every function body and global
+// initializer.
+func foldProgram(p *Program) {
+	for _, g := range p.Globals {
+		if g.Init != nil {
+			g.Init = foldExpr(g.Init)
+		}
+	}
+	for _, fn := range p.Funcs {
+		foldStmt(fn.Body)
+	}
+}
+
+func foldStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		for _, inner := range st.Stmts {
+			foldStmt(inner)
+		}
+	case *DeclStmt:
+		if st.Decl.Init != nil {
+			st.Decl.Init = foldExpr(st.Decl.Init)
+		}
+	case *AssignStmt:
+		st.Target = foldExpr(st.Target)
+		st.Value = foldExpr(st.Value)
+	case *IfStmt:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Then)
+		if st.Else != nil {
+			foldStmt(st.Else)
+		}
+	case *WhileStmt:
+		st.Cond = foldExpr(st.Cond)
+		foldStmt(st.Body)
+	case *ForStmt:
+		if st.Init != nil {
+			foldStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			foldStmt(st.Post)
+		}
+		foldStmt(st.Body)
+	case *ReturnStmt:
+		if st.Value != nil {
+			st.Value = foldExpr(st.Value)
+		}
+	case *ExprStmt:
+		st.X = foldExpr(st.X)
+	}
+}
+
+func foldExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case *IndexExpr:
+		for i := range v.Indices {
+			v.Indices[i] = foldExpr(v.Indices[i])
+		}
+		return v
+	case *CallExpr:
+		for i := range v.Args {
+			v.Args[i] = foldExpr(v.Args[i])
+		}
+		return v
+	case *CastExpr:
+		v.X = foldExpr(v.X)
+		switch x := v.X.(type) {
+		case *IntLit:
+			if v.To.Kind == TypeDouble {
+				return &FloatLit{Value: float64(x.Value), Line: x.Line}
+			}
+			return x
+		case *FloatLit:
+			if v.To.Kind == TypeInt {
+				return &IntLit{Value: int64(int32(x.Value)), Line: x.Line}
+			}
+			return x
+		}
+		return v
+	case *UnaryExpr:
+		v.X = foldExpr(v.X)
+		switch x := v.X.(type) {
+		case *IntLit:
+			switch v.Op {
+			case tokMinus:
+				return &IntLit{Value: -x.Value, Line: x.Line}
+			case tokNot:
+				return &IntLit{Value: b2i(x.Value == 0), Line: x.Line}
+			}
+		case *FloatLit:
+			if v.Op == tokMinus {
+				return &FloatLit{Value: -x.Value, Line: x.Line}
+			}
+		}
+		return v
+	case *BinaryExpr:
+		v.L = foldExpr(v.L)
+		v.R = foldExpr(v.R)
+		li, lInt := v.L.(*IntLit)
+		ri, rInt := v.R.(*IntLit)
+		if lInt && rInt {
+			if out, ok := foldIntOp(v.Op, li.Value, ri.Value); ok {
+				return &IntLit{Value: out, Line: v.Line}
+			}
+			return v
+		}
+		lf, lFl := v.L.(*FloatLit)
+		rf, rFl := v.R.(*FloatLit)
+		if lFl && rFl {
+			if out, isBool, ok := foldFloatOp(v.Op, lf.Value, rf.Value); ok {
+				if isBool {
+					return &IntLit{Value: out.(int64), Line: v.Line}
+				}
+				return &FloatLit{Value: out.(float64), Line: v.Line}
+			}
+		}
+		return v
+	}
+	return e
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// foldIntOp evaluates an int binary operator with 32-bit wraparound
+// semantics matching the generated code.
+func foldIntOp(op tokKind, a, b int64) (int64, bool) {
+	x, y := int32(a), int32(b)
+	switch op {
+	case tokPlus:
+		return int64(x + y), true
+	case tokMinus:
+		return int64(x - y), true
+	case tokStar:
+		return int64(x * y), true
+	case tokSlash:
+		if y == 0 {
+			return 0, false // leave for runtime semantics
+		}
+		return int64(x / y), true
+	case tokPercent:
+		if y == 0 {
+			return 0, false
+		}
+		return int64(x % y), true
+	case tokAmp:
+		return int64(x & y), true
+	case tokPipe:
+		return int64(x | y), true
+	case tokCaret:
+		return int64(x ^ y), true
+	case tokShl:
+		return int64(x << (uint32(y) & 31)), true
+	case tokShr:
+		return int64(x >> (uint32(y) & 31)), true
+	case tokEq:
+		return b2i(x == y), true
+	case tokNe:
+		return b2i(x != y), true
+	case tokLt:
+		return b2i(x < y), true
+	case tokLe:
+		return b2i(x <= y), true
+	case tokGt:
+		return b2i(x > y), true
+	case tokGe:
+		return b2i(x >= y), true
+	case tokAndAnd:
+		return b2i(x != 0 && y != 0), true
+	case tokOrOr:
+		return b2i(x != 0 || y != 0), true
+	}
+	return 0, false
+}
+
+func foldFloatOp(op tokKind, a, b float64) (any, bool, bool) {
+	switch op {
+	case tokPlus:
+		return a + b, false, true
+	case tokMinus:
+		return a - b, false, true
+	case tokStar:
+		return a * b, false, true
+	case tokSlash:
+		return a / b, false, true
+	case tokEq:
+		return b2i(a == b), true, true
+	case tokNe:
+		return b2i(a != b), true, true
+	case tokLt:
+		return b2i(a < b), true, true
+	case tokLe:
+		return b2i(a <= b), true, true
+	case tokGt:
+		return b2i(a > b), true, true
+	case tokGe:
+		return b2i(a >= b), true, true
+	}
+	return nil, false, false
+}
+
+// unrollProgram applies loop unrolling by the given factor to every
+// eligible for-loop. A loop is eligible when it has the canonical shape
+//
+//	for (i = C0; i < C1; i = i + C2) body      (also <=)
+//
+// with literal bounds, a strictly positive literal step, a trip count
+// divisible by the factor, no writes to i inside the body, and no continue
+// statements (break is fine: it leaves the whole loop in both forms). The
+// transformed loop repeats {body; i = i + C2} factor times per iteration
+// and re-checks the condition once per group — trip-count divisibility
+// makes that exact.
+func unrollProgram(p *Program, factor int) {
+	if factor <= 1 {
+		return
+	}
+	for _, fn := range p.Funcs {
+		unrollStmt(fn.Body, factor)
+	}
+}
+
+func unrollStmt(s Stmt, factor int) {
+	switch st := s.(type) {
+	case *Block:
+		for i, inner := range st.Stmts {
+			unrollStmt(inner, factor)
+			if f, ok := inner.(*ForStmt); ok {
+				if u := tryUnroll(f, factor); u != nil {
+					st.Stmts[i] = u
+				}
+			}
+		}
+	case *IfStmt:
+		unrollStmt(st.Then, factor)
+		if st.Else != nil {
+			unrollStmt(st.Else, factor)
+		}
+	case *WhileStmt:
+		unrollStmt(st.Body, factor)
+	case *ForStmt:
+		unrollStmt(st.Body, factor)
+	}
+}
+
+// tryUnroll returns the unrolled replacement loop, or nil when the loop is
+// not eligible.
+func tryUnroll(f *ForStmt, factor int) Stmt {
+	sym, c0, ok := unrollInit(f.Init)
+	if !ok {
+		return nil
+	}
+	c1, inclusive, ok := unrollCond(f.Cond, sym)
+	if !ok {
+		return nil
+	}
+	c2, ok := unrollPost(f.Post, sym)
+	if !ok || c2 <= 0 {
+		return nil
+	}
+	hi := c1
+	if inclusive {
+		hi++
+	}
+	if hi <= c0 {
+		return nil
+	}
+	span := hi - c0
+	if span%c2 != 0 {
+		return nil
+	}
+	trips := span / c2
+	if trips%int64(factor) != 0 {
+		return nil
+	}
+	if writesVar(f.Body, sym) || hasContinue(f.Body) || hasLoop(f.Body) {
+		return nil // innermost counted loops only, like the MIPS compiler
+	}
+
+	group := &Block{}
+	for k := 0; k < factor; k++ {
+		group.Stmts = append(group.Stmts, f.Body)
+		group.Stmts = append(group.Stmts, f.Post)
+	}
+	return &ForStmt{Init: f.Init, Cond: f.Cond, Post: nil, Body: group}
+}
+
+// unrollInit recognizes `int i = C` or `i = C`.
+func unrollInit(s Stmt) (*Symbol, int64, bool) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		if st.Decl.Sym == nil || !st.Decl.Sym.Type.IsScalar() || st.Decl.Sym.Type.Kind != TypeInt {
+			return nil, 0, false
+		}
+		if lit, ok := st.Decl.Init.(*IntLit); ok {
+			return st.Decl.Sym, lit.Value, true
+		}
+	case *AssignStmt:
+		id, ok := st.Target.(*Ident)
+		if !ok || id.Sym == nil || id.Sym.Type.Kind != TypeInt || id.Sym.Type.IsArray() {
+			return nil, 0, false
+		}
+		if lit, ok := st.Value.(*IntLit); ok {
+			return id.Sym, lit.Value, true
+		}
+	}
+	return nil, 0, false
+}
+
+// unrollCond recognizes `i < C` or `i <= C`.
+func unrollCond(e Expr, sym *Symbol) (int64, bool, bool) {
+	b, ok := e.(*BinaryExpr)
+	if !ok || (b.Op != tokLt && b.Op != tokLe) {
+		return 0, false, false
+	}
+	id, ok := b.L.(*Ident)
+	if !ok || id.Sym != sym {
+		return 0, false, false
+	}
+	lit, ok := b.R.(*IntLit)
+	if !ok {
+		return 0, false, false
+	}
+	return lit.Value, b.Op == tokLe, true
+}
+
+// unrollPost recognizes `i = i + C`.
+func unrollPost(s Stmt, sym *Symbol) (int64, bool) {
+	st, ok := s.(*AssignStmt)
+	if !ok {
+		return 0, false
+	}
+	id, ok := st.Target.(*Ident)
+	if !ok || id.Sym != sym {
+		return 0, false
+	}
+	b, ok := st.Value.(*BinaryExpr)
+	if !ok || b.Op != tokPlus {
+		return 0, false
+	}
+	l, ok := b.L.(*Ident)
+	if !ok || l.Sym != sym {
+		return 0, false
+	}
+	lit, ok := b.R.(*IntLit)
+	if !ok {
+		return 0, false
+	}
+	return lit.Value, true
+}
+
+// writesVar reports whether any statement in the tree assigns to sym.
+func writesVar(s Stmt, sym *Symbol) bool {
+	switch st := s.(type) {
+	case *Block:
+		for _, inner := range st.Stmts {
+			if writesVar(inner, sym) {
+				return true
+			}
+		}
+	case *AssignStmt:
+		if id, ok := st.Target.(*Ident); ok && id.Sym == sym {
+			return true
+		}
+	case *DeclStmt:
+		return st.Decl.Sym == sym
+	case *IfStmt:
+		if writesVar(st.Then, sym) {
+			return true
+		}
+		if st.Else != nil {
+			return writesVar(st.Else, sym)
+		}
+	case *WhileStmt:
+		return writesVar(st.Body, sym)
+	case *ForStmt:
+		if st.Init != nil && writesVar(st.Init, sym) {
+			return true
+		}
+		if st.Post != nil && writesVar(st.Post, sym) {
+			return true
+		}
+		return writesVar(st.Body, sym)
+	}
+	return false
+}
+
+// hasLoop reports whether the tree contains a nested loop.
+func hasLoop(s Stmt) bool {
+	switch st := s.(type) {
+	case *WhileStmt, *ForStmt:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if hasLoop(inner) {
+				return true
+			}
+		}
+	case *IfStmt:
+		if hasLoop(st.Then) {
+			return true
+		}
+		if st.Else != nil {
+			return hasLoop(st.Else)
+		}
+	}
+	return false
+}
+
+// hasContinue reports whether the tree contains a continue that would bind
+// to the loop being unrolled (nested loops capture their own continues).
+func hasContinue(s Stmt) bool {
+	switch st := s.(type) {
+	case *ContinueStmt:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if hasContinue(inner) {
+				return true
+			}
+		}
+	case *IfStmt:
+		if hasContinue(st.Then) {
+			return true
+		}
+		if st.Else != nil {
+			return hasContinue(st.Else)
+		}
+	}
+	// while/for bodies capture their own continues.
+	return false
+}

@@ -1,0 +1,535 @@
+package minic
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses MiniC source into an unchecked AST. Callers normally use
+// Compile, which also type-checks and generates code.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k tokKind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	if p.cur().kind != k {
+		return token{}, errf(p.cur().line, "expected %v, found %v", k, p.cur().kind)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{funcsByName: make(map[string]*FuncDecl)}
+	for p.cur().kind != tokEOF {
+		base, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokLParen {
+			fn, err := p.funcRest(base, name)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := prog.funcsByName[fn.Name]; dup {
+				return nil, errf(fn.Line, "function %q redefined", fn.Name)
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			prog.funcsByName[fn.Name] = fn
+			continue
+		}
+		// Global variable(s).
+		for {
+			decl, err := p.varRest(base, name)
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, decl)
+			if p.accept(tokComma) {
+				name, err = p.expect(tokIdent)
+				if err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	return prog, nil
+}
+
+// typeSpec parses "int", "double" or "void".
+func (p *parser) typeSpec() (Type, error) {
+	switch p.cur().kind {
+	case tokInt:
+		p.advance()
+		return Type{Kind: TypeInt}, nil
+	case tokDouble:
+		p.advance()
+		return Type{Kind: TypeDouble}, nil
+	case tokVoid:
+		p.advance()
+		return Type{Kind: TypeVoid}, nil
+	}
+	return Type{}, errf(p.cur().line, "expected type, found %v", p.cur().kind)
+}
+
+// varRest parses the remainder of one variable declarator: optional array
+// dimensions and initializer.
+func (p *parser) varRest(base Type, name token) (*VarDecl, error) {
+	if base.Kind == TypeVoid {
+		return nil, errf(name.line, "variable %q cannot have void type", name.text)
+	}
+	typ := Type{Kind: base.Kind}
+	for p.accept(tokLBracket) {
+		dim, err := p.expect(tokIntLit)
+		if err != nil {
+			return nil, errf(p.cur().line, "array dimension must be an integer constant")
+		}
+		n, err := strconv.ParseInt(dim.text, 0, 32)
+		if err != nil || n <= 0 {
+			return nil, errf(dim.line, "bad array dimension %q", dim.text)
+		}
+		typ.Dims = append(typ.Dims, int(n))
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+	}
+	decl := &VarDecl{Name: name.text, Type: typ, Line: name.line}
+	if p.accept(tokAssign) {
+		if typ.IsArray() {
+			return nil, errf(name.line, "array %q cannot have an initializer", name.text)
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		decl.Init = init
+	}
+	return decl, nil
+}
+
+// funcRest parses a function definition after its return type and name.
+func (p *parser) funcRest(ret Type, name token) (*FuncDecl, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Ret: ret, Line: name.line}
+	if !p.accept(tokRParen) {
+		for {
+			ptype, err := p.typeSpec()
+			if err != nil {
+				return nil, err
+			}
+			if ptype.Kind == TypeVoid {
+				return nil, errf(p.cur().line, "parameters cannot be void")
+			}
+			pname, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			// Array-reference parameters: `int a[]`, `double m[][20]`.
+			if p.accept(tokLBracket) {
+				if _, err := p.expect(tokRBracket); err != nil {
+					return nil, errf(pname.line, "array parameter %q needs an empty first dimension", pname.text)
+				}
+				ptype.Dims = append(ptype.Dims, 0)
+				for p.accept(tokLBracket) {
+					dim, err := p.expect(tokIntLit)
+					if err != nil {
+						return nil, errf(pname.line, "inner dimensions of %q must be integer constants", pname.text)
+					}
+					n, err := strconv.ParseInt(dim.text, 0, 32)
+					if err != nil || n <= 0 {
+						return nil, errf(dim.line, "bad array dimension %q", dim.text)
+					}
+					ptype.Dims = append(ptype.Dims, int(n))
+					if _, err := p.expect(tokRBracket); err != nil {
+						return nil, err
+					}
+				}
+			}
+			fn.Params = append(fn.Params, &VarDecl{
+				Name: pname.text, Type: ptype, Line: pname.line,
+			})
+			if p.accept(tokComma) {
+				continue
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept(tokRBrace) {
+		if p.cur().kind == tokEOF {
+			return nil, errf(p.cur().line, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.cur().kind {
+	case tokLBrace:
+		return p.block()
+	case tokInt, tokDouble:
+		base, _ := p.typeSpec()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		decl, err := p.varRest(base, name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: decl}, nil
+	case tokIf:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then}
+		if p.accept(tokElse) {
+			s.Else, err = p.stmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case tokWhile:
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case tokFor:
+		return p.forStmt()
+	case tokReturn:
+		line := p.advance().line
+		s := &ReturnStmt{Line: line}
+		if !p.accept(tokSemi) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+			if _, err := p.expect(tokSemi); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	case tokBreak:
+		line := p.advance().line
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: line}, nil
+	case tokContinue:
+		line := p.advance().line
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: line}, nil
+	case tokSemi:
+		p.advance()
+		return &Block{}, nil // empty statement
+	}
+	s, err := p.simpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStmt parses an assignment or expression statement, without the
+// trailing semicolon (for use in for-clauses too).
+func (p *parser) simpleStmt() (Stmt, error) {
+	line := p.cur().line
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokAssign) {
+		switch lhs.(type) {
+		case *Ident, *IndexExpr:
+		default:
+			return nil, errf(line, "left side of assignment is not assignable")
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Target: lhs, Value: rhs, Line: line}, nil
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.advance() // for
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{}
+	if !p.accept(tokSemi) {
+		if p.cur().kind == tokInt || p.cur().kind == tokDouble {
+			base, _ := p.typeSpec()
+			name, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			decl, err := p.varRest(base, name)
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &DeclStmt{Decl: decl}
+		} else {
+			init, err := p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if !p.accept(tokSemi) {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().kind != tokRParen {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+// Operator precedence, lowest to highest, following C.
+var binPrec = map[tokKind]int{
+	tokOrOr:   1,
+	tokAndAnd: 2,
+	tokPipe:   3,
+	tokCaret:  4,
+	tokAmp:    5,
+	tokEq:     6, tokNe: 6,
+	tokLt: 7, tokLe: 7, tokGt: 7, tokGe: 7,
+	tokShl: 8, tokShr: 8,
+	tokPlus: 9, tokMinus: 9,
+	tokStar: 10, tokSlash: 10, tokPercent: 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.cur().kind
+		prec, ok := binPrec[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		line := p.advance().line
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op, L: lhs, R: rhs, Line: line}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	switch p.cur().kind {
+	case tokMinus:
+		line := p.advance().line
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: tokMinus, X: x, Line: line}, nil
+	case tokNot:
+		line := p.advance().line
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: tokNot, X: x, Line: line}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokIntLit:
+		p.advance()
+		v, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad integer literal %q", t.text)
+		}
+		return &IntLit{Value: v, Line: t.line}, nil
+	case tokFloatLit:
+		p.advance()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.line, "bad float literal %q", t.text)
+		}
+		return &FloatLit{Value: v, Line: t.line}, nil
+	case tokStringLit:
+		p.advance()
+		return &StrLit{Value: t.text, Line: t.line}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		p.advance()
+		if p.cur().kind == tokLParen {
+			p.advance()
+			call := &CallExpr{Name: t.text, Line: t.line}
+			if !p.accept(tokRParen) {
+				for {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.accept(tokComma) {
+						continue
+					}
+					if _, err := p.expect(tokRParen); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		id := &Ident{Name: t.text, Line: t.line}
+		if p.cur().kind != tokLBracket {
+			return id, nil
+		}
+		idx := &IndexExpr{Base: id, Line: t.line}
+		for p.accept(tokLBracket) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			idx.Indices = append(idx.Indices, e)
+			if _, err := p.expect(tokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		return idx, nil
+	}
+	return nil, errf(p.cur().line, "expected expression, found %v", p.cur().kind)
+}

@@ -1,0 +1,189 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Differential fuzzing: generate random expression programs, predict their
+// results with a Go reference evaluator using the same int32/float64
+// semantics the generated code promises, and check the compiled program —
+// through the assembler and CPU simulator — prints exactly the predicted
+// value. Every mismatch is a bug in one of the four layers.
+
+// genIntExpr returns a MiniC expression over variables a, b, c and its
+// value under the fixed environment, using C-like int32 semantics.
+func genIntExpr(rng *rand.Rand, depth int, a, b, c int32) (string, int32) {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return "a", a
+		case 1:
+			return "b", b
+		case 2:
+			return "c", c
+		default:
+			v := int32(rng.Intn(201) - 100)
+			if v < 0 {
+				return fmt.Sprintf("(0 - %d)", -v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		}
+	}
+	ls, lv := genIntExpr(rng, depth-1, a, b, c)
+	rs, rv := genIntExpr(rng, depth-1, a, b, c)
+	switch rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		// Division with a guaranteed-odd (hence nonzero) divisor. Note
+		// Go defines MinInt32 / -1 == MinInt32, as the simulator does.
+		den := rv | 1
+		return fmt.Sprintf("(%s / (%s | 1))", ls, rs), lv / den
+	case 4:
+		den := rv | 1
+		return fmt.Sprintf("(%s %% (%s | 1))", ls, rs), lv % den
+	case 5:
+		return fmt.Sprintf("(%s & %s)", ls, rs), lv & rv
+	case 6:
+		return fmt.Sprintf("(%s | %s)", ls, rs), lv | rv
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", ls, rs), lv ^ rv
+	case 8:
+		sh := rng.Intn(31)
+		return fmt.Sprintf("(%s << %d)", ls, sh), lv << uint(sh)
+	case 9:
+		sh := rng.Intn(31)
+		return fmt.Sprintf("(%s >> %d)", ls, sh), lv >> uint(sh)
+	case 10:
+		val := int32(0)
+		if lv < rv {
+			val = 1
+		}
+		return fmt.Sprintf("(%s < %s)", ls, rs), val
+	default:
+		val := int32(0)
+		if lv == rv {
+			val = 1
+		}
+		return fmt.Sprintf("(%s == %s)", ls, rs), val
+	}
+}
+
+func TestQuickIntExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 120; trial++ {
+		a := int32(rng.Uint32())
+		b := int32(rng.Uint32())
+		c := int32(rng.Intn(1000) - 500)
+		expr, want := genIntExpr(rng, 4, a, b, c)
+		src := fmt.Sprintf(`
+int main() {
+    int a = %d;
+    int b = %d;
+    int c = %d;
+    print_int(%s);
+    print_char(10);
+    return 0;
+}`, a, b, c, expr)
+		for _, opts := range []Options{{}, {NoFold: true}} {
+			got := runProgram(t, src, opts)
+			if got != fmt.Sprintf("%d\n", want) {
+				t.Fatalf("trial %d (fold=%v): %s = %s, want %d\nsource:%s",
+					trial, !opts.NoFold, expr, strings.TrimSpace(got), want, src)
+			}
+		}
+	}
+}
+
+// genFPExpr returns a MiniC double expression and its float64 value. The
+// simulator's FP unit is IEEE float64, so results must match Go bit for
+// bit; %g formatting then agrees exactly.
+func genFPExpr(rng *rand.Rand, depth int, x, y float64) (string, float64) {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return "x", x
+		case 1:
+			return "y", y
+		default:
+			v := float64(rng.Intn(64)) * 0.125
+			return fmt.Sprintf("%g", v), v
+		}
+	}
+	ls, lv := genFPExpr(rng, depth-1, x, y)
+	rs, rv := genFPExpr(rng, depth-1, x, y)
+	switch rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	default:
+		den := rv*rv + 1.0
+		return fmt.Sprintf("(%s / (%s * %s + 1.0))", ls, rs, rs), lv / den
+	}
+}
+
+func TestQuickFPExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 80; trial++ {
+		x := float64(rng.Intn(1024)-512) * 0.0625
+		y := float64(rng.Intn(1024)-512) * 0.03125
+		expr, want := genFPExpr(rng, 4, x, y)
+		src := fmt.Sprintf(`
+int main() {
+    double x = %g;
+    double y = %g;
+    print_double(%s);
+    print_char(10);
+    return 0;
+}`, x, y, expr)
+		got := runProgram(t, src, Options{})
+		if got != fmt.Sprintf("%g\n", want) {
+			t.Fatalf("trial %d: %s = %s, want %g\nsource:%s",
+				trial, expr, strings.TrimSpace(got), want, src)
+		}
+	}
+}
+
+// TestQuickMixedStatements drives the statement generator side: random
+// loops accumulating into an int, predicted by a Go twin.
+func TestQuickMixedStatements(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(50) + 1
+		step := rng.Intn(3) + 1
+		mul := int32(rng.Intn(7) - 3)
+		add := int32(rng.Intn(100) - 50)
+		var want int32
+		for i := int32(0); i < int32(n); i += int32(step) {
+			want = want*mul + (i ^ add)
+		}
+		src := fmt.Sprintf(`
+int main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < %d; i = i + %d) {
+        acc = acc * (0 - %d) + (i ^ (0 - %d));
+    }
+    print_int(acc);
+    print_char(10);
+    return 0;
+}`, n, step, -mul, -add)
+		for _, opts := range []Options{{}, {Unroll: 4}} {
+			got := runProgram(t, src, opts)
+			if got != fmt.Sprintf("%d\n", want) {
+				t.Fatalf("trial %d (unroll=%d): got %s, want %d\nsource:%s",
+					trial, opts.Unroll, strings.TrimSpace(got), want, src)
+			}
+		}
+	}
+}

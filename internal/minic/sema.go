@@ -1,0 +1,520 @@
+package minic
+
+import "fmt"
+
+// builtin describes one of the compiler's builtin I/O functions, which
+// lower to the simulator's SPIM-style system calls.
+type builtin struct {
+	params []TypeKind
+	ret    TypeKind
+	str    bool // takes a single string literal instead of params
+}
+
+var builtins = map[string]builtin{
+	"print_int":    {params: []TypeKind{TypeInt}, ret: TypeVoid},
+	"print_double": {params: []TypeKind{TypeDouble}, ret: TypeVoid},
+	"print_char":   {params: []TypeKind{TypeInt}, ret: TypeVoid},
+	"print_str":    {str: true, ret: TypeVoid},
+}
+
+// checker performs symbol resolution and type checking.
+type checker struct {
+	prog   *Program
+	scopes []map[string]*Symbol
+	fn     *FuncDecl
+	loops  int
+}
+
+// analyze resolves and type-checks the program in place.
+func analyze(prog *Program) error {
+	c := &checker{prog: prog}
+	c.push()
+	for _, g := range prog.Globals {
+		if err := c.declareGlobal(g); err != nil {
+			return err
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, make(map[string]*Symbol)) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *Symbol, line int) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errf(line, "%q redeclared in this scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareGlobal(g *VarDecl) error {
+	if _, isFn := c.prog.funcsByName[g.Name]; isFn {
+		return errf(g.Line, "%q declared as both function and variable", g.Name)
+	}
+	g.Sym = &Symbol{Name: g.Name, Type: g.Type, Kind: symGlobal, Label: "g_" + g.Name}
+	if g.Init != nil {
+		init, typ, err := c.expr(g.Init)
+		if err != nil {
+			return err
+		}
+		g.Init, err = c.coerce(init, typ, g.Type, g.Line)
+		if err != nil {
+			return err
+		}
+		if !isConstInit(g.Init) {
+			return errf(g.Line, "global initializer for %q must be a constant", g.Name)
+		}
+	}
+	return c.declare(g.Sym, g.Line)
+}
+
+// isConstInit reports whether e is a literal, possibly under casts and
+// unary minus.
+func isConstInit(e Expr) bool {
+	switch v := e.(type) {
+	case *IntLit, *FloatLit:
+		return true
+	case *CastExpr:
+		return isConstInit(v.X)
+	case *UnaryExpr:
+		return v.Op == tokMinus && isConstInit(v.X)
+	}
+	return false
+}
+
+func (c *checker) checkFunc(fn *FuncDecl) error {
+	if fn.Ret.IsArray() {
+		return errf(fn.Line, "function %q cannot return an array", fn.Name)
+	}
+	c.fn = fn
+	c.push()
+	for _, p := range fn.Params {
+		if p.Type.IsArray() && !p.Type.IsArrayRef() {
+			return errf(p.Line, "parameter %q cannot be an array by value; declare it as a reference (%s %s[])",
+				p.Name, typeKindName(p.Type.Kind), p.Name)
+		}
+		p.Sym = &Symbol{Name: p.Name, Type: p.Type, Kind: symParam}
+		if err := c.declare(p.Sym, p.Line); err != nil {
+			return err
+		}
+	}
+	err := c.stmt(fn.Body)
+	c.pop()
+	c.fn = nil
+	return err
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Block:
+		c.push()
+		defer c.pop()
+		for _, inner := range st.Stmts {
+			if err := c.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *DeclStmt:
+		d := st.Decl
+		d.Sym = &Symbol{Name: d.Name, Type: d.Type, Kind: symLocal}
+		if d.Init != nil {
+			init, typ, err := c.expr(d.Init)
+			if err != nil {
+				return err
+			}
+			d.Init, err = c.coerce(init, typ, d.Type, d.Line)
+			if err != nil {
+				return err
+			}
+		}
+		return c.declare(d.Sym, d.Line)
+
+	case *AssignStmt:
+		target, ttyp, err := c.expr(st.Target)
+		if err != nil {
+			return err
+		}
+		if !ttyp.IsScalar() {
+			return errf(st.Line, "cannot assign to a whole array")
+		}
+		st.Target = target
+		val, vtyp, err := c.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		st.Value, err = c.coerce(val, vtyp, ttyp, st.Line)
+		return err
+
+	case *IfStmt:
+		if err := c.condExpr(&st.Cond); err != nil {
+			return err
+		}
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.stmt(st.Else)
+		}
+		return nil
+
+	case *WhileStmt:
+		if err := c.condExpr(&st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.stmt(st.Body)
+
+	case *ForStmt:
+		c.push()
+		defer c.pop()
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.condExpr(&st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.stmt(st.Body)
+
+	case *ReturnStmt:
+		if c.fn.Ret.Kind == TypeVoid {
+			if st.Value != nil {
+				return errf(st.Line, "void function %q returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.Value == nil {
+			return errf(st.Line, "function %q must return %v", c.fn.Name, c.fn.Ret)
+		}
+		val, typ, err := c.expr(st.Value)
+		if err != nil {
+			return err
+		}
+		st.Value, err = c.coerce(val, typ, c.fn.Ret, st.Line)
+		return err
+
+	case *ExprStmt:
+		x, _, err := c.expr(st.X)
+		if err != nil {
+			return err
+		}
+		st.X = x
+		return nil
+
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(st.Line, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Line, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unhandled statement %T", s)
+}
+
+// condExpr checks a condition: any int-valued expression.
+func (c *checker) condExpr(e *Expr) error {
+	x, typ, err := c.expr(*e)
+	if err != nil {
+		return err
+	}
+	if typ.Kind != TypeInt || typ.IsArray() {
+		return errf(lineOf(x), "condition must be int, got %v", typ)
+	}
+	*e = x
+	return nil
+}
+
+func typeKindName(k TypeKind) string {
+	if k == TypeDouble {
+		return "double"
+	}
+	return "int"
+}
+
+func lineOf(e Expr) int {
+	switch v := e.(type) {
+	case *IntLit:
+		return v.Line
+	case *FloatLit:
+		return v.Line
+	case *StrLit:
+		return v.Line
+	case *Ident:
+		return v.Line
+	case *IndexExpr:
+		return v.Line
+	case *BinaryExpr:
+		return v.Line
+	case *UnaryExpr:
+		return v.Line
+	case *CallExpr:
+		return v.Line
+	case *CastExpr:
+		return lineOf(v.X)
+	}
+	return 0
+}
+
+// coerce inserts an implicit cast from `from` to `to` if needed.
+func (c *checker) coerce(e Expr, from, to Type, line int) (Expr, error) {
+	if from.IsArray() || to.IsArray() {
+		return nil, errf(line, "cannot convert array types")
+	}
+	if from.Kind == to.Kind {
+		return e, nil
+	}
+	if from.Kind == TypeVoid || to.Kind == TypeVoid {
+		return nil, errf(line, "cannot use void value")
+	}
+	return &CastExpr{X: e, To: to}, nil
+}
+
+// expr type-checks an expression, returning the (possibly rewritten)
+// expression and its type.
+func (c *checker) expr(e Expr) (Expr, Type, error) {
+	switch v := e.(type) {
+	case *IntLit:
+		return v, Type{Kind: TypeInt}, nil
+	case *FloatLit:
+		return v, Type{Kind: TypeDouble}, nil
+	case *StrLit:
+		return nil, Type{}, errf(v.Line, "string literals are only allowed as print_str arguments")
+
+	case *Ident:
+		sym := c.lookup(v.Name)
+		if sym == nil {
+			return nil, Type{}, errf(v.Line, "undefined variable %q", v.Name)
+		}
+		v.Sym = sym
+		if sym.Type.IsArray() {
+			return nil, Type{}, errf(v.Line, "array %q must be indexed", v.Name)
+		}
+		return v, sym.Type, nil
+
+	case *IndexExpr:
+		sym := c.lookup(v.Base.Name)
+		if sym == nil {
+			return nil, Type{}, errf(v.Line, "undefined variable %q", v.Base.Name)
+		}
+		v.Base.Sym = sym
+		if !sym.Type.IsArray() {
+			return nil, Type{}, errf(v.Line, "%q is not an array", v.Base.Name)
+		}
+		if len(v.Indices) != len(sym.Type.Dims) {
+			return nil, Type{}, errf(v.Line, "%q has %d dimensions, %d indices given",
+				v.Base.Name, len(sym.Type.Dims), len(v.Indices))
+		}
+		for i, idx := range v.Indices {
+			x, typ, err := c.expr(idx)
+			if err != nil {
+				return nil, Type{}, err
+			}
+			if typ.Kind != TypeInt || typ.IsArray() {
+				return nil, Type{}, errf(v.Line, "index %d of %q must be int", i, v.Base.Name)
+			}
+			v.Indices[i] = x
+		}
+		return v, sym.Type.Elem(), nil
+
+	case *UnaryExpr:
+		x, typ, err := c.expr(v.X)
+		if err != nil {
+			return nil, Type{}, err
+		}
+		v.X = x
+		if !typ.IsScalar() {
+			return nil, Type{}, errf(v.Line, "unary %v needs a scalar operand", v.Op)
+		}
+		if v.Op == tokNot && typ.Kind != TypeInt {
+			return nil, Type{}, errf(v.Line, "'!' needs an int operand")
+		}
+		v.typ = typ
+		return v, typ, nil
+
+	case *BinaryExpr:
+		l, lt, err := c.expr(v.L)
+		if err != nil {
+			return nil, Type{}, err
+		}
+		r, rt, err := c.expr(v.R)
+		if err != nil {
+			return nil, Type{}, err
+		}
+		if !lt.IsScalar() || !rt.IsScalar() {
+			return nil, Type{}, errf(v.Line, "binary %v needs scalar operands", v.Op)
+		}
+		v.L, v.R = l, r
+		switch v.Op {
+		case tokPercent, tokAmp, tokPipe, tokCaret, tokShl, tokShr, tokAndAnd, tokOrOr:
+			if lt.Kind != TypeInt || rt.Kind != TypeInt {
+				return nil, Type{}, errf(v.Line, "%v needs int operands", v.Op)
+			}
+			v.typ = Type{Kind: TypeInt}
+			return v, v.typ, nil
+		case tokEq, tokNe, tokLt, tokLe, tokGt, tokGe:
+			if lt.Kind != rt.Kind {
+				v.promote(lt, rt)
+			}
+			v.typ = Type{Kind: TypeInt}
+			return v, v.typ, nil
+		case tokPlus, tokMinus, tokStar, tokSlash:
+			if lt.Kind != rt.Kind {
+				v.promote(lt, rt)
+				v.typ = Type{Kind: TypeDouble}
+			} else {
+				v.typ = lt
+			}
+			return v, v.typ, nil
+		}
+		return nil, Type{}, errf(v.Line, "unknown binary operator %v", v.Op)
+
+	case *CallExpr:
+		return c.call(v)
+
+	case *CastExpr:
+		x, _, err := c.expr(v.X)
+		if err != nil {
+			return nil, Type{}, err
+		}
+		v.X = x
+		return v, v.To, nil
+	}
+	return nil, Type{}, fmt.Errorf("minic: unhandled expression %T", e)
+}
+
+// promote wraps whichever operand is int in a cast to double.
+func (b *BinaryExpr) promote(lt, rt Type) {
+	if lt.Kind == TypeInt {
+		b.L = &CastExpr{X: b.L, To: Type{Kind: TypeDouble}}
+	}
+	if rt.Kind == TypeInt {
+		b.R = &CastExpr{X: b.R, To: Type{Kind: TypeDouble}}
+	}
+}
+
+func (c *checker) call(v *CallExpr) (Expr, Type, error) {
+	if b, ok := builtins[v.Name]; ok {
+		if b.str {
+			if len(v.Args) != 1 {
+				return nil, Type{}, errf(v.Line, "%s takes one string literal", v.Name)
+			}
+			if _, ok := v.Args[0].(*StrLit); !ok {
+				return nil, Type{}, errf(v.Line, "%s takes a string literal", v.Name)
+			}
+			v.typ = Type{Kind: b.ret}
+			return v, v.typ, nil
+		}
+		if len(v.Args) != len(b.params) {
+			return nil, Type{}, errf(v.Line, "%s takes %d argument(s)", v.Name, len(b.params))
+		}
+		for i, a := range v.Args {
+			x, typ, err := c.expr(a)
+			if err != nil {
+				return nil, Type{}, err
+			}
+			x, err = c.coerce(x, typ, Type{Kind: b.params[i]}, v.Line)
+			if err != nil {
+				return nil, Type{}, err
+			}
+			v.Args[i] = x
+		}
+		v.typ = Type{Kind: b.ret}
+		return v, v.typ, nil
+	}
+
+	fn, ok := c.prog.funcsByName[v.Name]
+	if !ok {
+		return nil, Type{}, errf(v.Line, "undefined function %q", v.Name)
+	}
+	if len(v.Args) != len(fn.Params) {
+		return nil, Type{}, errf(v.Line, "%q takes %d argument(s), %d given",
+			v.Name, len(fn.Params), len(v.Args))
+	}
+	for i, a := range v.Args {
+		want := fn.Params[i].Type
+		if want.IsArrayRef() {
+			x, err := c.arrayRefArg(a, want, v.Name, i, v.Line)
+			if err != nil {
+				return nil, Type{}, err
+			}
+			v.Args[i] = x
+			continue
+		}
+		x, typ, err := c.expr(a)
+		if err != nil {
+			return nil, Type{}, err
+		}
+		x, err = c.coerce(x, typ, want, v.Line)
+		if err != nil {
+			return nil, Type{}, err
+		}
+		v.Args[i] = x
+	}
+	v.fn = fn
+	v.typ = fn.Ret
+	return v, v.typ, nil
+}
+
+// arrayRefArg binds an argument to an array-reference parameter: the
+// argument must name an array (or forward another reference) whose element
+// kind and inner dimensions match.
+func (c *checker) arrayRefArg(a Expr, want Type, fnName string, argIdx, line int) (Expr, error) {
+	id, ok := a.(*Ident)
+	if !ok {
+		return nil, errf(line, "argument %d of %q must be an array name", argIdx+1, fnName)
+	}
+	sym := c.lookup(id.Name)
+	if sym == nil {
+		return nil, errf(id.Line, "undefined variable %q", id.Name)
+	}
+	id.Sym = sym
+	have := sym.Type
+	if !have.IsArray() {
+		return nil, errf(id.Line, "%q is not an array (parameter %d of %q wants %v)",
+			id.Name, argIdx+1, fnName, want)
+	}
+	if have.Kind != want.Kind || len(have.Dims) != len(want.Dims) {
+		return nil, errf(id.Line, "array %q has type %v, parameter %d of %q wants %v",
+			id.Name, have, argIdx+1, fnName, want)
+	}
+	for k := 1; k < len(want.Dims); k++ {
+		if have.Dims[k] != want.Dims[k] {
+			return nil, errf(id.Line, "array %q inner dimensions %v do not match parameter's %v",
+				id.Name, have.Dims[1:], want.Dims[1:])
+		}
+	}
+	return &ArrayRefExpr{Base: id, To: want}, nil
+}

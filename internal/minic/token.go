@@ -1,0 +1,333 @@
+// Package minic implements a compiler for MiniC, a small imperative
+// C-like language, targeting the ISA of package isa via the assembler of
+// package asm.
+//
+// The paper analyzes "ordinary programs ... written in an imperative
+// language such as C or FORTRAN", compiled by the MIPS compilers. MiniC is
+// our stand-in for that toolchain: its code generator produces the same
+// kinds of dependency structure those compilers emitted — register reuse
+// across expressions, loop-counter recurrences, stack-frame traffic for
+// locals and spills, dense array address arithmetic — which is exactly what
+// the Paragraph analysis observes. An optional loop-unrolling pass
+// reproduces the paper's observation that compiler transformations are a
+// second-order effect on measured parallelism.
+//
+// The language: int and double scalars, multi-dimensional arrays (global
+// and stack-allocated local), functions with value parameters and
+// recursion, if/else, while, for, break/continue, the usual C operators
+// with short-circuit && and ||, and builtin output functions (print_int,
+// print_double, print_char, print_str).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokStringLit
+
+	// Keywords.
+	tokInt
+	tokDouble
+	tokVoid
+	tokIf
+	tokElse
+	tokWhile
+	tokFor
+	tokReturn
+	tokBreak
+	tokContinue
+
+	// Punctuation and operators.
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokLBracket
+	tokRBracket
+	tokSemi
+	tokComma
+	tokAssign
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+	tokAndAnd
+	tokOrOr
+	tokNot
+	tokAmp
+	tokPipe
+	tokCaret
+	tokShl
+	tokShr
+)
+
+var keywords = map[string]tokKind{
+	"int": tokInt, "double": tokDouble, "void": tokVoid,
+	"if": tokIf, "else": tokElse, "while": tokWhile, "for": tokFor,
+	"return": tokReturn, "break": tokBreak, "continue": tokContinue,
+}
+
+var tokNames = map[tokKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokIntLit: "integer literal",
+	tokFloatLit: "float literal", tokStringLit: "string literal",
+	tokInt: "'int'", tokDouble: "'double'", tokVoid: "'void'",
+	tokIf: "'if'", tokElse: "'else'", tokWhile: "'while'", tokFor: "'for'",
+	tokReturn: "'return'", tokBreak: "'break'", tokContinue: "'continue'",
+	tokLParen: "'('", tokRParen: "')'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokLBracket: "'['", tokRBracket: "']'", tokSemi: "';'", tokComma: "','",
+	tokAssign: "'='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokSlash: "'/'", tokPercent: "'%'", tokEq: "'=='", tokNe: "'!='",
+	tokLt: "'<'", tokLe: "'<='", tokGt: "'>'", tokGe: "'>='",
+	tokAndAnd: "'&&'", tokOrOr: "'||'", tokNot: "'!'",
+	tokAmp: "'&'", tokPipe: "'|'", tokCaret: "'^'", tokShl: "'<<'", tokShr: "'>>'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+// Error is a compilation diagnostic with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer tokenizes MiniC source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) at(i int) byte {
+	if l.pos+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+i]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.at(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.at(1) == '*':
+			start := l.line
+			l.pos += 2
+			for {
+				if l.pos >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.at(1) == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+
+	switch {
+	case isLetter(c):
+		for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return token{kind: kw, text: text, line: line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: line}, nil
+
+	case isDigit(c):
+		isFloat := false
+		if c == '0' && (l.at(1) == 'x' || l.at(1) == 'X') {
+			l.pos += 2
+			for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			return token{kind: tokIntLit, text: l.src[start:l.pos], line: line}, nil
+		}
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.peekByte() == '.' && isDigit(l.at(1)) {
+			isFloat = true
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+		if c := l.peekByte(); c == 'e' || c == 'E' {
+			save := l.pos
+			l.pos++
+			if c := l.peekByte(); c == '+' || c == '-' {
+				l.pos++
+			}
+			if isDigit(l.peekByte()) {
+				isFloat = true
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		kind := tokIntLit
+		if isFloat {
+			kind = tokFloatLit
+		}
+		return token{kind: kind, text: l.src[start:l.pos], line: line}, nil
+
+	case c == '"':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) || l.src[l.pos] == '\n' {
+				return token{}, errf(line, "unterminated string literal")
+			}
+			ch := l.src[l.pos]
+			if ch == '"' {
+				l.pos++
+				break
+			}
+			if ch == '\\' {
+				l.pos++
+				switch l.peekByte() {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case '0':
+					b.WriteByte(0)
+				default:
+					return token{}, errf(line, "unknown escape \\%c", l.peekByte())
+				}
+				l.pos++
+				continue
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokStringLit, text: b.String(), line: line}, nil
+	}
+
+	// Operators, longest first.
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	twoCharOps := map[string]tokKind{
+		"==": tokEq, "!=": tokNe, "<=": tokLe, ">=": tokGe,
+		"&&": tokAndAnd, "||": tokOrOr, "<<": tokShl, ">>": tokShr,
+	}
+	if kind, ok := twoCharOps[two]; ok {
+		l.pos += 2
+		return token{kind: kind, text: two, line: line}, nil
+	}
+	oneCharOps := map[byte]tokKind{
+		'(': tokLParen, ')': tokRParen, '{': tokLBrace, '}': tokRBrace,
+		'[': tokLBracket, ']': tokRBracket, ';': tokSemi, ',': tokComma,
+		'=': tokAssign, '+': tokPlus, '-': tokMinus, '*': tokStar,
+		'/': tokSlash, '%': tokPercent, '<': tokLt, '>': tokGt,
+		'!': tokNot, '&': tokAmp, '|': tokPipe, '^': tokCaret,
+	}
+	if kind, ok := oneCharOps[c]; ok {
+		l.pos++
+		return token{kind: kind, text: string(c), line: line}, nil
+	}
+	return token{}, errf(line, "unexpected character %q", c)
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// lexAll tokenizes the entire source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// LogDist is a base-2 logarithmically bucketed distribution of non-negative
+// integers. Bucket k holds values in [2^(k-1), 2^k) for k >= 1; bucket 0
+// holds the value 0 and bucket 1 the value 1. It is used for long-tailed
+// quantities such as value lifetimes (in DDG levels) and degrees of sharing
+// (consumers per value), where exact counts matter near zero and orders of
+// magnitude suffice in the tail.
+type LogDist struct {
+	buckets [66]uint64
+	count   uint64
+	sum     float64
+	min     int64
+	max     int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Add records one observation.
+func (d *LogDist) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative observation %d", v))
+	}
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.buckets[bucketOf(v)]++
+	d.count++
+	d.sum += float64(v)
+}
+
+// Count returns the number of observations.
+func (d *LogDist) Count() uint64 { return d.count }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (d *LogDist) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// Min and Max return the extreme observations (0 if empty).
+func (d *LogDist) Min() int64 { return d.min }
+
+// Max returns the largest observation (0 if empty).
+func (d *LogDist) Max() int64 { return d.max }
+
+// DistBucket is one row of a rendered distribution.
+type DistBucket struct {
+	Low, High int64 // inclusive value range
+	Count     uint64
+}
+
+// Buckets returns the populated buckets, lowest first.
+func (d *LogDist) Buckets() []DistBucket {
+	var out []DistBucket
+	for k, c := range d.buckets {
+		if c == 0 {
+			continue
+		}
+		var low, high int64
+		switch k {
+		case 0:
+			low, high = 0, 0
+		case 1:
+			low, high = 1, 1
+		default:
+			low = int64(1) << (k - 1)
+			high = low*2 - 1
+		}
+		out = append(out, DistBucket{Low: low, High: high, Count: c})
+	}
+	return out
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) using the
+// bucket boundaries: the high edge of the bucket containing the q-th
+// observation. With no observations it returns 0.
+func (d *LogDist) Quantile(q float64) int64 {
+	if d.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(d.count)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for k, c := range d.buckets {
+		seen += c
+		if seen >= target {
+			switch k {
+			case 0:
+				return 0
+			case 1:
+				return 1
+			default:
+				return int64(1)<<k - 1
+			}
+		}
+	}
+	return d.max
+}
+
+// String renders a compact summary.
+func (d *LogDist) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f min=%d max=%d", d.count, d.Mean(), d.min, d.max)
+	return b.String()
+}
+
+// Merge adds all observations of other into d, preserving counts, sums and
+// extremes.
+func (d *LogDist) Merge(other *LogDist) {
+	if other.count == 0 {
+		return
+	}
+	if d.count == 0 || other.min < d.min {
+		d.min = other.min
+	}
+	if d.count == 0 || other.max > d.max {
+		d.max = other.max
+	}
+	for k, c := range other.buckets {
+		d.buckets[k] += c
+	}
+	d.count += other.count
+	d.sum += other.sum
+}

@@ -1,0 +1,128 @@
+// Package stats provides the statistics containers used by the Paragraph
+// analyzer and its experiment harness: a parallelism-profile histogram that
+// automatically coarsens its bucket width as the DDG deepens (the paper's
+// "when the range of Ldest becomes too large ... a range of Ldest values is
+// mapped to each distribution entry"), logarithmically bucketed
+// distributions for value lifetimes and sharing degrees, and small helpers
+// for rendering tables, CSV series and ASCII plots.
+package stats
+
+import "fmt"
+
+// DefaultMaxBuckets is the profile resolution used when none is specified.
+// 1<<16 buckets keep profiles of multi-million-level DDGs under a megabyte.
+const DefaultMaxBuckets = 1 << 16
+
+// LevelHistogram counts operations per DDG level. Levels are non-negative
+// and unbounded; when the deepest level exceeds the bucket capacity, the
+// bucket width doubles (existing counts are folded pairwise), so memory is
+// bounded by maxBuckets regardless of critical-path length.
+type LevelHistogram struct {
+	counts     []uint64
+	width      int64 // levels per bucket, a power of two
+	maxBuckets int
+	total      uint64
+	maxLevel   int64
+	haveLevel  bool
+}
+
+// NewLevelHistogram returns a histogram holding at most maxBuckets buckets;
+// maxBuckets <= 0 selects DefaultMaxBuckets.
+func NewLevelHistogram(maxBuckets int) *LevelHistogram {
+	if maxBuckets <= 0 {
+		maxBuckets = DefaultMaxBuckets
+	}
+	if maxBuckets < 2 {
+		maxBuckets = 2
+	}
+	return &LevelHistogram{width: 1, maxBuckets: maxBuckets}
+}
+
+// Add records n operations at the given level.
+func (h *LevelHistogram) Add(level int64, n uint64) {
+	if level < 0 {
+		panic(fmt.Sprintf("stats: negative DDG level %d", level))
+	}
+	for level/h.width >= int64(h.maxBuckets) {
+		h.rescale()
+	}
+	idx := level / h.width
+	if int(idx) >= len(h.counts) {
+		h.counts = append(h.counts, make([]uint64, int(idx)+1-len(h.counts))...)
+	}
+	h.counts[idx] += n
+	h.total += n
+	if !h.haveLevel || level > h.maxLevel {
+		h.maxLevel = level
+		h.haveLevel = true
+	}
+}
+
+// rescale doubles the bucket width, folding counts pairwise.
+func (h *LevelHistogram) rescale() {
+	half := (len(h.counts) + 1) / 2
+	for i := 0; i < half; i++ {
+		var v uint64
+		v = h.counts[2*i]
+		if 2*i+1 < len(h.counts) {
+			v += h.counts[2*i+1]
+		}
+		h.counts[i] = v
+	}
+	h.counts = h.counts[:half]
+	h.width *= 2
+}
+
+// Total returns the number of operations recorded.
+func (h *LevelHistogram) Total() uint64 { return h.total }
+
+// MaxLevel returns the deepest level recorded and whether any level has
+// been recorded at all.
+func (h *LevelHistogram) MaxLevel() (int64, bool) { return h.maxLevel, h.haveLevel }
+
+// Width returns the current bucket width in levels.
+func (h *LevelHistogram) Width() int64 { return h.width }
+
+// NumBuckets returns the number of populated buckets.
+func (h *LevelHistogram) NumBuckets() int { return len(h.counts) }
+
+// ProfilePoint is one point of a parallelism profile: the first level of the
+// bucket and the average number of operations per level within it.
+type ProfilePoint struct {
+	Level int64
+	Ops   float64
+}
+
+// Profile returns the parallelism profile as (level, average ops per level)
+// points, one per bucket. The final bucket's average uses only the levels up
+// to the deepest recorded level, so sparse tails are not diluted.
+func (h *LevelHistogram) Profile() []ProfilePoint {
+	out := make([]ProfilePoint, len(h.counts))
+	for i, c := range h.counts {
+		start := int64(i) * h.width
+		span := h.width
+		if i == len(h.counts)-1 && h.haveLevel {
+			span = h.maxLevel - start + 1
+			if span <= 0 || span > h.width {
+				span = h.width
+			}
+		}
+		out[i] = ProfilePoint{Level: start, Ops: float64(c) / float64(span)}
+	}
+	return out
+}
+
+// Merge adds all mass from other into h. Used to combine profiles of
+// parallel shards.
+func (h *LevelHistogram) Merge(other *LevelHistogram) {
+	for i, c := range other.counts {
+		if c == 0 {
+			continue
+		}
+		h.Add(int64(i)*other.width, c)
+	}
+	if other.haveLevel && (!h.haveLevel || other.maxLevel > h.maxLevel) {
+		h.maxLevel = other.maxLevel
+		h.haveLevel = true
+	}
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them column-aligned,
+// in the visual style of the paper's tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with fmt.Sprint.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders a float the way the paper's tables do: two decimals,
+// with thousands separators for large magnitudes.
+func FormatFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	dot := strings.IndexByte(s, '.')
+	intPart, frac := s[:dot], s[dot:]
+	neg := strings.HasPrefix(intPart, "-")
+	if neg {
+		intPart = intPart[1:]
+	}
+	intPart = groupThousands(intPart)
+	if neg {
+		intPart = "-" + intPart
+	}
+	return intPart + frac
+}
+
+// FormatInt renders an integer with thousands separators.
+func FormatInt(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	s = groupThousands(s)
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+func groupThousands(s string) string {
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// Render writes the aligned table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			// Right-align numbers, left-align the first column.
+			if i == 0 {
+				b.WriteString(cell)
+				b.WriteString(strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes (x, y) series as a two-column CSV with a header row;
+// the format gnuplot and spreadsheet tools ingest directly.
+func WriteCSV(w io.Writer, xName, yName string, pts []ProfilePoint) error {
+	if _, err := fmt.Fprintf(w, "%s,%s\n", xName, yName); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", p.Level, p.Ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AsciiPlot renders a series as a crude horizontal-bar chart, one row per
+// point (downsampled to at most maxRows rows), with the y value labelled.
+// It is the terminal stand-in for the paper's figures.
+func AsciiPlot(w io.Writer, title string, pts []ProfilePoint, maxRows, barWidth int) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		_, err := fmt.Fprintln(w, "(empty)")
+		return err
+	}
+	if maxRows <= 0 {
+		maxRows = 40
+	}
+	if barWidth <= 0 {
+		barWidth = 60
+	}
+	step := 1
+	if len(pts) > maxRows {
+		step = (len(pts) + maxRows - 1) / maxRows
+	}
+	// Downsample by averaging each step-sized group.
+	var rows []ProfilePoint
+	for i := 0; i < len(pts); i += step {
+		end := i + step
+		if end > len(pts) {
+			end = len(pts)
+		}
+		var sum float64
+		for _, p := range pts[i:end] {
+			sum += p.Ops
+		}
+		rows = append(rows, ProfilePoint{Level: pts[i].Level, Ops: sum / float64(end-i)})
+	}
+	var peak float64
+	for _, p := range rows {
+		if p.Ops > peak {
+			peak = p.Ops
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for _, p := range rows {
+		n := int(p.Ops / peak * float64(barWidth))
+		if _, err := fmt.Fprintf(w, "%12d |%-*s %10.2f\n", p.Level, barWidth, strings.Repeat("#", n), p.Ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}

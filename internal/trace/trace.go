@@ -1,0 +1,296 @@
+// Package trace defines the canonical dynamic-instruction event produced by
+// the CPU simulator and consumed by the Paragraph analyzer, together with a
+// compact binary file format for storing traces.
+//
+// The paper captured serial execution traces of SPEC binaries with Pixie, a
+// basic-block execution profiler for DECstation workstations. A Pixie trace
+// is, in essence, the sequence of executed instructions together with the
+// data addresses they touch; this package is our equivalent of that trace
+// stream. Events carry everything the dependency analysis needs: the decoded
+// instruction (hence operation class and register operands), the effective
+// memory address and size for loads and stores, the memory segment the
+// address falls in (the analyzer's renaming switches distinguish stack from
+// non-stack memory), and branch outcomes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"paragraph/internal/isa"
+)
+
+// Segment classifies a memory address by the region of the address space it
+// falls in. The paper's renaming switches treat the stack segment separately
+// from other ("data") memory, because stack extents are procedure-scoped and
+// therefore easy to rename.
+type Segment uint8
+
+const (
+	SegNone  Segment = iota // no memory access
+	SegData                 // static data segment (and anything unclassified)
+	SegHeap                 // dynamically allocated memory (sbrk)
+	SegStack                // the stack segment
+)
+
+func (s Segment) String() string {
+	switch s {
+	case SegNone:
+		return "none"
+	case SegData:
+		return "data"
+	case SegHeap:
+		return "heap"
+	case SegStack:
+		return "stack"
+	}
+	return fmt.Sprintf("segment(%d)", uint8(s))
+}
+
+// Event is one dynamically executed instruction.
+type Event struct {
+	PC      uint32          // address of the instruction
+	Ins     isa.Instruction // the decoded instruction
+	MemAddr uint32          // effective address (loads/stores), else 0
+	MemSize uint8           // bytes accessed (loads/stores), else 0
+	Seg     Segment         // segment of MemAddr
+	Taken   bool            // branch/jump outcome
+}
+
+// IsSyscall reports whether the event is a system call.
+func (e *Event) IsSyscall() bool { return e.Ins.Op == isa.SYSCALL || e.Ins.Op == isa.BREAK }
+
+// Sink consumes a stream of events.
+type Sink interface {
+	Event(e *Event) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(e *Event) error
+
+// Event implements Sink.
+func (f SinkFunc) Event(e *Event) error { return f(e) }
+
+// Tee returns a Sink that forwards each event to every sink in order,
+// stopping at the first error.
+func Tee(sinks ...Sink) Sink {
+	return SinkFunc(func(e *Event) error {
+		for _, s := range sinks {
+			if err := s.Event(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Counter is a Sink that counts events; useful for trace-length accounting.
+type Counter struct {
+	N uint64
+}
+
+// Event implements Sink.
+func (c *Counter) Event(*Event) error { c.N++; return nil }
+
+// File format:
+//
+//	magic "PGTRACE1" (8 bytes)
+//	then per event:
+//	  flags byte: bit0 mem access present, bit1 taken, bits 2-3 segment,
+//	              bit4 PC is delta+4 from previous (the common case,
+//	              encoded with zero extra bytes)
+//	  if bit4 clear: uvarint PC
+//	  uvarint instruction word
+//	  if bit0: uvarint MemAddr, byte MemSize
+//
+// The format favours sequential code: straight-line execution costs one flag
+// byte plus the instruction word per event.
+
+var magic = [8]byte{'P', 'G', 'T', 'R', 'A', 'C', 'E', '1'}
+
+const (
+	flagMem      = 1 << 0
+	flagTaken    = 1 << 1
+	flagSegShift = 2
+	flagSeqPC    = 1 << 4
+)
+
+// Writer streams events to an io.Writer in the binary trace format. It
+// implements Sink. Call Flush (or Close if the underlying writer should be
+// closed) when done.
+type Writer struct {
+	bw     *bufio.Writer
+	closer io.Closer
+	lastPC uint32
+	first  bool
+	n      uint64
+	buf    [2 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter creates a trace writer and emits the file header. If w also
+// implements io.Closer, Close will close it.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	tw := &Writer{bw: bw, first: true}
+	if c, ok := w.(io.Closer); ok {
+		tw.closer = c
+	}
+	return tw, nil
+}
+
+// Event implements Sink.
+func (w *Writer) Event(e *Event) error {
+	var flags byte
+	seq := !w.first && e.PC == w.lastPC+4
+	if seq {
+		flags |= flagSeqPC
+	}
+	if e.MemSize > 0 {
+		flags |= flagMem
+	}
+	if e.Taken {
+		flags |= flagTaken
+	}
+	flags |= byte(e.Seg) << flagSegShift
+
+	word, err := isa.Encode(&e.Ins)
+	if err != nil {
+		return fmt.Errorf("trace: event %d: %w", w.n, err)
+	}
+
+	buf := w.buf[:0]
+	buf = append(buf, flags)
+	if !seq {
+		buf = binary.AppendUvarint(buf, uint64(e.PC))
+	}
+	buf = binary.AppendUvarint(buf, uint64(word))
+	if e.MemSize > 0 {
+		buf = binary.AppendUvarint(buf, uint64(e.MemAddr))
+		buf = append(buf, e.MemSize)
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		return err
+	}
+	w.lastPC = e.PC
+	w.first = false
+	w.n++
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() uint64 { return w.n }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Close flushes and, if the underlying writer is an io.Closer, closes it.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// Reader reads a trace written by Writer.
+type Reader struct {
+	br     *bufio.Reader
+	lastPC uint32
+	first  bool
+	n      uint64
+}
+
+// NewReader validates the header and returns a reader positioned at the
+// first event.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, errors.New("trace: bad magic; not a trace file")
+	}
+	return &Reader{br: br, first: true}, nil
+}
+
+// Next decodes the next event into e. It returns io.EOF at the clean end of
+// the trace.
+func (r *Reader) Next(e *Event) error {
+	flags, err := r.br.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: event %d: %w", r.n, err)
+	}
+	var pc uint32
+	if flags&flagSeqPC != 0 {
+		if r.first {
+			return fmt.Errorf("trace: event %d: sequential-PC flag on first event", r.n)
+		}
+		pc = r.lastPC + 4
+	} else {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: event %d: reading PC: %w", r.n, err)
+		}
+		pc = uint32(v)
+	}
+	wordV, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("trace: event %d: reading instruction: %w", r.n, err)
+	}
+	ins, err := isa.Decode(uint32(wordV))
+	if err != nil {
+		return fmt.Errorf("trace: event %d: %w", r.n, err)
+	}
+	*e = Event{
+		PC:    pc,
+		Ins:   ins,
+		Seg:   Segment(flags >> flagSegShift & 0x3),
+		Taken: flags&flagTaken != 0,
+	}
+	if flags&flagMem != 0 {
+		addr, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			return fmt.Errorf("trace: event %d: reading address: %w", r.n, err)
+		}
+		size, err := r.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trace: event %d: reading size: %w", r.n, err)
+		}
+		e.MemAddr = uint32(addr)
+		e.MemSize = size
+	}
+	r.lastPC = pc
+	r.first = false
+	r.n++
+	return nil
+}
+
+// ForEach reads every remaining event, invoking fn for each. It stops early
+// if fn returns an error, and returns nil at a clean end of trace.
+func (r *Reader) ForEach(fn func(e *Event) error) error {
+	var e Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(&e); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// doducx models doduc (Monte-Carlo simulation of a nuclear reactor
+// component): per-particle floating-point transformation chains that are
+// independent across particles, funnelled into a handful of accumulator
+// recurrences. The original measured ~104x available parallelism, almost
+// all of it recoverable by register renaming alone (Table 4).
+func doducxSource(scale int) string {
+	return fmt.Sprintf(`
+// doducx: per-particle FP chains + shared accumulators (models doduc)
+double absorbed = 0.0;
+double scattered = 0.0;
+double leaked = 0.0;
+
+int main() {
+    int p;
+    for (p = 0; p < %d; p = p + 1) {
+        // Counter-based pseudo-random draw: particles are independent,
+        // as the original's per-particle histories were.
+        int s = (p * 0x9E3779B1 + 0x7F4A7C15) & 0x7fffffff;
+        s = (s ^ (s >> 13)) & 0x7fffffff;
+        double u = s;
+        u = u / 2147483647.0;
+        // Energy transformation chain: polynomial "cross sections".
+        double e = 1.0 + u * 9.0;
+        double sigma = 0.45 + e * (0.021 + e * (0.0013 + e * 0.00007));
+        double path = 1.0 / sigma;
+        double w = 1.0;
+        int bounce;
+        for (bounce = 0; bounce < 6; bounce = bounce + 1) {
+            double t = path * (0.5 + u * 0.5);
+            e = e * 0.84 + t * 0.02;
+            sigma = 0.45 + e * (0.021 + e * 0.0013);
+            path = 1.0 / sigma;
+            w = w * 0.93;
+        }
+        if (e < 2.0) { absorbed = absorbed + w; }
+        else {
+            if (e < 6.0) { scattered = scattered + w * 0.5; }
+            else { leaked = leaked + w * 0.25; }
+        }
+    }
+    print_str("doducx ");
+    print_double(absorbed); print_char(32);
+    print_double(scattered); print_char(32);
+    print_double(leaked);
+    print_char(10);
+    return 0;
+}
+`, 2500*scale)
+}
+
+// fppppx models fpppp (Gaussian two-electron integral evaluation): the
+// original's hot code is enormous straight-line basic blocks of FP
+// arithmetic with few branches, giving the highest FP density and ~2000x
+// parallelism. The source below is generated with wide blocks of mostly
+// independent FP expressions whose results land in distinct array slots,
+// so successive blocks overlap almost completely in the DDG.
+func fppppxSource(scale int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// fppppx: wide straight-line FP blocks (models fpppp)
+double in[64];
+double out[2048];
+
+int main() {
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        in[i] = 0.5 + i * 0.03125;
+    }
+    int blk;
+    for (blk = 0; blk < %d; blk = blk + 1) {
+        int base = (blk * 16) %% 2032;
+`, 384*scale)
+	// One wide block: 16 independent chains, each a short polynomial of
+	// distinct inputs, written to distinct outputs.
+	for k := 0; k < 16; k++ {
+		i1 := (k * 3) % 64
+		i2 := (k*7 + 5) % 64
+		i3 := (k*11 + 9) % 64
+		fmt.Fprintf(&b, "        double t%d = in[%d] * in[%d] + in[%d] * %g;\n",
+			k, i1, i2, i3, 0.25+float64(k)*0.0625)
+		fmt.Fprintf(&b, "        t%d = t%d * in[%d] + t%d * t%d - %g;\n",
+			k, k, (i1+i2)%64, k, k, 0.125*float64(k+1))
+		fmt.Fprintf(&b, "        out[base + %d] = t%d / (in[%d] + 2.0);\n", k, k, i3)
+	}
+	b.WriteString(`    }
+    // Sampled checksum with four interleaved partial sums, so the final
+    // reduction does not dominate the critical path (fpppp itself has no
+    // global reduction).
+    double s0 = 0.0;
+    double s1 = 0.0;
+    double s2 = 0.0;
+    double s3 = 0.0;
+    for (i = 0; i < 128; i = i + 4) {
+        s0 = s0 + out[i * 16];
+        s1 = s1 + out[i * 16 + 16];
+        s2 = s2 + out[i * 16 + 32];
+        s3 = s3 + out[i * 16 + 48];
+    }
+    print_str("fppppx ");
+    print_double(s0 + s1 + s2 + s3);
+    print_char(10);
+    return 0;
+}
+`)
+	return b.String()
+}
+
+// matrixx models matrix300 (dense 300x300 matrix multiply): SAXPY inner
+// loops over arrays allocated on the stack, as the FORTRAN original
+// allocated its matrices. The paper's headline result — 23,302x available
+// parallelism, nearly none of it visible until stack memory is renamed
+// (Table 4: 1,235x with registers renamed, 23,302x with stack renamed) —
+// comes from the N^2 independent dot products living entirely in memory.
+// The matrices here are 20x20 to respect MiniC's 32 KB frame limit; the
+// dependency structure per element is identical.
+func matrixxSource(scale int) string {
+	return fmt.Sprintf(`
+// matrixx: stack-allocated dense matrix multiply (models matrix300)
+int main() {
+    double a[20][20];
+    double b[20][20];
+    double c[20][20];
+    // Partial-sum accumulators for the four-way unrolled dot product.
+    // MiniC register-allocates only the first twelve doubles declared in
+    // a function; p12..p15 below therefore live in the stack frame and
+    // are reused by every (i,j) iteration — the same stack-temporary
+    // reuse the -O3 FORTRAN compiler produced in matrix300's inner loop,
+    // and the reason stack renaming (not just register renaming) is
+    // needed to expose this program's parallelism (paper Table 4).
+    double p0;  double p1;  double p2;  double p3;
+    double p4;  double p5;  double p6;  double p7;
+    double p8;  double p9;  double p10; double p11;
+    double p12; double p13; double p14; double p15;
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 20; i = i + 1) {
+        for (j = 0; j < 20; j = j + 1) {
+            a[i][j] = (i + j) * 0.0625;
+            b[i][j] = (i - j) * 0.03125;
+            c[i][j] = 0.0;
+        }
+    }
+    int pass;
+    for (pass = 0; pass < %d; pass = pass + 1) {
+        for (i = 0; i < 20; i = i + 1) {
+            for (j = 0; j < 20; j = j + 1) {
+                p12 = 0.0; p13 = 0.0; p14 = 0.0; p15 = 0.0;
+                for (k = 0; k < 20; k = k + 4) {
+                    p12 = p12 + a[i][k] * b[k][j];
+                    p13 = p13 + a[i][k+1] * b[k+1][j];
+                    p14 = p14 + a[i][k+2] * b[k+2][j];
+                    p15 = p15 + a[i][k+3] * b[k+3][j];
+                }
+                c[i][j] = p12 + p13 + p14 + p15;
+            }
+        }
+        // Feed the product back so successive passes are dependent,
+        // as the original's repeated sweeps were.
+        for (i = 0; i < 20; i = i + 1) {
+            for (j = 0; j < 20; j = j + 1) {
+                a[i][j] = c[i][j] * 0.001 + a[i][j] * 0.5;
+            }
+        }
+    }
+    p0 = c[3][4]; p1 = c[19][19];
+    print_str("matrixx ");
+    print_double(p0); print_char(32);
+    print_double(p1);
+    print_char(10);
+    return 0;
+}
+`, 3*scale)
+}
+
+// naskerx models nasker (the NAS kernels): floating-point loops dominated
+// by first-order linear recurrences and reductions, so the available
+// parallelism saturates near 51x once registers are renamed and barely
+// moves with memory renaming (Table 4) — the recurrences, not storage,
+// are the limit.
+func naskerxSource(scale int) string {
+	return fmt.Sprintf(`
+// naskerx: recurrence-bound FP kernels (models nasker)
+double x[512];
+double y[512];
+double z[512];
+double w[512];
+
+int main() {
+    int i;
+    for (i = 0; i < 512; i = i + 1) {
+        x[i] = 0.001 * i;
+        y[i] = 1.0 - 0.0005 * i;
+        z[i] = 0.25;
+        w[i] = 0.5;
+    }
+    int pass;
+    double checksum = 0.0;
+    for (pass = 0; pass < %d; pass = pass + 1) {
+        // Kernel 1: eight interleaved first-order recurrences (the NAS
+        // kernels' vectorizable-but-recurrent flavour: chains of length
+        // 64 bound the critical path).
+        for (i = 8; i < 512; i = i + 1) {
+            x[i] = x[i-8] * 0.5 + y[i];
+        }
+        // Kernel 2: DAXPY-style independent update.
+        for (i = 0; i < 512; i = i + 1) {
+            z[i] = z[i] + 0.3 * x[i] + 0.1 * y[i];
+        }
+        // Kernel 3: polynomial evaluation (independent per element).
+        for (i = 0; i < 512; i = i + 1) {
+            double v = w[i];
+            w[i] = 0.98 * v + 0.002 * (v * v - v * v * v * 0.3333);
+        }
+        // Kernel 4: strided reduction (four chains of 128).
+        double d0 = 0.0;
+        double d1 = 0.0;
+        double d2 = 0.0;
+        double d3 = 0.0;
+        for (i = 0; i < 512; i = i + 4) {
+            d0 = d0 + y[i] * z[i];
+            d1 = d1 + y[i+1] * z[i+1];
+            d2 = d2 + y[i+2] * z[i+2];
+            d3 = d3 + y[i+3] * z[i+3];
+        }
+        checksum = checksum + d0 + d1 + d2 + d3;
+    }
+    print_str("naskerx ");
+    print_double(checksum);
+    print_char(10);
+    return 0;
+}
+`, 4*scale)
+}
+
+// spicex models spice2g6 (analog circuit simulation): sparse-matrix
+// indexing arithmetic (int) interleaved with device-model evaluation (FP),
+// the paper's one "Int and FP" benchmark. Device evaluations are
+// independent; the sparse Gauss-Seidel update is a serial sweep; the mix
+// lands in the ~100x parallelism band of the original.
+func spicexSource(scale int) string {
+	return fmt.Sprintf(`
+// spicex: sparse solve + device evaluation (models spice2g6)
+int rowptr[129];
+int colidx[1024];
+double val[1024];
+double xv[128];
+double rhs[128];
+double gdev[128];
+int nnz = 0;
+
+void buildmatrix(int seed) {
+    int i;
+    int s = seed;
+    nnz = 0;
+    for (i = 0; i < 128; i = i + 1) {
+        rowptr[i] = nnz;
+        // Diagonal plus up to 6 pseudo-random off-diagonals.
+        colidx[nnz] = i;
+        val[nnz] = 4.0 + (i %% 7) * 0.125;
+        nnz = nnz + 1;
+        int k;
+        for (k = 0; k < 6; k = k + 1) {
+            s = (s * 1103515245 + 12345) & 0x7fffffff;
+            int c = s %% 128;
+            if (c != i) {
+                colidx[nnz] = c;
+                val[nnz] = 0.0 - 0.2 - (s %% 100) * 0.001;
+                nnz = nnz + 1;
+            }
+        }
+    }
+    rowptr[128] = nnz;
+    for (i = 0; i < 128; i = i + 1) {
+        xv[i] = 0.0;
+        rhs[i] = 1.0 + (i %% 5) * 0.25;
+    }
+}
+
+// Device model: independent per-device FP polynomial evaluation
+// (diode-style conductance updates).
+void devices() {
+    int d;
+    for (d = 0; d < 128; d = d + 1) {
+        double v = xv[d];
+        double e = 1.0 + v + v * v * 0.5 + v * v * v * 0.1666;
+        gdev[d] = 0.01 * (e - 1.0) / (v + 0.026);
+    }
+}
+
+// One Gauss-Seidel sweep: serial through rows (uses freshly updated x).
+double sweep() {
+    int i;
+    double norm = 0.0;
+    for (i = 0; i < 128; i = i + 1) {
+        double acc = rhs[i] + gdev[i];
+        double diag = 1.0;
+        int k;
+        for (k = rowptr[i]; k < rowptr[i+1]; k = k + 1) {
+            int c = colidx[k];
+            if (c == i) { diag = val[k]; }
+            else { acc = acc - val[k] * xv[c]; }
+        }
+        double nx = acc / diag;
+        double d = nx - xv[i];
+        if (d < 0.0) { d = 0.0 - d; }
+        norm = norm + d;
+        xv[i] = nx;
+    }
+    return norm;
+}
+
+int main() {
+    buildmatrix(4242);
+    int iter;
+    double norm = 0.0;
+    for (iter = 0; iter < %d; iter = iter + 1) {
+        devices();
+        norm = sweep();
+    }
+    print_str("spicex ");
+    print_double(norm); print_char(32);
+    print_double(xv[7]);
+    print_char(10);
+    return 0;
+}
+`, 24*scale)
+}
+
+// tomcatvx models tomcatv (vectorized mesh generation): Jacobi-style
+// relaxation sweeps over 2-D arrays allocated on the stack, exactly the
+// storage pattern that made tomcatv's parallelism invisible until stack
+// renaming was enabled (Table 4: 67x with registers renamed, 5,772x with
+// the stack renamed). Every interior point of a sweep is independent.
+func tomcatvxSource(scale int) string {
+	return fmt.Sprintf(`
+// tomcatvx: stack-array mesh relaxation (models tomcatv)
+int main() {
+    double x[24][24];
+    double y[24][24];
+    double nx[24][24];
+    // Per-point stencil temporaries, as tomcatv's inner loop computes
+    // XX/YX/XY/YY/AA/DD before the update. Declared after the arrays,
+    // the later ones overflow MiniC's 12 FP variable registers onto the
+    // stack; their reuse every point is why tomcatv needed stack
+    // renaming in the paper's Table 4 (67x -> 5,772x).
+    double xx; double yx; double xy; double yy;
+    double aa; double bb; double cc; double dd;
+    double rx; double ry; double qi; double qj;
+    double t1; double t2; double t3; double t4;
+    int i;
+    int j;
+    for (i = 0; i < 24; i = i + 1) {
+        for (j = 0; j < 24; j = j + 1) {
+            x[i][j] = i * 0.125 + j * 0.0625;
+            y[i][j] = (i - j) * 0.03125;
+            nx[i][j] = 0.0;
+        }
+    }
+    int sweep;
+    double resid = 0.0;
+    for (sweep = 0; sweep < %d; sweep = sweep + 1) {
+        for (i = 1; i < 23; i = i + 1) {
+            for (j = 1; j < 23; j = j + 1) {
+                xx = x[i+1][j] - x[i-1][j];
+                yx = y[i+1][j] - y[i-1][j];
+                xy = x[i][j+1] - x[i][j-1];
+                yy = y[i][j+1] - y[i][j-1];
+                aa = xy * xy + yy * yy;
+                bb = xx * xy + yx * yy;
+                cc = xx * xx + yx * yx;
+                qi = x[i-1][j] + x[i+1][j] + x[i][j-1] + x[i][j+1];
+                qj = y[i-1][j] + y[i+1][j] + y[i][j-1] + y[i][j+1];
+                t1 = aa * qi - bb * qj;
+                t2 = cc * qj - bb * qi;
+                t3 = aa + cc + 0.5;
+                t4 = t1 * 0.125 + t2 * 0.03125;
+                dd = t4 / t3;
+                nx[i][j] = 0.25 * qi + 0.01 * dd;
+            }
+        }
+        resid = 0.0;
+        for (i = 1; i < 23; i = i + 1) {
+            for (j = 1; j < 23; j = j + 1) {
+                rx = nx[i][j] - x[i][j];
+                if (rx < 0.0) { rx = 0.0 - rx; }
+                resid = resid + rx;
+                x[i][j] = nx[i][j];
+            }
+        }
+    }
+    print_str("tomcatvx ");
+    print_double(resid); print_char(32);
+    print_double(x[12][12]);
+    print_char(10);
+    return 0;
+}
+`, 10*scale)
+}
+
+func init() {
+	register(&Workload{
+		Name: "doducx", Original: "doduc", Language: "FORTRAN", BenchType: "FP",
+		Description:  "Monte-Carlo particle chains with shared accumulators",
+		Source:       doducxSource,
+		ExpectOutput: "doducx 786.0930728905504 415.6911928659909 0\n",
+	})
+	register(&Workload{
+		Name: "fppppx", Original: "fpppp", Language: "FORTRAN", BenchType: "FP",
+		Description:  "wide straight-line FP expression blocks (electron integrals)",
+		Source:       fppppxSource,
+		ExpectOutput: "fppppx 22.488654318820224\n",
+	})
+	register(&Workload{
+		Name: "matrixx", Original: "matrix300", Language: "FORTRAN", BenchType: "FP",
+		Description:  "dense matrix multiply over stack-allocated arrays",
+		Source:       matrixxSource,
+		ExpectOutput: "matrixx 0.9903596267700197 -2.350062608718872\n",
+	})
+	register(&Workload{
+		Name: "naskerx", Original: "nasker", Language: "FORTRAN", BenchType: "FP",
+		Description:  "FP kernels bounded by first-order recurrences and reductions",
+		Source:       naskerxSource,
+		ExpectOutput: "naskerx 3108.1666799999994\n",
+	})
+	register(&Workload{
+		Name: "spicex", Original: "spice2g6", Language: "FORTRAN", BenchType: "Int and FP",
+		Description:  "sparse Gauss-Seidel solve interleaved with device-model evaluation",
+		Source:       spicexSource,
+		ExpectOutput: "spicex 0 0.5911632024649365\n",
+	})
+	register(&Workload{
+		Name: "tomcatvx", Original: "tomcatv", Language: "FORTRAN", BenchType: "FP",
+		Description:  "Jacobi mesh relaxation over stack-allocated 2-D arrays",
+		Source:       tomcatvxSource,
+		ExpectOutput: "tomcatvx 0.08860240117704091 2.2524409496057025\n",
+	})
+}

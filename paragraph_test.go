@@ -1,0 +1,173 @@
+package paragraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const quickSource = `
+int a[64];
+int main() {
+    int i;
+    int sum = 0;
+    for (i = 0; i < 64; i = i + 1) {
+        a[i] = i * 3;
+    }
+    for (i = 0; i < 64; i = i + 1) {
+        sum = sum + a[i];
+    }
+    print_int(sum);
+    print_char(10);
+    return 0;
+}
+`
+
+func TestCompileAndAnalyze(t *testing.T) {
+	prog, err := CompileMiniC(quickSource, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeProgram(prog, DataflowConfig(SyscallConservative), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Operations == 0 || res.CriticalPath == 0 {
+		t.Fatalf("empty result: %v", res)
+	}
+	if res.Available < 1 {
+		t.Errorf("available = %v", res.Available)
+	}
+	if len(res.Profile) == 0 {
+		t.Error("no profile")
+	}
+}
+
+func TestMachineExecution(t *testing.T) {
+	prog, err := CompileMiniC(quickSource, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m, err := NewMachine(prog, WithStdout(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "6048" { // 3 * 63*64/2
+		t.Errorf("program output = %q, want 6048", got)
+	}
+}
+
+func TestTraceRoundTripAnalysis(t *testing.T) {
+	prog, err := CompileMiniC(quickSource, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := WriteTrace(prog, &buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+	fromFile, err := AnalyzeTraceFile(&buf, DataflowConfig(SyscallConservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := AnalyzeProgram(prog, DataflowConfig(SyscallConservative), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromFile.CriticalPath != direct.CriticalPath ||
+		fromFile.Operations != direct.Operations ||
+		fromFile.Available != direct.Available {
+		t.Errorf("stored-trace analysis %v differs from direct %v", fromFile, direct)
+	}
+	if fromFile.Instructions != n {
+		t.Errorf("instructions %d != trace events %d", fromFile.Instructions, n)
+	}
+}
+
+func TestAssembleDirect(t *testing.T) {
+	prog, err := Assemble(`
+        .text
+main:   li   $t0, 5
+        li   $t1, 7
+        add  $a0, $t0, $t1
+        li   $v0, 1
+        syscall
+        jr   $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	m, err := NewMachine(prog, WithStdout(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "12" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	if len(Workloads()) != 10 {
+		t.Fatalf("got %d workloads", len(Workloads()))
+	}
+	w, err := WorkloadByName("matrix300")
+	if err != nil || w.Name != "matrixx" {
+		t.Errorf("lookup by original: %v, %v", w, err)
+	}
+	if _, err := WorkloadByName("bogus"); err == nil {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestMaxInstrCap(t *testing.T) {
+	prog, err := CompileMiniC(quickSource, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AnalyzeProgram(prog, DataflowConfig(SyscallConservative), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 100 {
+		t.Errorf("instructions = %d, want the 100 cap", res.Instructions)
+	}
+}
+
+func TestTwoPassFacade(t *testing.T) {
+	prog, err := CompileMiniC(quickSource, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTrace(prog, &buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	rs := bytes.NewReader(buf.Bytes())
+	two, err := AnalyzeTraceFileTwoPass(rs, DataflowConfig(SyscallConservative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := AnalyzeProgram(prog, DataflowConfig(SyscallConservative), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.CriticalPath != one.CriticalPath || two.Available != one.Available {
+		t.Errorf("two-pass %v != one-pass %v", two, one)
+	}
+	if two.MaxLiveMemoryWords > one.MaxLiveMemoryWords {
+		t.Errorf("two-pass footprint %d exceeds one-pass %d",
+			two.MaxLiveMemoryWords, one.MaxLiveMemoryWords)
+	}
+}
