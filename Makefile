@@ -1,0 +1,34 @@
+# Paragraph build/verify entry points. Everything is plain `go` underneath;
+# the targets just fix the flags.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short coverage-guided run of the trace-reader fuzzer on top of its seed
+# corpus. Minimization is bounded so the 10s budget is spent fuzzing.
+fuzz:
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceReader \
+		-fuzztime 10s -fuzzminimizetime 20x
+
+# The full verification gate: static checks, build, race-detector test run,
+# and a short fuzz of the trace reader.
+check: vet build race fuzz
+	@echo "check: OK"
+
+clean:
+	$(GO) clean ./...

@@ -248,7 +248,7 @@ func BenchmarkAnalyzerThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		a.Finish()
+		a.MustFinish()
 	}
 	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }

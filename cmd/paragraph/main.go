@@ -63,6 +63,7 @@ func main() {
 		twoPass    = flag.Bool("two-pass", false, "with -trace: run the paper's two-pass dead-value analysis")
 		storageOut = flag.String("storage", "", "write the live-well occupancy curve as CSV to this file")
 		sharing    = flag.Bool("sharing", false, "collect and print the degree-of-sharing distribution")
+		degraded   = flag.Bool("degraded", false, "with -trace: skip corrupt v2 chunks instead of failing fast, reporting what was lost")
 	)
 	flag.Parse()
 
@@ -114,10 +115,12 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		res, err := core.AnalyzeTwoPass(f, cfg)
+		var rstats trace.ReadStats
+		res, err := core.AnalyzeTwoPassOpts(f, cfg, core.TwoPassOptions{Degraded: *degraded, Stats: &rstats})
 		if err != nil {
 			fatal(err)
 		}
+		reportSkips(rstats)
 		report(res, *plot, *profileOut, *lifetimes, *sharing)
 		writeStorage(res, *storageOut)
 		return
@@ -130,7 +133,7 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		tr, err := trace.NewReader(f)
+		tr, err := trace.NewReaderOpts(f, trace.ReaderOptions{Degraded: *degraded})
 		if err != nil {
 			fatal(err)
 		}
@@ -145,6 +148,7 @@ func main() {
 		if err != nil && err != errBudget {
 			fatal(err)
 		}
+		reportSkips(tr.Stats())
 	default:
 		prog, err := buildProgram(*workload, *srcFile, *asmFile, *scale)
 		if err != nil {
@@ -159,9 +163,23 @@ func main() {
 		}
 	}
 
-	res := analyzer.Finish()
+	res, err := analyzer.Finish()
+	if err != nil {
+		fatal(err)
+	}
 	report(res, *plot, *profileOut, *lifetimes, *sharing)
 	writeStorage(res, *storageOut)
+}
+
+// reportSkips warns on stderr when a degraded-mode read lost events; the
+// metrics then describe only the surviving part of the trace.
+func reportSkips(st trace.ReadStats) {
+	if st.SkippedChunks == 0 && st.DuplicateChunks == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"paragraph: warning: degraded read skipped %d corrupt chunk(s) (~%d events, resync over %d bytes), dropped %d duplicate chunk(s)\n",
+		st.SkippedChunks, st.SkippedEvents, st.ResyncBytes, st.DuplicateChunks)
 }
 
 // writeStorage dumps the live-well occupancy curve, if collected.

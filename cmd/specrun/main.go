@@ -21,9 +21,16 @@
 //	-lifetimes        value lifetime / sharing distributions (extension E9)
 //	-ablation-unroll  compiler loop-unrolling ablation (extension E7)
 //	-branches         branch-prediction model sweep (extension E10)
+//
+// Resilience:
+//
+//	-keep-going       continue past failing workloads; failed rows are
+//	                  marked FAILED in the tables and the exit code is 1
+//	-timeout D        per-workload wall-clock budget (e.g. -timeout 30s)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +41,10 @@ import (
 	"paragraph/internal/harness"
 	"paragraph/internal/workloads"
 )
+
+// exitCode is the process exit status: set to 1 when any workload failed in
+// keep-going mode, so partial results still come with a failing exit code.
+var exitCode int
 
 func main() {
 	var (
@@ -49,11 +60,13 @@ func main() {
 		ablation = flag.Bool("ablation-unroll", false, "run the loop-unrolling ablation (E7)")
 		branches = flag.Bool("branches", false, "run the branch-prediction sweep (E10)")
 
-		scale   = flag.Int("scale", 1, "workload scale factor")
-		maxInst = flag.Uint64("max", 0, "per-run instruction budget (0 = unlimited)")
-		outDir  = flag.String("out", "", "directory for CSV outputs (fig7/fig8)")
-		names   = flag.String("workloads", "", "comma-separated workload subset")
-		ablWork = flag.String("ablation-workload", "naskerx", "workload for the unrolling ablation")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		maxInst   = flag.Uint64("max", 0, "per-run instruction budget (0 = unlimited)")
+		outDir    = flag.String("out", "", "directory for CSV outputs (fig7/fig8)")
+		names     = flag.String("workloads", "", "comma-separated workload subset")
+		ablWork   = flag.String("ablation-workload", "naskerx", "workload for the unrolling ablation")
+		keepGoing = flag.Bool("keep-going", false, "continue past failing workloads; failed rows are marked and the exit code is non-zero")
+		timeout   = flag.Duration("timeout", 0, "per-workload wall-clock budget, e.g. 30s (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -64,6 +77,8 @@ func main() {
 
 	s := harness.NewSuite(*scale)
 	s.MaxInstr = *maxInst
+	s.ContinueOnError = *keepGoing
+	s.WorkloadTimeout = *timeout
 	if *names != "" {
 		s.Workloads = nil
 		for _, n := range strings.Split(*names, ",") {
@@ -89,33 +104,25 @@ func main() {
 	if *all || *table2 {
 		section("Table 2: Benchmarks Analyzed")
 		rows, err := timed("table2", s.Table2)
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderTable2(os.Stdout, rows))
 	}
 	if *all || *table3 {
 		section("Table 3: Dataflow Results (conservative vs optimistic system calls)")
 		rows, err := timed("table3", s.Table3)
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderTable3(os.Stdout, rows))
 	}
 	if *all || *table4 {
 		section("Table 4: Available Parallelism under Different Renaming Conditions")
 		rows, err := timed("table4", s.Table4)
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderTable4(os.Stdout, rows))
 	}
 	if *all || *fig7 {
 		section("Figure 7: Parallelism Profiles")
 		profiles, err := timed("fig7", s.Figure7)
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderFigure7(os.Stdout, profiles))
 		if *outDir != "" {
 			for _, p := range profiles {
@@ -135,9 +142,7 @@ func main() {
 		series, err := timed("fig8", func() ([]harness.WindowSeries, error) {
 			return s.Figure8(nil)
 		})
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderFigure8(os.Stdout, series))
 		if *outDir != "" {
 			path := filepath.Join(*outDir, "fig8.csv")
@@ -155,17 +160,13 @@ func main() {
 		rows, err := timed("fus", func() ([]harness.FURow, error) {
 			return s.FunctionalUnits(nil)
 		})
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderFunctionalUnits(os.Stdout, rows))
 	}
 	if *all || *lifet {
 		section("Extension E9: Value Lifetimes and Degree of Sharing")
 		rows, err := timed("lifetimes", s.Lifetimes)
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderLifetimes(os.Stdout, rows))
 	}
 	if *all || *branches {
@@ -173,9 +174,7 @@ func main() {
 		rows, err := timed("branches", func() ([]harness.BranchRow, error) {
 			return s.BranchPrediction(nil)
 		})
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderBranches(os.Stdout, rows))
 	}
 	if *all || *ablation {
@@ -183,11 +182,30 @@ func main() {
 		rows, err := timed("ablation", func() ([]harness.UnrollRow, error) {
 			return s.AblationUnroll(*ablWork, nil)
 		})
-		if err != nil {
-			fatal(err)
-		}
+		partial(err)
 		must(harness.RenderUnroll(os.Stdout, rows))
 	}
+
+	if exitCode != 0 {
+		fmt.Fprintln(os.Stderr, "specrun: some workloads failed; results above are partial")
+		os.Exit(exitCode)
+	}
+}
+
+// partial handles an experiment's error. A *SuiteError from a keep-going
+// run is reported to stderr and remembered in the exit code while the
+// partial rows still render; any other error is fatal.
+func partial(err error) {
+	if err == nil {
+		return
+	}
+	var se *harness.SuiteError
+	if errors.As(err, &se) {
+		fmt.Fprintln(os.Stderr, "specrun:", err)
+		exitCode = 1
+		return
+	}
+	fatal(err)
 }
 
 // timed runs fn, reporting its wall time to stderr.

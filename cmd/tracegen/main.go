@@ -40,6 +40,8 @@ func main() {
 		maxInst  = flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
 		outFile  = flag.String("o", "", "output trace file")
 		list     = flag.Bool("list", false, "list available workloads")
+		format   = flag.Int("format", 2, "trace format version: 2 (chunked, checksummed) or 1 (legacy stream)")
+		chunk    = flag.Int("chunk", 0, "v2 chunk payload size in bytes (0 = default)")
 	)
 	flag.Parse()
 
@@ -64,7 +66,7 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	tw, err := trace.NewWriter(out)
+	tw, err := trace.NewWriterOpts(out, trace.WriterOptions{Version: *format, ChunkBytes: *chunk})
 	if err != nil {
 		fatal(err)
 	}

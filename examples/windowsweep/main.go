@@ -57,7 +57,7 @@ func main() {
 
 	results := make([]*core.Result, len(windows))
 	for i, a := range analyzers {
-		results[i] = a.Finish()
+		results[i] = a.MustFinish()
 	}
 	total := results[len(results)-1].Available
 

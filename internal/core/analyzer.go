@@ -71,12 +71,23 @@ func NewAnalyzer(cfg Config) *Analyzer {
 }
 
 // Event implements trace.Sink: it consumes one dynamically executed
-// instruction and updates the DDG state.
-func (a *Analyzer) Event(e *trace.Event) error {
+// instruction and updates the DDG state. Malformed events are rejected with
+// an error wrapping ErrBadEvent before they can touch the DDG; panics in the
+// placement machinery are converted into an *AnalysisError instead of
+// unwinding through the caller.
+func (a *Analyzer) Event(e *trace.Event) (err error) {
 	if a.finished {
 		return errors.New("core: Event after Finish")
 	}
 	seq := a.instructions
+	if verr := validateEvent(e, seq); verr != nil {
+		return verr
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &AnalysisError{Event: seq, Stage: "event", Cause: recoveredError(v)}
+		}
+	}()
 	if err := a.event(e, seq); err != nil {
 		return err
 	}
@@ -85,6 +96,34 @@ func (a *Analyzer) Event(e *trace.Event) error {
 	}
 	if a.storage != nil {
 		a.storage.Add(int64(seq), uint64(len(a.well.mem)))
+	}
+	return nil
+}
+
+// validateEvent checks an event's internal consistency. The checks mirror
+// the invariants the CPU tracer maintains; an event violating them came from
+// a corrupt trace or a buggy producer, and processing it would poison the
+// DDG state silently.
+func validateEvent(e *trace.Event, seq uint64) error {
+	if e.Ins.Op >= isa.NumOps {
+		return &BadEventError{Index: seq, PC: e.PC,
+			Reason: fmt.Sprintf("unknown opcode %d", e.Ins.Op)}
+	}
+	info := e.Ins.Op.Info()
+	isMem := info.IsLoad || info.IsStore
+	switch {
+	case isMem && e.MemSize == 0:
+		return &BadEventError{Index: seq, PC: e.PC,
+			Reason: "memory operation with zero access size"}
+	case !isMem && e.MemSize > 0:
+		return &BadEventError{Index: seq, PC: e.PC,
+			Reason: fmt.Sprintf("%v carries a memory access", e.Ins.Op)}
+	case isMem && e.Seg == trace.SegNone:
+		return &BadEventError{Index: seq, PC: e.PC,
+			Reason: "memory operation with no segment classification"}
+	case isMem && (e.Seg == trace.SegStack) != (e.MemAddr >= stackFloor):
+		return &BadEventError{Index: seq, PC: e.PC,
+			Reason: fmt.Sprintf("segment %v inconsistent with address %#x", e.Seg, e.MemAddr)}
 	}
 	return nil
 }
@@ -411,11 +450,18 @@ type Result struct {
 }
 
 // Finish flushes end-of-trace state and returns the metrics. The analyzer
-// rejects further events afterwards.
-func (a *Analyzer) Finish() *Result {
+// rejects further events afterwards. Internal panics are converted into an
+// *AnalysisError rather than unwinding through the caller.
+func (a *Analyzer) Finish() (res *Result, err error) {
 	if a.finished {
-		panic("core: Finish called twice")
+		return nil, errors.New("core: Finish called twice")
 	}
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &AnalysisError{Event: a.instructions, Stage: "finish", Cause: recoveredError(v)}
+		}
+	}()
 	a.finished = true
 
 	// Values still live at the end of the trace die here.
@@ -461,6 +507,16 @@ func (a *Analyzer) Finish() *Result {
 	}
 	if a.cfg.Sharing {
 		r.Sharing = a.sharing
+	}
+	return r, nil
+}
+
+// MustFinish is Finish for callers that treat an analysis failure as fatal
+// (tests, benchmarks, examples); it panics on error.
+func (a *Analyzer) MustFinish() *Result {
+	r, err := a.Finish()
+	if err != nil {
+		panic(err)
 	}
 	return r
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"maps"
+	"slices"
+)
+
+// Checkpoint is a resumable snapshot of an in-progress analysis: the full
+// analyzer state (live well, firewall floor, window, schedules, statistics)
+// together with the trace position it was taken at. A long analysis pass
+// that is interrupted — a crash, a deploy, a preempted batch job — restarts
+// from its last checkpoint instead of from the beginning of a
+// 100M-instruction trace.
+//
+// Checkpoints are in-memory objects: the live well dominates their size,
+// exactly as it dominates the analyzer's. Restore may be called any number
+// of times; each call yields an independent analyzer.
+type Checkpoint struct {
+	// EventOffset is the number of trace events consumed when the snapshot
+	// was taken; resumption must skip exactly this many events.
+	EventOffset uint64
+
+	a *Analyzer
+}
+
+// Snapshot deep-copies the analyzer's state into a checkpoint. The analyzer
+// remains usable; the checkpoint is unaffected by further events.
+func (a *Analyzer) Snapshot() *Checkpoint {
+	return &Checkpoint{EventOffset: a.instructions, a: a.clone()}
+}
+
+// Restore returns a fresh analyzer positioned exactly as the snapshotted one
+// was: feeding it the events after EventOffset reproduces the original run.
+func (cp *Checkpoint) Restore() *Analyzer {
+	return cp.a.clone()
+}
+
+// clone deep-copies the analyzer. Value-typed state (scalars, the LogDist
+// distributions, the Config apart from its override map) copies with the
+// struct; reference-typed state is duplicated below. The death schedule is
+// shared: it is immutable once computed.
+func (a *Analyzer) clone() *Analyzer {
+	b := *a
+	b.cfg.LatencyOverride = maps.Clone(a.cfg.LatencyOverride)
+	b.well = a.well.clone()
+	if a.profile != nil {
+		b.profile = a.profile.Clone()
+	}
+	if a.storage != nil {
+		b.storage = a.storage.Clone()
+	}
+	b.window = windowState{
+		seqs:   slices.Clone(a.window.seqs),
+		levels: slices.Clone(a.window.levels),
+		head:   a.window.head,
+	}
+	if a.fu != nil {
+		b.fu = a.fu.clone()
+	}
+	if a.pred != nil {
+		b.pred = a.pred.clone()
+	}
+	b.srcBuf = nil
+	return &b
+}
+
+// clone deep-copies the live well. The register arrays copy with the struct;
+// only the memory map needs duplication.
+func (w *liveWell) clone() *liveWell {
+	c := *w
+	c.mem = maps.Clone(w.mem)
+	return &c
+}
+
+// clone deep-copies the functional-unit schedule.
+func (f *fuSchedule) clone() *fuSchedule {
+	c := *f
+	c.counts = maps.Clone(f.counts)
+	return &c
+}
+
+// clone deep-copies the branch predictor (its counter table in particular).
+func (p *predictor) clone() *predictor {
+	c := *p
+	c.counters = slices.Clone(p.counters)
+	return &c
+}

@@ -44,7 +44,7 @@ func analyze(t *testing.T, cfg Config, events []trace.Event) *Result {
 			t.Fatalf("event %d: %v", i, err)
 		}
 	}
-	return a.Finish()
+	return a.MustFinish()
 }
 
 // profileOps extracts the per-level op counts, requiring bucket width 1.
@@ -272,27 +272,27 @@ func TestMemoryWAR(t *testing.T) {
 // TestStackVsDataRenaming: the stack switch only affects stack-segment
 // addresses.
 func TestStackVsDataRenaming(t *testing.T) {
-	mk := func(seg trace.Segment) []trace.Event {
+	mk := func(addr uint32, seg trace.Segment) []trace.Event {
 		// Two independent computations forced to reuse one memory word.
 		return []trace.Event{
 			evAddi(isa.T0, isa.Zero, 1),
-			evStore(isa.T0, 0x7fff0000, seg),
-			evLoad(isa.T1, 0x7fff0000, seg),
+			evStore(isa.T0, addr, seg),
+			evLoad(isa.T1, addr, seg),
 			evAddi(isa.T2, isa.Zero, 2),
-			evStore(isa.T2, 0x7fff0000, seg),
-			evLoad(isa.T3, 0x7fff0000, seg),
+			evStore(isa.T2, addr, seg),
+			evLoad(isa.T3, addr, seg),
 		}
 	}
 	cfg := Dataflow(SyscallConservative)
 	cfg.RenameStack = false
-	r := analyze(t, cfg, mk(trace.SegStack))
+	r := analyze(t, cfg, mk(0x7fff0000, trace.SegStack))
 	// Without stack renaming: store1 at L1, load1 reads at L2 (base 1),
 	// store2 must execute after that read (base >= 2, lands L3), load2
 	// at L4 — critical path 5.
 	if r.CriticalPath != 5 {
 		t.Errorf("stack kept: critical path = %d, want 5", r.CriticalPath)
 	}
-	r = analyze(t, cfg, mk(trace.SegData))
+	r = analyze(t, cfg, mk(0x1000_0000, trace.SegData))
 	// Data renaming is still on, so the two chains overlap.
 	if r.CriticalPath != 3 {
 		t.Errorf("data renamed: critical path = %d, want 3", r.CriticalPath)
@@ -556,21 +556,20 @@ func TestEventAfterFinish(t *testing.T) {
 	if err := a.Event(&e); err != nil {
 		t.Fatal(err)
 	}
-	a.Finish()
+	if _, err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
 	if err := a.Event(&e); err == nil {
 		t.Error("Event after Finish succeeded")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("second Finish did not panic")
-		}
-	}()
-	a.Finish()
+	if _, err := a.Finish(); err == nil {
+		t.Error("second Finish did not return an error")
+	}
 }
 
 // TestEmptyTrace: finishing with no events yields zeroes, not panics.
 func TestEmptyTrace(t *testing.T) {
-	r := NewAnalyzer(Dataflow(SyscallConservative)).Finish()
+	r := NewAnalyzer(Dataflow(SyscallConservative)).MustFinish()
 	if r.CriticalPath != 0 || r.Operations != 0 || r.Available != 0 {
 		t.Errorf("empty result = %+v", r)
 	}
@@ -757,7 +756,7 @@ func BenchmarkAnalyzerThroughput(b *testing.B) {
 		for j := range events {
 			_ = a.Event(&events[j])
 		}
-		a.Finish()
+		a.MustFinish()
 	}
 	b.SetBytes(int64(len(events)))
 }

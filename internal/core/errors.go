@@ -1,0 +1,61 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadEvent is the sentinel wrapped by every event-validation failure, so
+// callers can classify malformed-input errors with errors.Is(err, ErrBadEvent)
+// without depending on the specific reason.
+var ErrBadEvent = errors.New("core: invalid trace event")
+
+// BadEventError reports a trace event the analyzer rejected before letting
+// it near the DDG state: an unknown opcode, a memory operation with no size
+// or segment, or a segment tag inconsistent with its address.
+type BadEventError struct {
+	// Index is the zero-based position of the event in the stream fed to
+	// this analyzer.
+	Index uint64
+	// PC is the event's program counter, for locating the damage.
+	PC uint32
+	// Reason describes what was wrong.
+	Reason string
+}
+
+func (e *BadEventError) Error() string {
+	return fmt.Sprintf("core: invalid trace event %d (pc %#x): %s", e.Index, e.PC, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrBadEvent) true.
+func (e *BadEventError) Unwrap() error { return ErrBadEvent }
+
+// AnalysisError wraps a failure inside the analyzer — most importantly a
+// panic in the placement machinery converted to an error — with enough
+// position information to find the triggering event in the trace.
+type AnalysisError struct {
+	// Event is the zero-based index of the event being processed when the
+	// analysis failed. For failures in Finish it is the total number of
+	// events consumed.
+	Event uint64
+	// Stage identifies where the failure happened: "event", "finish", or a
+	// pipeline stage name such as "discovery".
+	Stage string
+	// Cause is the underlying error; recovered panics appear as a
+	// descriptive error carrying the panic value.
+	Cause error
+}
+
+func (e *AnalysisError) Error() string {
+	return fmt.Sprintf("core: analysis failed at event %d (%s): %v", e.Event, e.Stage, e.Cause)
+}
+
+func (e *AnalysisError) Unwrap() error { return e.Cause }
+
+// recoveredError converts a recovered panic value into an error.
+func recoveredError(v any) error {
+	if err, ok := v.(error); ok {
+		return fmt.Errorf("internal panic: %w", err)
+	}
+	return fmt.Errorf("internal panic: %v", v)
+}

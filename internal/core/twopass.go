@@ -112,14 +112,40 @@ func (a *Analyzer) evictDead(seq uint64) {
 	}
 }
 
+// stackFloor is the byte-address boundary of the stack region; it mirrors
+// the CPU tracer's classification (cpu.stackRegionFloor), which event
+// validation and word-segment recovery must agree with.
+const stackFloor uint32 = 0x70000000
+
 // segmentOfWord classifies a word address with the same boundaries the CPU
-// tracer uses (trace.SegStack above 0x70000000, data/heap below). Heap and
+// tracer uses (trace.SegStack above stackFloor, data/heap below). Heap and
 // data share a renaming switch, so the heap boundary is not needed here.
 func segmentOfWord(w uint32) trace.Segment {
-	if w >= 0x70000000>>2 {
+	if w >= stackFloor>>2 {
 		return trace.SegStack
 	}
 	return trace.SegData
+}
+
+// TwoPassOptions configures AnalyzeTwoPassOpts beyond the analysis Config.
+type TwoPassOptions struct {
+	// Degraded reads the trace in graceful-degradation mode: corrupt v2
+	// chunks are skipped (identically in both passes, so the death
+	// schedule stays consistent with the analysis pass) instead of
+	// aborting the run.
+	Degraded bool
+	// CheckpointEvery takes a state snapshot every this many events during
+	// the analysis pass; 0 disables checkpointing.
+	CheckpointEvery uint64
+	// OnCheckpoint receives each snapshot. Returning an error aborts the
+	// pass with that error — which is also how tests simulate an
+	// interruption at an exact trace position. Ignored when
+	// CheckpointEvery is 0.
+	OnCheckpoint func(*Checkpoint) error
+	// Stats, when non-nil, receives the analysis-pass reader's skip
+	// accounting on successful return — the exact number of events lost
+	// to corrupt chunks in degraded mode.
+	Stats *trace.ReadStats
 }
 
 // AnalyzeTwoPass runs the paper's Method-1 pipeline over a stored trace:
@@ -127,7 +153,61 @@ func segmentOfWord(w uint32) trace.Segment {
 // are identical to a single-pass analysis; the live-well footprint
 // (Result.MaxLiveMemoryWords) is what shrinks.
 func AnalyzeTwoPass(rs io.ReadSeeker, cfg Config) (*Result, error) {
-	r, err := trace.NewReader(rs)
+	return AnalyzeTwoPassOpts(rs, cfg, TwoPassOptions{})
+}
+
+// AnalyzeTwoPassOpts is AnalyzeTwoPass with fault-tolerance options:
+// degraded reads over damaged traces and periodic checkpoints for resuming
+// an interrupted pass (see ResumeTwoPass).
+func AnalyzeTwoPassOpts(rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Result, error) {
+	ds, err := discoverDeaths(rs, opts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := trace.NewReaderOpts(rs, trace.ReaderOptions{Degraded: opts.Degraded})
+	if err != nil {
+		return nil, err
+	}
+	a := NewAnalyzer(cfg)
+	if err := a.UseDeathSchedule(ds); err != nil {
+		return nil, err
+	}
+	return runAnalysisPass(a, r, 0, opts)
+}
+
+// ResumeTwoPass continues an interrupted analysis pass from a checkpoint:
+// the reader is fast-forwarded past the events the checkpoint already
+// consumed and the restored analyzer processes the rest. The result is
+// identical to an uninterrupted run over the same trace. The options'
+// Degraded flag must match the original run, or the event numbering
+// diverges.
+func ResumeTwoPass(rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Result, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r, err := trace.NewReaderOpts(rs, trace.ReaderOptions{Degraded: opts.Degraded})
+	if err != nil {
+		return nil, err
+	}
+	var e trace.Event
+	for skipped := uint64(0); skipped < cp.EventOffset; skipped++ {
+		if err := r.Next(&e); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("core: resume: trace ended at event %d, before checkpoint offset %d", skipped, cp.EventOffset)
+			}
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+	}
+	return runAnalysisPass(cp.Restore(), r, cp.EventOffset, opts)
+}
+
+// discoverDeaths runs the discovery pass from the start of the trace and
+// rewinds the input for the analysis pass.
+func discoverDeaths(rs io.ReadSeeker, opts TwoPassOptions) (*DeathSchedule, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r, err := trace.NewReaderOpts(rs, trace.ReaderOptions{Degraded: opts.Degraded})
 	if err != nil {
 		return nil, err
 	}
@@ -138,16 +218,34 @@ func AnalyzeTwoPass(rs io.ReadSeeker, cfg Config) (*Result, error) {
 	if _, err := rs.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	r, err = trace.NewReader(rs)
-	if err != nil {
-		return nil, err
+	return ds, nil
+}
+
+// runAnalysisPass drives the analyzer over the remaining events of r,
+// taking checkpoints as configured. idx is the trace position of the next
+// event (non-zero when resuming).
+func runAnalysisPass(a *Analyzer, r *trace.Reader, idx uint64, opts TwoPassOptions) (*Result, error) {
+	var e trace.Event
+	for {
+		err := r.Next(&e)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: analysis pass: %w", err)
+		}
+		if err := a.Event(&e); err != nil {
+			return nil, fmt.Errorf("core: analysis pass: %w", err)
+		}
+		idx++
+		if opts.CheckpointEvery > 0 && idx%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
+			if err := opts.OnCheckpoint(a.Snapshot()); err != nil {
+				return nil, fmt.Errorf("core: checkpoint at event %d: %w", idx, err)
+			}
+		}
 	}
-	a := NewAnalyzer(cfg)
-	if err := a.UseDeathSchedule(ds); err != nil {
-		return nil, err
+	if opts.Stats != nil {
+		*opts.Stats = r.Stats()
 	}
-	if err := r.ForEach(a.Event); err != nil {
-		return nil, fmt.Errorf("core: analysis pass: %w", err)
-	}
-	return a.Finish(), nil
+	return a.Finish()
 }

@@ -107,7 +107,7 @@ func TestTwoPassMatchesOnePass(t *testing.T) {
 	if err := tr.ForEach(a.Event); err != nil {
 		t.Fatal(err)
 	}
-	one := a.Finish()
+	one := a.MustFinish()
 
 	if one.CriticalPath != two.CriticalPath || one.Operations != two.Operations ||
 		one.Available != two.Available || one.Syscalls != two.Syscalls {
@@ -149,7 +149,7 @@ func TestTwoPassKeepsNonRenamedValues(t *testing.T) {
 	if err := tr.ForEach(a.Event); err != nil {
 		t.Fatal(err)
 	}
-	one := a.Finish()
+	one := a.MustFinish()
 	if one.CriticalPath != two.CriticalPath || one.Available != two.Available {
 		t.Errorf("non-renamed metrics differ: %v vs %v", one, two)
 	}

@@ -663,3 +663,39 @@ func TestMemoryHalfAndDoubleAligned(t *testing.T) {
 		t.Error("aligned double failed")
 	}
 }
+
+// TestPrintStringUnterminated proves the syscall layer's defence against a
+// string with no NUL terminator: SysPrintString must return after exactly
+// maxCString bytes instead of walking memory forever.
+func TestPrintStringUnterminated(t *testing.T) {
+	p, err := asm.Assemble(".text\nmain: jr $ra\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	c, err := New(p, WithStdout(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A run of nonzero bytes longer than the bound, with no terminator in
+	// range: the first NUL lies beyond maxCString.
+	const base = 0x20000000
+	c.mem.WriteBytes(base, bytes.Repeat([]byte{'a'}, maxCString+512))
+	c.intRegs[isa.V0] = SysPrintString
+	c.intRegs[isa.A0] = base
+	if err := c.syscall(); err != nil {
+		t.Fatalf("syscall: %v", err)
+	}
+	if out.Len() != maxCString {
+		t.Errorf("printed %d bytes, want the maxCString bound %d", out.Len(), maxCString)
+	}
+	// A terminated string in the same memory still prints normally.
+	out.Reset()
+	c.mem.WriteBytes(base, []byte("bounded\x00trailing"))
+	if err := c.syscall(); err != nil {
+		t.Fatalf("syscall: %v", err)
+	}
+	if out.String() != "bounded" {
+		t.Errorf("printed %q, want %q", out.String(), "bounded")
+	}
+}

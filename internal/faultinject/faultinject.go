@@ -1,0 +1,220 @@
+// Package faultinject deterministically damages trace streams so tests can
+// prove every recovery path in the pipeline. All mutators are seeded: the
+// same seed over the same input produces the same faults, which keeps
+// failing tests reproducible from their log line alone.
+//
+// Two layers are covered:
+//
+//   - Byte-level corruption of encoded traces (bit flips, truncation, chunk
+//     duplication, targeted chunk damage), applied to a []byte or through a
+//     CorruptReader io.Reader wrapper. These exercise trace.Reader's CRC
+//     verification, fail-fast errors, and degraded-mode resync.
+//   - Event-level faults in flight (drops, duplicated deliveries, field
+//     mangling) via a trace.Sink wrapper. These exercise the analyzer's
+//     event validation.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"paragraph/internal/trace"
+)
+
+// FlipBits returns a copy of data with n pseudo-random single-bit flips,
+// positioned deterministically by seed. Positions at or after skip bytes are
+// chosen, so a file header can be kept intact.
+func FlipBits(data []byte, n int, seed int64, skip int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) <= skip {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pos := skip + rng.Intn(len(out)-skip)
+		out[pos] ^= 1 << uint(rng.Intn(8))
+	}
+	return out
+}
+
+// Truncate returns the first len(data)-n bytes of data (a torn tail, as left
+// by a crash or a full disk). It returns an empty slice when n exceeds the
+// input.
+func Truncate(data []byte, n int) []byte {
+	if n >= len(data) {
+		return []byte{}
+	}
+	return append([]byte(nil), data[:len(data)-n]...)
+}
+
+// CorruptChunk flips one bit in the payload of v2-trace chunk index i,
+// deterministically by seed. The chunk header (and thus the resync marker)
+// is left intact, so the CRC check is what must catch the damage.
+func CorruptChunk(data []byte, i int, seed int64) ([]byte, error) {
+	chunks, err := trace.ScanChunks(data)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(chunks) {
+		return nil, fmt.Errorf("faultinject: chunk %d out of range (trace has %d)", i, len(chunks))
+	}
+	c := chunks[i]
+	if c.Payload == 0 {
+		return nil, fmt.Errorf("faultinject: chunk %d has an empty payload", i)
+	}
+	out := append([]byte(nil), data...)
+	rng := rand.New(rand.NewSource(seed))
+	pos := int(c.Offset) + chunkHdrLen + rng.Intn(c.Payload)
+	out[pos] ^= 1 << uint(rng.Intn(8))
+	return out, nil
+}
+
+// chunkHdrLen mirrors the v2 framed header size; trace.ScanChunks reports
+// payload offsets relative to it.
+const chunkHdrLen = 20
+
+// DuplicateChunk returns the trace with chunk index i appended again
+// immediately after itself, simulating a replayed write. A v2 reader must
+// drop the replay by sequence number.
+func DuplicateChunk(data []byte, i int) ([]byte, error) {
+	chunks, err := trace.ScanChunks(data)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(chunks) {
+		return nil, fmt.Errorf("faultinject: chunk %d out of range (trace has %d)", i, len(chunks))
+	}
+	c := chunks[i]
+	end := int(c.Offset) + chunkHdrLen + c.Payload
+	out := make([]byte, 0, len(data)+chunkHdrLen+c.Payload)
+	out = append(out, data[:end]...)
+	out = append(out, data[c.Offset:end]...)
+	out = append(out, data[end:]...)
+	return out, nil
+}
+
+// CorruptReader wraps an io.Reader and flips pseudo-random bits in the bytes
+// flowing through it. Rate is the expected number of bytes between flips
+// (e.g. 4096 flips roughly one bit per 4 KiB); Skip protects the first Skip
+// bytes so the stream's header survives.
+type CorruptReader struct {
+	R    io.Reader
+	Rate int
+	Skip int
+
+	rng  *rand.Rand
+	seed int64
+	off  int
+	next int
+}
+
+// NewCorruptReader builds a CorruptReader with the given seed.
+func NewCorruptReader(r io.Reader, rate int, skip int, seed int64) *CorruptReader {
+	if rate <= 0 {
+		rate = 4096
+	}
+	c := &CorruptReader{R: r, Rate: rate, Skip: skip, seed: seed}
+	c.rng = rand.New(rand.NewSource(seed))
+	c.next = skip + 1 + c.rng.Intn(rate)
+	return c
+}
+
+// Read implements io.Reader.
+func (c *CorruptReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	for i := 0; i < n; i++ {
+		if c.off+i >= c.next {
+			p[i] ^= 1 << uint(c.rng.Intn(8))
+			c.next = c.off + i + 1 + c.rng.Intn(c.Rate)
+		}
+	}
+	c.off += n
+	return n, err
+}
+
+// SinkOptions configures a fault-injecting Sink wrapper. Probabilities are
+// per event and evaluated in the order drop, duplicate, mangle.
+type SinkOptions struct {
+	Seed      int64
+	DropP     float64 // probability an event is silently dropped
+	DupP      float64 // probability an event is delivered twice
+	MangleP   float64 // probability an event is damaged before delivery
+	MaxFaults int     // stop injecting after this many faults; 0 = unlimited
+}
+
+// Sink wraps dst so that events flowing through are dropped, duplicated, or
+// mangled with the configured seeded probabilities. Mangling picks one of:
+// clearing a memory op's size, clearing its segment, moving a stack address
+// below the stack floor, or corrupting the opcode — each a fault the
+// analyzer's validation must reject.
+type Sink struct {
+	dst    trace.Sink
+	opts   SinkOptions
+	rng    *rand.Rand
+	faults int
+
+	// Dropped, Duplicated, Mangled count the faults injected so far.
+	Dropped    int
+	Duplicated int
+	Mangled    int
+}
+
+// NewSink wraps dst with fault injection.
+func NewSink(dst trace.Sink, opts SinkOptions) *Sink {
+	return &Sink{dst: dst, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Event implements trace.Sink.
+func (s *Sink) Event(e *trace.Event) error {
+	if s.opts.MaxFaults > 0 && s.faults >= s.opts.MaxFaults {
+		return s.dst.Event(e)
+	}
+	switch p := s.rng.Float64(); {
+	case p < s.opts.DropP:
+		s.Dropped++
+		s.faults++
+		return nil
+	case p < s.opts.DropP+s.opts.DupP:
+		s.Duplicated++
+		s.faults++
+		if err := s.dst.Event(e); err != nil {
+			return err
+		}
+		return s.dst.Event(e)
+	case p < s.opts.DropP+s.opts.DupP+s.opts.MangleP:
+		s.Mangled++
+		s.faults++
+		bad := *e
+		mangle(&bad, s.rng)
+		return s.dst.Event(&bad)
+	}
+	return s.dst.Event(e)
+}
+
+// mangle damages one field of the event.
+func mangle(e *trace.Event, rng *rand.Rand) {
+	switch rng.Intn(4) {
+	case 0: // memory op with no size
+		if e.MemSize > 0 {
+			e.MemSize = 0
+			return
+		}
+		fallthrough
+	case 1: // memory op with no segment
+		if e.MemSize > 0 {
+			e.Seg = trace.SegNone
+			return
+		}
+		fallthrough
+	case 2: // stack-tagged access far below the stack region
+		if e.MemSize > 0 {
+			e.Seg = trace.SegStack
+			e.MemAddr = 0x1000
+			return
+		}
+		fallthrough
+	default: // opcode outside the ISA
+		e.Ins.Op = 0xFF
+	}
+}

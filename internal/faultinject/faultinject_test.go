@@ -1,0 +1,254 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+)
+
+// sampleTrace builds a small multi-chunk v2 trace.
+func sampleTrace(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOpts(&buf, trace.WriterOptions{Version: 2, ChunkBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := uint32(0x400000)
+	for i := 0; i < n; i++ {
+		e := trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.ADDI, Rt: isa.T0, Rs: isa.T1, Imm: int32(i)}}
+		if i%3 == 0 {
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.LW, Rt: isa.T2, Rs: isa.SP, Imm: 4},
+				MemAddr: 0x7fff0000, MemSize: 4, Seg: trace.SegStack}
+		}
+		if err := w.Event(&e); err != nil {
+			t.Fatal(err)
+		}
+		pc += 4
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFlipBitsDeterministic(t *testing.T) {
+	data := sampleTrace(t, 500)
+	a := FlipBits(data, 5, 99, 8)
+	b := FlipBits(data, 5, 99, 8)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if bytes.Equal(a, data) {
+		t.Error("no bits were flipped")
+	}
+	if !bytes.Equal(a[:8], data[:8]) {
+		t.Error("skip region was touched")
+	}
+	if !bytes.Equal(data, sampleTrace(t, 500)) {
+		t.Error("FlipBits mutated its input")
+	}
+	c := FlipBits(data, 5, 100, 8)
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical corruption")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5}
+	if got := Truncate(data, 2); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Truncate(5,2) = %v", got)
+	}
+	if got := Truncate(data, 10); len(got) != 0 {
+		t.Errorf("over-truncation = %v", got)
+	}
+}
+
+func TestCorruptChunkTargetsPayload(t *testing.T) {
+	data := sampleTrace(t, 500)
+	chunks, err := trace.ScanChunks(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 3 {
+		t.Fatalf("need several chunks, got %d", len(chunks))
+	}
+	bad, err := CorruptChunk(data, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := CorruptChunk(data, 1, 7)
+	if err != nil || !bytes.Equal(bad, again) {
+		t.Error("CorruptChunk is not deterministic")
+	}
+	// Only chunk 1's CRC breaks; headers and other chunks stay intact.
+	after, err := trace.ScanChunks(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range after {
+		if c.CRCOK != (i != 1) {
+			t.Errorf("chunk %d CRCOK = %v", i, c.CRCOK)
+		}
+	}
+	// A fail-fast reader must reject exactly that chunk.
+	r, err := trace.NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e trace.Event
+	var rerr error
+	for rerr == nil {
+		rerr = r.Next(&e)
+	}
+	var cce *trace.CorruptChunkError
+	if !errors.As(rerr, &cce) || cce.Chunk != 1 {
+		t.Errorf("reader gave %v, want CorruptChunkError for chunk 1", rerr)
+	}
+
+	if _, err := CorruptChunk(data, len(chunks), 7); err == nil {
+		t.Error("out-of-range chunk index accepted")
+	}
+}
+
+func TestDuplicateChunk(t *testing.T) {
+	data := sampleTrace(t, 500)
+	dup, err := DuplicateChunk(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := trace.ScanChunks(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks[2].Seq != chunks[3].Seq {
+		t.Errorf("chunks 2 and 3 have seqs %d, %d; want a replay", chunks[2].Seq, chunks[3].Seq)
+	}
+	// The reader drops the replay: same events as the pristine trace.
+	count := func(data []byte) (n int) {
+		t.Helper()
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e trace.Event
+		for r.Next(&e) == nil {
+			n++
+		}
+		return n
+	}
+	if got, want := count(dup), count(data); got != want {
+		t.Errorf("replayed trace delivered %d events, want %d", got, want)
+	}
+}
+
+func TestCorruptReader(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAA}, 1<<16)
+	read := func(seed int64) []byte {
+		cr := NewCorruptReader(bytes.NewReader(data), 1024, 64, seed)
+		out, err := io.ReadAll(cr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := read(3), read(3)
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different streams")
+	}
+	if bytes.Equal(a, data) {
+		t.Error("no corruption at rate 1024 over 64 KiB")
+	}
+	if !bytes.Equal(a[:64], data[:64]) {
+		t.Error("skip region was corrupted")
+	}
+	flips := 0
+	for i := range a {
+		if a[i] != data[i] {
+			flips++
+		}
+	}
+	// Expected ~64 flips at one per KiB; allow a wide deterministic band.
+	if flips < 16 || flips > 256 {
+		t.Errorf("flips = %d, want roughly len/rate", flips)
+	}
+}
+
+// collector records every event delivered to it.
+type collector struct {
+	events []trace.Event
+}
+
+func (c *collector) Event(e *trace.Event) error {
+	c.events = append(c.events, *e)
+	return nil
+}
+
+func TestSinkFaults(t *testing.T) {
+	var got collector
+	s := NewSink(&got, SinkOptions{Seed: 11, DropP: 0.1, DupP: 0.1, MangleP: 0.1})
+	e := trace.Event{PC: 0x400000, Ins: isa.Instruction{Op: isa.LW, Rt: isa.T0, Rs: isa.SP},
+		MemAddr: 0x7fff0000, MemSize: 4, Seg: trace.SegStack}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if err := s.Event(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Dropped == 0 || s.Duplicated == 0 || s.Mangled == 0 {
+		t.Fatalf("faults = drop %d, dup %d, mangle %d; want all three kinds",
+			s.Dropped, s.Duplicated, s.Mangled)
+	}
+	if want := n - s.Dropped + s.Duplicated; len(got.events) != want {
+		t.Errorf("delivered %d events, want %d", len(got.events), want)
+	}
+	mangled := 0
+	for i := range got.events {
+		if got.events[i] != e {
+			mangled++
+		}
+	}
+	if mangled != s.Mangled {
+		t.Errorf("found %d damaged events, sink reports %d", mangled, s.Mangled)
+	}
+}
+
+func TestSinkMaxFaults(t *testing.T) {
+	var got collector
+	s := NewSink(&got, SinkOptions{Seed: 5, DropP: 1, MaxFaults: 3})
+	e := trace.Event{PC: 4, Ins: isa.Instruction{Op: isa.NOP}}
+	for i := 0; i < 10; i++ {
+		if err := s.Event(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Dropped != 3 {
+		t.Errorf("Dropped = %d, want 3 (MaxFaults)", s.Dropped)
+	}
+	if len(got.events) != 7 {
+		t.Errorf("delivered %d, want 7", len(got.events))
+	}
+}
+
+func TestSinkDeterministic(t *testing.T) {
+	run := func() (int, int, int) {
+		var got collector
+		s := NewSink(&got, SinkOptions{Seed: 42, DropP: 0.2, DupP: 0.2, MangleP: 0.2})
+		e := trace.Event{PC: 4, Ins: isa.Instruction{Op: isa.NOP}}
+		for i := 0; i < 500; i++ {
+			if err := s.Event(&e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Dropped, s.Duplicated, s.Mangled
+	}
+	d1, u1, m1 := run()
+	d2, u2, m2 := run()
+	if d1 != d2 || u1 != u2 || m1 != m2 {
+		t.Errorf("same seed gave (%d,%d,%d) then (%d,%d,%d)", d1, u1, m1, d2, u2, m2)
+	}
+}

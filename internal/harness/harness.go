@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"paragraph/internal/core"
 	"paragraph/internal/minic"
@@ -38,6 +39,18 @@ type Suite struct {
 	// experiment; 0 selects GOMAXPROCS. Every workload's simulation and
 	// analysis is independent, so experiments parallelize perfectly.
 	Parallelism int
+	// ContinueOnError keeps an experiment going when a workload fails:
+	// the remaining workloads still run, the failed row reports its error,
+	// and the experiment returns a *SuiteError listing every failure
+	// alongside the partial results. When false (the default), the first
+	// failure aborts the experiment. In both modes a panicking workload is
+	// contained: it is recovered and reported as that workload's error,
+	// never unwound through the caller.
+	ContinueOnError bool
+	// WorkloadTimeout bounds each workload's simulate+analyze wall-clock
+	// time; a workload over budget fails with ErrWorkloadTimeout. 0 means
+	// no limit.
+	WorkloadTimeout time.Duration
 }
 
 // NewSuite returns the default suite: all ten analogues at the given scale.
@@ -53,7 +66,11 @@ func (s *Suite) options() minic.Options {
 }
 
 // forEachWorkload runs fn once per suite workload, concurrently up to the
-// suite's parallelism bound, preserving result order. The first error wins.
+// suite's parallelism bound, preserving result order. Each invocation runs
+// under panic recovery, so one broken workload cannot take down the
+// experiment. Without ContinueOnError the lowest-indexed failure is
+// returned (as a *WorkloadError); with it, every workload runs and all
+// failures are aggregated into a *SuiteError.
 func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) error {
 	limit := s.Parallelism
 	if limit <= 0 {
@@ -62,38 +79,53 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 	if limit > len(s.Workloads) {
 		limit = len(s.Workloads)
 	}
-	if limit <= 1 {
-		for i, w := range s.Workloads {
-			if err := fn(i, w); err != nil {
-				return err
+	run := func(i int, w *workloads.Workload) (werr *WorkloadError) {
+		defer func() {
+			if v := recover(); v != nil {
+				werr = &WorkloadError{Index: i, Workload: w.Name,
+					Err: fmt.Errorf("%v", v), Panicked: true}
 			}
+		}()
+		if err := fn(i, w); err != nil {
+			return &WorkloadError{Index: i, Workload: w.Name, Err: err}
 		}
 		return nil
 	}
-	var (
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, limit)
-		mu       sync.Mutex
-		firstErr error
-	)
-	for i, w := range s.Workloads {
-		i, w := i, w
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i, w); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+	failures := make([]*WorkloadError, len(s.Workloads))
+	if limit <= 1 {
+		for i, w := range s.Workloads {
+			failures[i] = run(i, w)
+			if failures[i] != nil && !s.ContinueOnError {
+				break
 			}
-		}()
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, limit)
+		for i, w := range s.Workloads {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				failures[i] = run(i, w)
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return firstErr
+	var collected []*WorkloadError
+	for _, f := range failures {
+		if f != nil {
+			collected = append(collected, f)
+		}
+	}
+	if len(collected) == 0 {
+		return nil
+	}
+	if !s.ContinueOnError {
+		return collected[0]
+	}
+	return &SuiteError{Total: len(s.Workloads), Failures: collected}
 }
 
 // AnalyzeMulti executes one workload once and runs every analyzer
@@ -105,12 +137,16 @@ func (s *Suite) AnalyzeMulti(w *workloads.Workload, cfgs []core.Config) ([]*core
 		analyzers[i] = core.NewAnalyzer(cfg)
 		sinks[i] = analyzers[i]
 	}
-	if _, err := w.Run(s.Scale, s.options(), trace.Tee(sinks...), s.MaxInstr); err != nil {
+	if _, err := w.Run(s.Scale, s.options(), s.guard(trace.Tee(sinks...)), s.MaxInstr); err != nil {
 		return nil, err
 	}
 	results := make([]*core.Result, len(cfgs))
 	for i, a := range analyzers {
-		results[i] = a.Finish()
+		r, err := a.Finish()
+		if err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+		results[i] = r
 	}
 	return results, nil
 }
@@ -132,13 +168,16 @@ type Table2Row struct {
 	BenchType    string
 	Instructions uint64
 	Output       string
+	// Err is the workload's failure, when it has one; the rest of the row
+	// is then meaningless. Only populated under ContinueOnError.
+	Err string
 }
 
 // Table2 runs every workload (without analysis) and reports the inventory.
 func (s *Suite) Table2() ([]Table2Row, error) {
 	rows := make([]Table2Row, len(s.Workloads))
 	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
-		res, err := w.Run(s.Scale, s.options(), nil, s.MaxInstr)
+		res, err := w.Run(s.Scale, s.options(), s.guard(nil), s.MaxInstr)
 		if err != nil {
 			return err
 		}
@@ -151,6 +190,11 @@ func (s *Suite) Table2() ([]Table2Row, error) {
 			Output:       res.Output,
 		}
 		return nil
+	})
+	markFailures(err, func(i int, msg string) {
+		rows[i].Name = s.Workloads[i].Name
+		rows[i].Original = s.Workloads[i].Original
+		rows[i].Err = msg
 	})
 	return rows, err
 }
@@ -167,6 +211,9 @@ type Table3Row struct {
 	// MaxError is the paper's "Maximum Measurement Error":
 	// (optimistic - conservative) / optimistic.
 	MaxError float64
+	// Err is the workload's failure, when it has one; the metric columns
+	// are then meaningless. Only populated under ContinueOnError.
+	Err string
 }
 
 // Table3 reproduces Table 3: full renaming, unlimited window and
@@ -199,6 +246,10 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 		}
 		rows[i] = row
 		return nil
+	})
+	markFailures(err, func(i int, msg string) {
+		rows[i].Name = s.Workloads[i].Name
+		rows[i].Err = msg
 	})
 	return rows, err
 }
@@ -243,6 +294,9 @@ type Table4Row struct {
 	Regs       float64
 	RegsStack  float64
 	RegsMem    float64
+	// Err is the workload's failure, when it has one. Only populated
+	// under ContinueOnError.
+	Err string
 }
 
 // Table4 reproduces Table 4: available parallelism under the four renaming
@@ -269,6 +323,10 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 			RegsMem:    rs[3].Available,
 		}
 		return nil
+	})
+	markFailures(err, func(i int, msg string) {
+		rows[i].Name = s.Workloads[i].Name
+		rows[i].Err = msg
 	})
 	return rows, err
 }

@@ -20,6 +20,10 @@ func RenderTable1(w io.Writer) error {
 func RenderTable2(w io.Writer, rows []Table2Row) error {
 	t := stats.NewTable("Benchmark", "Models", "Source Language", "Type", "Instructions In Trace")
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Name, r.Original, "-", "-", "FAILED: "+r.Err)
+			continue
+		}
 		t.AddRow(r.Name, r.Original, r.Language, r.BenchType, stats.FormatInt(int64(r.Instructions)))
 	}
 	return t.Render(w)
@@ -30,6 +34,10 @@ func RenderTable3(w io.Writer, rows []Table3Row) error {
 	t := stats.NewTable("Benchmark", "Syscalls",
 		"Cons CP", "Cons Avail", "Opt CP", "Opt Avail", "Max Error")
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Name, "-", "-", "-", "-", "-", "FAILED: "+r.Err)
+			continue
+		}
 		t.AddRow(r.Name, stats.FormatInt(int64(r.Syscalls)),
 			stats.FormatInt(r.ConsCriticalPath), r.ConsAvailable,
 			stats.FormatInt(r.OptCriticalPath), r.OptAvailable,
@@ -42,6 +50,10 @@ func RenderTable3(w io.Writer, rows []Table3Row) error {
 func RenderTable4(w io.Writer, rows []Table4Row) error {
 	t := stats.NewTable("Benchmark", "No Renaming", "Regs Renamed", "Regs/Stack Renamed", "Reg/Mem Renamed")
 	for _, r := range rows {
+		if r.Err != "" {
+			t.AddRow(r.Name, "-", "-", "-", "FAILED: "+r.Err)
+			continue
+		}
 		t.AddRow(r.Name, r.NoRenaming, r.Regs, r.RegsStack, r.RegsMem)
 	}
 	return t.Render(w)

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"paragraph/internal/trace"
+)
+
+// ErrWorkloadTimeout is returned (wrapped in a WorkloadError) when a
+// workload's simulate+analyze exceeds the suite's WorkloadTimeout budget.
+var ErrWorkloadTimeout = errors.New("harness: workload exceeded its time budget")
+
+// WorkloadError is one workload's failure within a suite experiment.
+type WorkloadError struct {
+	// Index is the workload's position in Suite.Workloads (and in the
+	// experiment's result slice, whose row at this index is the failed
+	// one).
+	Index int
+	// Workload is the workload's name.
+	Workload string
+	// Err is what failed: a compile/simulation error, an analysis error,
+	// ErrWorkloadTimeout, or a recovered panic.
+	Err error
+	// Panicked reports that Err was recovered from a panic rather than
+	// returned.
+	Panicked bool
+}
+
+func (e *WorkloadError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("workload %s: panic: %v", e.Workload, e.Err)
+	}
+	return fmt.Sprintf("workload %s: %v", e.Workload, e.Err)
+}
+
+func (e *WorkloadError) Unwrap() error { return e.Err }
+
+// SuiteError aggregates the failures of a continue-on-error experiment run.
+// The experiment's results are still returned alongside it: rows for the
+// workloads that succeeded are complete, failed rows carry the error.
+type SuiteError struct {
+	// Failures holds one entry per failed workload, in workload order.
+	Total    int // workloads attempted
+	Failures []*WorkloadError
+}
+
+func (e *SuiteError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "harness: %d of %d workloads failed", len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		b.WriteString("; ")
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (e *SuiteError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// markFailures invokes mark for every per-workload failure in err (if any),
+// letting an experiment stamp its result rows with what went wrong.
+func markFailures(err error, mark func(i int, msg string)) {
+	var se *SuiteError
+	if errors.As(err, &se) {
+		for _, f := range se.Failures {
+			mark(f.Index, f.Err.Error())
+		}
+		return
+	}
+	var we *WorkloadError
+	if errors.As(err, &we) {
+		mark(we.Index, we.Err.Error())
+	}
+}
+
+// watchdogEvery is how many events pass between wall-clock checks; checking
+// time.Now on every event would dominate the simulation's hot loop.
+const watchdogEvery = 4096
+
+// watchdog is a trace.Sink wrapper that aborts the simulation when a
+// wall-clock deadline passes. The CPU simulator stops at the first sink
+// error, so the abort propagates as the workload's run error.
+type watchdog struct {
+	inner    trace.Sink
+	deadline time.Time
+	n        uint64
+}
+
+// Event implements trace.Sink.
+func (d *watchdog) Event(e *trace.Event) error {
+	if d.inner != nil {
+		if err := d.inner.Event(e); err != nil {
+			return err
+		}
+	}
+	d.n++
+	if d.n%watchdogEvery == 0 && time.Now().After(d.deadline) {
+		return fmt.Errorf("%w (after %d instructions)", ErrWorkloadTimeout, d.n)
+	}
+	return nil
+}
+
+// guard wraps a workload's sink with the suite's watchdog, when one is
+// configured. The returned sink must be fresh per workload: the deadline
+// starts now.
+func (s *Suite) guard(sink trace.Sink) trace.Sink {
+	if s.WorkloadTimeout <= 0 {
+		return sink
+	}
+	return &watchdog{inner: sink, deadline: time.Now().Add(s.WorkloadTimeout)}
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"paragraph/internal/workloads"
+)
+
+// crashingWorkload panics during compilation — the harshest failure a
+// workload can produce, since it unwinds rather than returning an error.
+func crashingWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name:        "crashx",
+		Original:    "crash",
+		Language:    "C",
+		BenchType:   "Int",
+		Description: "deliberately panics while building",
+		Source:      func(int) string { panic("deliberate test crash") },
+	}
+}
+
+// brokenWorkload fails to compile with an ordinary error.
+func brokenWorkload() *workloads.Workload {
+	return &workloads.Workload{
+		Name:        "brokenx",
+		Original:    "broken",
+		Language:    "C",
+		BenchType:   "Int",
+		Description: "deliberately fails to compile",
+		Source:      func(int) string { return "int main( { this is not MiniC" },
+	}
+}
+
+// TestSuiteSurvivesCrashingWorkload is the issue's acceptance scenario: ten
+// workloads, one of which crashes, and the other nine still complete with
+// the failure reported in its result row.
+func TestSuiteSurvivesCrashingWorkload(t *testing.T) {
+	s := NewSuite(1)
+	if len(s.Workloads) != 10 {
+		t.Fatalf("default suite has %d workloads, want 10", len(s.Workloads))
+	}
+	const crashIdx = 4
+	s.Workloads[crashIdx] = crashingWorkload()
+	s.ContinueOnError = true
+
+	rows, err := s.Table2()
+	var se *SuiteError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SuiteError", err)
+	}
+	if se.Total != 10 || len(se.Failures) != 1 {
+		t.Fatalf("suite error = %v, want exactly 1 of 10 failed", se)
+	}
+	f := se.Failures[0]
+	if f.Index != crashIdx || f.Workload != "crashx" || !f.Panicked {
+		t.Errorf("failure = %+v, want recovered panic at index %d", f, crashIdx)
+	}
+	if !strings.Contains(f.Err.Error(), "deliberate test crash") {
+		t.Errorf("failure lost the panic value: %v", f.Err)
+	}
+
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if i == crashIdx {
+			if r.Err == "" {
+				t.Errorf("crashed row %d has no error", i)
+			}
+			if r.Name != "crashx" {
+				t.Errorf("crashed row %d named %q", i, r.Name)
+			}
+			continue
+		}
+		if r.Err != "" {
+			t.Errorf("healthy row %s reports error %q", r.Name, r.Err)
+		}
+		if r.Instructions == 0 {
+			t.Errorf("healthy row %s traced 0 instructions", r.Name)
+		}
+	}
+
+	// The rendered table marks the failed row and keeps the others.
+	var buf bytes.Buffer
+	if err := RenderTable2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Errorf("render has no FAILED marker:\n%s", buf.String())
+	}
+}
+
+// TestSuiteFailFast checks the default mode: the first failure (in workload
+// order) aborts the experiment with a *WorkloadError, and a panic is still
+// contained rather than unwinding.
+func TestSuiteFailFast(t *testing.T) {
+	s := suite("xlispx", "naskerx")
+	s.Workloads[0] = crashingWorkload()
+	s.Parallelism = 1
+
+	_, err := s.Table2()
+	var we *WorkloadError
+	if !errors.As(err, &we) {
+		t.Fatalf("err = %v, want *WorkloadError", err)
+	}
+	if we.Index != 0 || !we.Panicked {
+		t.Errorf("failure = %+v, want contained panic at index 0", we)
+	}
+	var se *SuiteError
+	if errors.As(err, &se) {
+		t.Error("fail-fast mode returned a *SuiteError")
+	}
+}
+
+// TestSuiteCompileError covers the ordinary (non-panic) failure path with
+// an analysis experiment, so failure marking is exercised on Table 3 too.
+func TestSuiteCompileError(t *testing.T) {
+	s := suite("xlispx")
+	s.Workloads = append(s.Workloads, brokenWorkload())
+	s.ContinueOnError = true
+
+	rows, err := s.Table3()
+	var se *SuiteError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SuiteError", err)
+	}
+	if len(se.Failures) != 1 || se.Failures[0].Panicked {
+		t.Fatalf("failures = %v, want 1 plain error", se.Failures)
+	}
+	if rows[0].Err != "" || rows[0].ConsAvailable <= 0 {
+		t.Errorf("healthy row = %+v", rows[0])
+	}
+	if rows[1].Err == "" || rows[1].Name != "brokenx" {
+		t.Errorf("failed row = %+v", rows[1])
+	}
+	var buf bytes.Buffer
+	if err := RenderTable3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Errorf("render has no FAILED marker:\n%s", buf.String())
+	}
+}
+
+// TestWorkloadWatchdog drives one workload with an expired deadline and
+// expects the timeout error, classified by its sentinel.
+func TestWorkloadWatchdog(t *testing.T) {
+	s := suite("xlispx")
+	s.WorkloadTimeout = time.Nanosecond
+
+	_, err := s.Table2()
+	if !errors.Is(err, ErrWorkloadTimeout) {
+		t.Fatalf("err = %v, want ErrWorkloadTimeout", err)
+	}
+	var we *WorkloadError
+	if !errors.As(err, &we) || we.Workload != "xlispx" {
+		t.Errorf("err = %v, want a WorkloadError naming the workload", err)
+	}
+
+	// A generous deadline does not interfere.
+	s.WorkloadTimeout = time.Minute
+	if _, err := s.Table2(); err != nil {
+		t.Errorf("run with ample budget failed: %v", err)
+	}
+}

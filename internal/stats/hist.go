@@ -112,6 +112,14 @@ func (h *LevelHistogram) Profile() []ProfilePoint {
 	return out
 }
 
+// Clone returns an independent deep copy of the histogram. Used for
+// analysis checkpoints.
+func (h *LevelHistogram) Clone() *LevelHistogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
 // Merge adds all mass from other into h. Used to combine profiles of
 // parallel shards.
 func (h *LevelHistogram) Merge(other *LevelHistogram) {

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors distinguishing the ways a stored trace can be unreadable.
+// They are wrapped (with %w) into the errors returned by NewReader and
+// Reader.Next, so callers can classify failures with errors.Is:
+//
+//	ErrBadMagic  — the input is not a trace file at all
+//	ErrVersion   — a trace file, but a format version this build cannot read
+//	ErrTruncated — the trace ends mid-event or mid-chunk (partial write,
+//	               torn download, disk-full tail)
+//	ErrChecksum  — a v2 chunk's CRC32 does not match its payload (bit rot,
+//	               in-flight corruption)
+var (
+	ErrBadMagic  = errors.New("trace: bad magic; not a trace file")
+	ErrVersion   = errors.New("trace: unsupported trace format version")
+	ErrTruncated = errors.New("trace: unexpected end of trace")
+	ErrChecksum  = errors.New("trace: chunk checksum mismatch")
+)
+
+// CorruptChunkError reports a damaged chunk in a v2 trace: which chunk,
+// where it starts in the file, and why it was rejected. In fail-fast mode
+// (the default) Reader.Next returns it as soon as the damage is hit; in
+// degraded mode the reader resyncs past the chunk instead and only the
+// ReadStats record the loss.
+type CorruptChunkError struct {
+	// Chunk is the zero-based index of the rejected chunk, counting every
+	// chunk encountered so far (valid, duplicate, or corrupt).
+	Chunk int
+	// Offset is the byte offset in the trace file where the chunk starts.
+	Offset int64
+	// Events is the chunk's event count as claimed by its header, when
+	// the header was readable; 0 when even that much was lost.
+	Events uint32
+	// Cause classifies the damage: ErrTruncated, ErrChecksum, or a
+	// descriptive error for a mangled header.
+	Cause error
+}
+
+func (e *CorruptChunkError) Error() string {
+	return fmt.Sprintf("trace: corrupt chunk %d at offset %d: %v", e.Chunk, e.Offset, e.Cause)
+}
+
+// Unwrap exposes the cause so errors.Is(err, ErrChecksum) etc. work.
+func (e *CorruptChunkError) Unwrap() error { return e.Cause }

@@ -15,8 +15,8 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
@@ -95,7 +95,7 @@ type Counter struct {
 // Event implements Sink.
 func (c *Counter) Event(*Event) error { c.N++; return nil }
 
-// File format:
+// File format v1:
 //
 //	magic "PGTRACE1" (8 bytes)
 //	then per event:
@@ -108,6 +108,9 @@ func (c *Counter) Event(*Event) error { c.N++; return nil }
 //
 // The format favours sequential code: straight-line execution costs one flag
 // byte plus the instruction word per event.
+//
+// Format v2 ("PGTRACE2") keeps the per-event encoding but frames events
+// into checksummed chunks; see format2.go.
 
 var magic = [8]byte{'P', 'G', 'T', 'R', 'A', 'C', 'E', '1'}
 
@@ -121,25 +124,80 @@ const (
 // Writer streams events to an io.Writer in the binary trace format. It
 // implements Sink. Call Flush (or Close if the underlying writer should be
 // closed) when done.
+//
+// NewWriter produces format v2 (chunked, checksummed); NewWriterV1 keeps
+// the legacy unframed stream for tools that need byte-compatible output.
 type Writer struct {
-	bw     *bufio.Writer
-	closer io.Closer
-	lastPC uint32
-	first  bool
-	n      uint64
-	buf    [2 * binary.MaxVarintLen64]byte
+	bw      *bufio.Writer
+	closer  io.Closer
+	version int
+	lastPC  uint32
+	first   bool
+	n       uint64
+	buf     [2 * binary.MaxVarintLen64]byte
+
+	// v2 chunk state: events are encoded into chunk and framed with a
+	// header (marker, sequence number, length, event count, CRC32) once
+	// chunkTarget bytes accumulate.
+	chunk       []byte
+	chunkEvents uint32
+	chunkTarget int
+	seq         uint32
+	hdr         [chunkHdrLen]byte
 }
 
-// NewWriter creates a trace writer and emits the file header. If w also
-// implements io.Closer, Close will close it.
+// WriterOptions configures NewWriterOpts.
+type WriterOptions struct {
+	// Version selects the file format: 2 (default) or 1 (legacy
+	// unframed stream without checksums).
+	Version int
+	// ChunkBytes is the approximate payload size of a v2 chunk before it
+	// is framed and flushed; 0 selects DefaultChunkBytes. Ignored for v1.
+	ChunkBytes int
+}
+
+// NewWriter creates a v2 (chunked, checksummed) trace writer and emits the
+// file header. If w also implements io.Closer, Close will close it.
 func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return nil, err
+	return NewWriterOpts(w, WriterOptions{})
+}
+
+// NewWriterV1 creates a writer for the legacy v1 stream format.
+func NewWriterV1(w io.Writer) (*Writer, error) {
+	return NewWriterOpts(w, WriterOptions{Version: 1})
+}
+
+// NewWriterOpts creates a trace writer with explicit options.
+func NewWriterOpts(w io.Writer, o WriterOptions) (*Writer, error) {
+	version := o.Version
+	if version == 0 {
+		version = 2
 	}
-	tw := &Writer{bw: bw, first: true}
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("%w: cannot write version %d", ErrVersion, version)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	tw := &Writer{bw: bw, first: true, version: version}
 	if c, ok := w.(io.Closer); ok {
 		tw.closer = c
+	}
+	if version == 1 {
+		if _, err := bw.Write(magic[:]); err != nil {
+			return nil, err
+		}
+		return tw, nil
+	}
+	target := o.ChunkBytes
+	if target <= 0 {
+		target = DefaultChunkBytes
+	}
+	if target > maxChunkPayload-64 {
+		target = maxChunkPayload - 64
+	}
+	tw.chunkTarget = target
+	tw.chunk = make([]byte, 0, target+64)
+	if _, err := bw.Write(magic2[:]); err != nil {
+		return nil, err
 	}
 	return tw, nil
 }
@@ -174,6 +232,17 @@ func (w *Writer) Event(e *Event) error {
 		buf = binary.AppendUvarint(buf, uint64(e.MemAddr))
 		buf = append(buf, e.MemSize)
 	}
+	if w.version == 2 {
+		w.chunk = append(w.chunk, buf...)
+		w.chunkEvents++
+		w.lastPC = e.PC
+		w.first = false
+		w.n++
+		if len(w.chunk) >= w.chunkTarget {
+			return w.flushChunk()
+		}
+		return nil
+	}
 	if _, err := w.bw.Write(buf); err != nil {
 		return err
 	}
@@ -186,12 +255,24 @@ func (w *Writer) Event(e *Event) error {
 // Count returns the number of events written so far.
 func (w *Writer) Count() uint64 { return w.n }
 
-// Flush writes any buffered data to the underlying writer.
-func (w *Writer) Flush() error { return w.bw.Flush() }
+// Version returns the file format version being written (1 or 2).
+func (w *Writer) Version() int { return w.version }
+
+// Flush frames any buffered chunk and writes all buffered data to the
+// underlying writer. The resulting file is complete and readable; further
+// events may still be appended.
+func (w *Writer) Flush() error {
+	if w.version == 2 {
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
+	}
+	return w.bw.Flush()
+}
 
 // Close flushes and, if the underlying writer is an io.Closer, closes it.
 func (w *Writer) Close() error {
-	if err := w.bw.Flush(); err != nil {
+	if err := w.Flush(); err != nil {
 		return err
 	}
 	if w.closer != nil {
@@ -200,31 +281,101 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Reader reads a trace written by Writer.
+// Reader reads a trace written by Writer. It transparently handles both
+// format versions: v1 streams decode exactly as before, v2 chunked traces
+// are CRC-verified chunk by chunk.
 type Reader struct {
-	br     *bufio.Reader
-	lastPC uint32
-	first  bool
-	n      uint64
+	br      *bufio.Reader
+	version int
+	lastPC  uint32
+	first   bool
+	n       uint64
+
+	// v2 state (see format2.go).
+	degraded bool
+	off      int64 // byte offset of the next unconsumed byte
+	chunkIdx int
+	aligned  bool // positioned at a trusted chunk boundary
+	payload  []byte
+	pos      int
+	rem      uint32 // events remaining in the current chunk per its header
+	lastSeq  uint32
+	haveSeq  bool
+	stats    ReadStats
 }
 
-// NewReader validates the header and returns a reader positioned at the
-// first event.
+// ReaderOptions configures NewReaderOpts.
+type ReaderOptions struct {
+	// Degraded turns on graceful degradation for v2 traces: instead of
+	// failing fast with a CorruptChunkError, the reader skips damaged
+	// chunks, resynchronizes at the next valid chunk boundary, and
+	// accounts for the loss in Stats. It has no effect on v1 traces,
+	// which have no redundancy to recover with.
+	Degraded bool
+}
+
+// ReadStats accounts for what a degraded-mode reader skipped.
+type ReadStats struct {
+	// Chunks is the number of valid chunks delivered.
+	Chunks int
+	// SkippedChunks counts chunks dropped because of corruption.
+	SkippedChunks int
+	// SkippedEvents is the best-effort count of events lost with those
+	// chunks, from the chunk headers where they were readable.
+	SkippedEvents uint64
+	// DuplicateChunks counts chunks dropped because their sequence
+	// number had already been delivered (replayed writes).
+	DuplicateChunks int
+	// ResyncBytes is the number of bytes scanned past while hunting for
+	// the next chunk boundary.
+	ResyncBytes int64
+}
+
+// NewReader validates the header and returns a fail-fast reader positioned
+// at the first event.
 func NewReader(r io.Reader) (*Reader, error) {
+	return NewReaderOpts(r, ReaderOptions{})
+}
+
+// NewReaderOpts validates the header and returns a reader with explicit
+// options.
+func NewReaderOpts(r io.Reader, o ReaderOptions) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var got [8]byte
 	if _, err := io.ReadFull(br, got[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("trace: reading magic: %w", ErrTruncated)
+		}
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if got != magic {
-		return nil, errors.New("trace: bad magic; not a trace file")
+	switch {
+	case got == magic:
+		return &Reader{br: br, first: true, version: 1, degraded: o.Degraded}, nil
+	case got == magic2:
+		// Chunk validation peeks whole chunks before consuming them, so
+		// the buffer must hold the largest legal chunk.
+		big := bufio.NewReaderSize(br, maxChunkPayload+2*chunkHdrLen)
+		return &Reader{br: big, version: 2, degraded: o.Degraded, off: int64(len(magic2)), aligned: true}, nil
+	case bytes.Equal(got[:7], magic[:7]):
+		return nil, fmt.Errorf("%w: version byte %q", ErrVersion, got[7])
+	default:
+		return nil, ErrBadMagic
 	}
-	return &Reader{br: br, first: true}, nil
 }
+
+// Version returns the detected file format version (1 or 2).
+func (r *Reader) Version() int { return r.version }
+
+// Stats returns what has been skipped so far; only a degraded-mode reader
+// over a damaged v2 trace accumulates anything.
+func (r *Reader) Stats() ReadStats { return r.stats }
 
 // Next decodes the next event into e. It returns io.EOF at the clean end of
 // the trace.
 func (r *Reader) Next(e *Event) error {
+	if r.version == 2 {
+		return r.nextV2(e)
+	}
 	flags, err := r.br.ReadByte()
 	if err != nil {
 		if err == io.EOF {
@@ -241,13 +392,13 @@ func (r *Reader) Next(e *Event) error {
 	} else {
 		v, err := binary.ReadUvarint(r.br)
 		if err != nil {
-			return fmt.Errorf("trace: event %d: reading PC: %w", r.n, err)
+			return fmt.Errorf("trace: event %d: reading PC: %w", r.n, wrapTruncation(err))
 		}
 		pc = uint32(v)
 	}
 	wordV, err := binary.ReadUvarint(r.br)
 	if err != nil {
-		return fmt.Errorf("trace: event %d: reading instruction: %w", r.n, err)
+		return fmt.Errorf("trace: event %d: reading instruction: %w", r.n, wrapTruncation(err))
 	}
 	ins, err := isa.Decode(uint32(wordV))
 	if err != nil {
@@ -262,11 +413,11 @@ func (r *Reader) Next(e *Event) error {
 	if flags&flagMem != 0 {
 		addr, err := binary.ReadUvarint(r.br)
 		if err != nil {
-			return fmt.Errorf("trace: event %d: reading address: %w", r.n, err)
+			return fmt.Errorf("trace: event %d: reading address: %w", r.n, wrapTruncation(err))
 		}
 		size, err := r.br.ReadByte()
 		if err != nil {
-			return fmt.Errorf("trace: event %d: reading size: %w", r.n, err)
+			return fmt.Errorf("trace: event %d: reading size: %w", r.n, wrapTruncation(err))
 		}
 		e.MemAddr = uint32(addr)
 		e.MemSize = size
@@ -275,6 +426,15 @@ func (r *Reader) Next(e *Event) error {
 	r.first = false
 	r.n++
 	return nil
+}
+
+// wrapTruncation maps an end-of-input error hit mid-event to ErrTruncated,
+// so callers can distinguish a torn tail from other IO failures.
+func wrapTruncation(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
 }
 
 // ForEach reads every remaining event, invoking fn for each. It stops early

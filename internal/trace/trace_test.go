@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math/rand"
 	"testing"
@@ -133,6 +134,52 @@ func TestTeeAndCounter(t *testing.T) {
 	}
 	if c1.N != 5 || c2.N != 5 {
 		t.Errorf("counters = %d, %d; want 5, 5", c1.N, c2.N)
+	}
+}
+
+// failAfter is a Sink that errors on the (after+1)-th event.
+type failAfter struct {
+	after int
+	n     int
+	err   error
+}
+
+func (s *failAfter) Event(*Event) error {
+	s.n++
+	if s.n > s.after {
+		return s.err
+	}
+	return nil
+}
+
+func TestTeeErrorPropagation(t *testing.T) {
+	boom := errors.New("sink failed")
+	var before, behind Counter
+	bad := &failAfter{after: 2, err: boom}
+	sink := Tee(&before, bad, &behind)
+
+	e := Event{PC: 4, Ins: isa.Instruction{Op: isa.NOP}}
+	var err error
+	deliveries := 0
+	for i := 0; i < 10; i++ {
+		if err = sink.Event(&e); err != nil {
+			break
+		}
+		deliveries++
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("Tee returned %v, want the sink's error", err)
+	}
+	if deliveries != 2 {
+		t.Errorf("Tee delivered %d events before failing, want 2", deliveries)
+	}
+	// Sinks ahead of the failing one saw the failing event; sinks behind
+	// it did not.
+	if before.N != 3 {
+		t.Errorf("upstream sink saw %d events, want 3", before.N)
+	}
+	if behind.N != 2 {
+		t.Errorf("downstream sink saw %d events, want 2", behind.N)
 	}
 }
 

@@ -155,12 +155,31 @@ func AnalyzeProgram(p *Program, cfg Config, maxInstr uint64) (*Result, error) {
 	if _, err := m.Run(maxInstr); err != nil && err != cpu.ErrLimit {
 		return nil, err
 	}
-	return a.Finish(), nil
+	return a.Finish()
 }
 
 // AnalyzeTraceFile reads a stored binary trace and analyzes it.
 func AnalyzeTraceFile(r io.Reader, cfg Config) (*Result, error) {
-	tr, err := trace.NewReader(r)
+	return AnalyzeTraceFileOpts(r, cfg, AnalyzeOptions{})
+}
+
+// AnalyzeOptions carries fault-tolerance switches for trace-file analysis.
+type AnalyzeOptions struct {
+	// Degraded reads v2 traces in graceful-degradation mode: damaged
+	// chunks are skipped and accounted in Skipped instead of aborting.
+	Degraded bool
+	// Stats, when non-nil, receives the reader's skip accounting (valid
+	// chunks, skipped chunks/events, resync distance) on return.
+	Stats *TraceReadStats
+}
+
+// TraceReadStats re-exports the trace reader's degradation accounting.
+type TraceReadStats = trace.ReadStats
+
+// AnalyzeTraceFileOpts reads a stored binary trace and analyzes it with
+// explicit fault-tolerance options.
+func AnalyzeTraceFileOpts(r io.Reader, cfg Config, opts AnalyzeOptions) (*Result, error) {
+	tr, err := trace.NewReaderOpts(r, trace.ReaderOptions{Degraded: opts.Degraded})
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +187,10 @@ func AnalyzeTraceFile(r io.Reader, cfg Config) (*Result, error) {
 	if err := tr.ForEach(a.Event); err != nil {
 		return nil, err
 	}
-	return a.Finish(), nil
+	if opts.Stats != nil {
+		*opts.Stats = tr.Stats()
+	}
+	return a.Finish()
 }
 
 // AnalyzeTraceFileTwoPass analyzes a stored trace with the paper's
@@ -180,6 +202,45 @@ func AnalyzeTraceFile(r io.Reader, cfg Config) (*Result, error) {
 func AnalyzeTraceFileTwoPass(rs io.ReadSeeker, cfg Config) (*Result, error) {
 	return core.AnalyzeTwoPass(rs, cfg)
 }
+
+// TwoPassOptions configures AnalyzeTraceFileTwoPassOpts: degraded reads over
+// damaged traces, periodic checkpoints, and skip accounting.
+type TwoPassOptions = core.TwoPassOptions
+
+// Checkpoint is a resumable snapshot of an in-progress two-pass analysis.
+type Checkpoint = core.Checkpoint
+
+// AnalyzeTraceFileTwoPassOpts is AnalyzeTraceFileTwoPass with
+// fault-tolerance options.
+func AnalyzeTraceFileTwoPassOpts(rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Result, error) {
+	return core.AnalyzeTwoPassOpts(rs, cfg, opts)
+}
+
+// ResumeTraceFileTwoPass continues an interrupted two-pass analysis from a
+// checkpoint; the result matches an uninterrupted run.
+func ResumeTraceFileTwoPass(rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Result, error) {
+	return core.ResumeTwoPass(rs, cp, opts)
+}
+
+// Error taxonomy of the fault-tolerant pipeline, re-exported so callers can
+// classify failures with errors.Is/errors.As against the public package
+// alone.
+var (
+	ErrTraceBadMagic  = trace.ErrBadMagic
+	ErrTraceVersion   = trace.ErrVersion
+	ErrTraceTruncated = trace.ErrTruncated
+	ErrTraceChecksum  = trace.ErrChecksum
+	ErrBadEvent       = core.ErrBadEvent
+)
+
+type (
+	// CorruptChunkError identifies a damaged v2 trace chunk (index,
+	// offset, cause); returned by trace reading in fail-fast mode.
+	CorruptChunkError = trace.CorruptChunkError
+	// AnalysisError wraps an analyzer-internal failure with the index of
+	// the event that triggered it.
+	AnalysisError = core.AnalysisError
+)
 
 // WriteTrace executes a program and stores its trace in the binary format,
 // returning the number of events written. maxInstr of 0 runs to completion.
