@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz check clean
+.PHONY: all build vet test race differential fuzz bench check clean
 
 all: build
 
@@ -16,8 +16,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector run of everything except the differential battery, which
+# gets its own target below so `check` doesn't run it twice.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -skip Differential ./...
+
+# The serial-vs-parallel equivalence proof under the race detector: every
+# workload's recorded trace analyzed by both engines across the paper's
+# configuration sweeps, compared for deep equality. This is the data-race
+# audit of the fan-out worker pool.
+differential:
+	$(GO) test -race -run Differential ./...
 
 # Short coverage-guided run of the trace-reader fuzzer on top of its seed
 # corpus. Minimization is bounded so the 10s budget is spent fuzzing.
@@ -25,9 +34,16 @@ fuzz:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceReader \
 		-fuzztime 10s -fuzzminimizetime 20x
 
+# Serial-vs-parallel engine benchmarks, captured as JSON for regression
+# tracking (see README "Performance").
+bench:
+	$(GO) test -run '^$$' -bench 'FanOut|SuiteEngines' -benchmem -json . \
+		| tee BENCH_parallel.json
+
 # The full verification gate: static checks, build, race-detector test run,
-# and a short fuzz of the trace reader.
-check: vet build race fuzz
+# the serial-vs-parallel differential battery, and a short fuzz of the
+# trace reader.
+check: vet build race differential fuzz
 	@echo "check: OK"
 
 clean:

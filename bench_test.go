@@ -253,6 +253,90 @@ func BenchmarkAnalyzerThroughput(b *testing.B) {
 	b.ReportMetric(float64(len(events))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
+// BenchmarkFanOut measures the parallel analysis engine against the serial
+// reference on the same pre-recorded trace: xlispx is simulated once into an
+// EventBuffer, then the Table3+Table4+Figure8 configuration union (10
+// analyzer configs) replays it with one worker versus a GOMAXPROCS pool.
+// The serial/parallel ratio is the headline speedup in README's
+// "Performance" section; `make bench` captures it in BENCH_parallel.json.
+func BenchmarkFanOut(b *testing.B) {
+	w, _ := workloads.ByName("xlispx")
+	prog, err := w.Build(*benchScale, minic.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := &trace.EventBuffer{}
+	m, err := cpu.New(prog, cpu.WithTrace(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Run(0); err != nil {
+		b.Fatal(err)
+	}
+
+	var cfgs []core.Config
+	for _, p := range []core.SyscallPolicy{core.SyscallConservative, core.SyscallOptimistic} {
+		cfg := core.Dataflow(p)
+		cfg.Profile = false
+		cfgs = append(cfgs, cfg)
+	}
+	cfgs = append(cfgs,
+		core.Config{Syscalls: core.SyscallConservative},
+		core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true},
+		core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true},
+		core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true, RenameData: true},
+	)
+	for _, size := range []int{1, 128, 8192, 0} {
+		cfg := core.Dataflow(core.SyscallConservative)
+		cfg.Profile = false
+		cfg.WindowSize = size
+		cfgs = append(cfgs, cfg)
+	}
+
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.FanOut(buf, cfgs, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len())*float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkSuiteEngines compares whole experiment drivers end to end: the
+// fully serial suite (one workload at a time, streaming analysis) against
+// the fully parallel one (concurrent workloads, each fanning its recorded
+// trace out to all four renaming configurations).
+func BenchmarkSuiteEngines(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		jobs int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := benchSuite()
+			s.Workloads = pick("xlispx", "naskerx", "matrixx")
+			s.Parallelism = bc.jobs
+			s.Concurrency = bc.jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Table4(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures the CPU simulator's instruction
 // rate (the Pixie-analogue side of the pipeline).
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -21,16 +21,28 @@
 //	-window N                           instruction window size (0 = whole trace)
 //	-fus N                              generic functional units (0 = unlimited)
 //	-unit-latency                       every operation takes one level
+//
+// Sweeps (single-decode fan-out):
+//
+//	-sweep-windows 1,128,8192,0         decode or simulate the trace ONCE,
+//	                                    then analyze every window size with
+//	                                    a pool of concurrent analyzers
+//	-j N                                analyzer workers for the sweep
+//	                                    (0 = GOMAXPROCS, 1 = serial)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"paragraph/internal/asm"
 	"paragraph/internal/core"
 	"paragraph/internal/cpu"
+	"paragraph/internal/harness"
 	"paragraph/internal/minic"
 	"paragraph/internal/stats"
 	"paragraph/internal/trace"
@@ -64,6 +76,9 @@ func main() {
 		storageOut = flag.String("storage", "", "write the live-well occupancy curve as CSV to this file")
 		sharing    = flag.Bool("sharing", false, "collect and print the degree-of-sharing distribution")
 		degraded   = flag.Bool("degraded", false, "with -trace: skip corrupt v2 chunks instead of failing fast, reporting what was lost")
+
+		sweepWindows = flag.String("sweep-windows", "", "comma-separated window sizes (0 = whole trace): decode the trace once and analyze every size, e.g. -sweep-windows 1,128,8192,0")
+		jobs         = flag.Int("j", 0, "with -sweep-windows: concurrent analyzer workers (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -102,6 +117,11 @@ func main() {
 		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = true, true, true
 	} else {
 		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = *renameRegs, *renameStack, *renameData
+	}
+
+	if *sweepWindows != "" {
+		runWindowSweep(cfg, *sweepWindows, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded)
+		return
 	}
 
 	analyzer := core.NewAnalyzer(cfg)
@@ -171,6 +191,77 @@ func main() {
 	writeStorage(res, *storageOut)
 }
 
+// runWindowSweep is the single-decode fan-out path: the trace is decoded
+// from a file (or simulated) exactly once into a trace.EventBuffer, then
+// analyzed under every requested window size by a pool of concurrent
+// analyzers (harness.FanOut). The output is one table row per window.
+func runWindowSweep(base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded bool) {
+	var sizes []int
+	for _, s := range strings.Split(sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("bad -sweep-windows entry %q", s))
+		}
+		sizes = append(sizes, n)
+	}
+
+	var buf *trace.EventBuffer
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.NewReaderOpts(f, trace.ReaderOptions{Degraded: degraded})
+		if err != nil {
+			fatal(err)
+		}
+		buf, err = trace.ReadAll(tr)
+		if err != nil {
+			fatal(err)
+		}
+		reportSkips(buf.Stats())
+	} else {
+		prog, err := buildProgram(workload, srcFile, asmFile, scale)
+		if err != nil {
+			fatal(err)
+		}
+		buf = &trace.EventBuffer{}
+		machine, err := cpu.New(prog, cpu.WithTrace(buf), cpu.WithStdout(os.Stderr))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := machine.Run(maxInst); err != nil && err != cpu.ErrLimit {
+			fatal(err)
+		}
+	}
+
+	cfgs := make([]core.Config, len(sizes))
+	for i, size := range sizes {
+		c := base
+		c.Profile = false // per-window profiles would drown the table
+		c.WindowSize = size
+		cfgs[i] = c
+	}
+	start := time.Now()
+	results, err := harness.FanOut(buf, cfgs, jobs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "paragraph: analyzed %s events x %d windows in %v\n",
+		stats.FormatInt(int64(buf.Len())), len(sizes), time.Since(start).Round(time.Millisecond))
+
+	t := stats.NewTable("Window", "Operations", "Critical Path", "Available")
+	for i, r := range results {
+		win := "full"
+		if sizes[i] > 0 {
+			win = stats.FormatInt(int64(sizes[i]))
+		}
+		t.AddRow(win, stats.FormatInt(int64(r.Operations)), stats.FormatInt(r.CriticalPath), r.Available)
+	}
+	must(t.Render(os.Stdout))
+}
+
 // reportSkips warns on stderr when a degraded-mode read lost events; the
 // metrics then describe only the surviving part of the trace.
 func reportSkips(st trace.ReadStats) {
@@ -201,6 +292,12 @@ func writeStorage(res *core.Result, path string) {
 }
 
 var errBudget = fmt.Errorf("budget reached")
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
 
 func buildProgram(workload, srcFile, asmFile string, scale int) (*asm.Program, error) {
 	switch {

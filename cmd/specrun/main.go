@@ -27,6 +27,14 @@
 //	-keep-going       continue past failing workloads; failed rows are
 //	                  marked FAILED in the tables and the exit code is 1
 //	-timeout D        per-workload wall-clock budget (e.g. -timeout 30s)
+//
+// Parallelism:
+//
+//	-j N              run up to N workloads concurrently AND fan each
+//	                  workload's trace out to up to N analyzer configs
+//	                  (0 = GOMAXPROCS, the default; -j 1 = the serial
+//	                  reference engine). Every experiment produces
+//	                  identical output at any -j value.
 package main
 
 import (
@@ -67,6 +75,7 @@ func main() {
 		ablWork   = flag.String("ablation-workload", "naskerx", "workload for the unrolling ablation")
 		keepGoing = flag.Bool("keep-going", false, "continue past failing workloads; failed rows are marked and the exit code is non-zero")
 		timeout   = flag.Duration("timeout", 0, "per-workload wall-clock budget, e.g. 30s (0 = unlimited)")
+		jobs      = flag.Int("j", 0, "parallelism: bounds both concurrent workloads and concurrent analyzer configs per workload (0 = GOMAXPROCS, 1 = fully serial)")
 	)
 	flag.Parse()
 
@@ -79,6 +88,8 @@ func main() {
 	s.MaxInstr = *maxInst
 	s.ContinueOnError = *keepGoing
 	s.WorkloadTimeout = *timeout
+	s.Parallelism = *jobs
+	s.Concurrency = *jobs
 	if *names != "" {
 		s.Workloads = nil
 		for _, n := range strings.Split(*names, ",") {

@@ -47,10 +47,12 @@ type Analyzer struct {
 	finished bool
 }
 
-// NewAnalyzer creates an analyzer with the given configuration.
+// NewAnalyzer creates an analyzer with the given configuration. The config
+// is cloned (Config.Clone), so analyzers built from the same Config value
+// share no mutable state and may run on separate goroutines.
 func NewAnalyzer(cfg Config) *Analyzer {
 	a := &Analyzer{
-		cfg:     cfg,
+		cfg:     cfg.Clone(),
 		well:    newLiveWell(),
 		deepest: -1,
 	}

@@ -137,6 +137,22 @@ func Dataflow(p SyscallPolicy) Config {
 	}
 }
 
+// Clone returns a deep copy of the configuration: the LatencyOverride map,
+// the only reference-typed field, is copied rather than shared. NewAnalyzer
+// clones its argument, so any number of analyzers built from one Config
+// value — including concurrently, as the harness fan-out engine does — hold
+// fully independent state even if the caller later mutates the original map.
+func (c Config) Clone() Config {
+	out := c
+	if c.LatencyOverride != nil {
+		out.LatencyOverride = make(map[isa.OpClass]int, len(c.LatencyOverride))
+		for k, v := range c.LatencyOverride {
+			out.LatencyOverride[k] = v
+		}
+	}
+	return out
+}
+
 // latency returns the operation time in DDG levels under this config.
 func (c *Config) latency(op isa.Op) int64 {
 	if c.UnitLatency {

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"paragraph/internal/core"
+	"paragraph/internal/trace"
+)
+
+// FanOut analyzes one recorded trace under every configuration, fanning the
+// replay out to a bounded pool of worker goroutines. The trace is decoded
+// (or simulated) exactly once — into the EventBuffer — no matter how many
+// configurations consume it. Results come back indexed by configuration, so
+// ordering is deterministic regardless of worker scheduling; each analyzer
+// is built from its own core.Config clone and replays the buffer privately,
+// so workers share no mutable state (see DESIGN.md on the live well).
+//
+// concurrency bounds the pool: 0 selects runtime.GOMAXPROCS, 1 analyzes
+// serially on the calling goroutine. The first failing configuration (by
+// index, not by completion order) decides the returned error; a panicking
+// analyzer is contained and reported as that configuration's error.
+//
+// FanOut is the primitive every multi-configuration experiment driver in
+// this package is built on; it is exported so trace-file tools
+// (cmd/paragraph) can reuse it for sweeps over stored traces.
+func FanOut(buf *trace.EventBuffer, cfgs []core.Config, concurrency int) ([]*core.Result, error) {
+	return fanOut(buf, cfgs, concurrency, time.Time{})
+}
+
+// fanOut is FanOut with a wall-clock deadline: when nonzero, each worker's
+// replay runs under a watchdog so Suite.WorkloadTimeout covers analysis as
+// well as simulation.
+func fanOut(buf *trace.EventBuffer, cfgs []core.Config, concurrency int, deadline time.Time) ([]*core.Result, error) {
+	workers := concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	analyzeOne := func(i int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("panic: %v", v)
+			}
+		}()
+		a := core.NewAnalyzer(cfgs[i])
+		var sink trace.Sink = a
+		if !deadline.IsZero() {
+			sink = &watchdog{inner: a, deadline: deadline}
+		}
+		if err := buf.Replay(sink); err != nil {
+			return err
+		}
+		r, err := a.Finish()
+		if err != nil {
+			return err
+		}
+		results[i] = r
+		return nil
+	}
+	if workers <= 1 {
+		for i := range cfgs {
+			errs[i] = analyzeOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = analyzeOne(i)
+				}
+			}()
+		}
+		for i := range cfgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("config %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

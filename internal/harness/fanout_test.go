@@ -1,0 +1,220 @@
+package harness
+
+// The differential battery: the parallel fan-out engine must produce
+// Results deeply equal to the serial reference engine for every workload ×
+// configuration the paper's sweeps use. `make check` runs these under the
+// race detector (go test -race -run Differential ./...), so they double as
+// the data-race audit of the worker pool.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"paragraph/internal/core"
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+// sweepConfigs is the union of the per-workload configuration sets used by
+// Table 3, Table 4 and Figure 8 (the window list is the benchmark's reduced
+// sweep; every size still analyzes the same recorded trace).
+func sweepConfigs() []core.Config {
+	var cfgs []core.Config
+	// Table 3: dataflow limit under both syscall policies.
+	for _, p := range []core.SyscallPolicy{core.SyscallConservative, core.SyscallOptimistic} {
+		cfg := core.Dataflow(p)
+		cfg.Profile = false
+		cfgs = append(cfgs, cfg)
+	}
+	// Table 4: the four renaming conditions.
+	cfgs = append(cfgs,
+		core.Config{Syscalls: core.SyscallConservative},
+		core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true},
+		core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true},
+		core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true, RenameData: true},
+	)
+	// Figure 8: window sizes over the full-renaming configuration.
+	for _, size := range []int{1, 128, 8192, 0} {
+		cfg := core.Dataflow(core.SyscallConservative)
+		cfg.Profile = false
+		cfg.WindowSize = size
+		cfgs = append(cfgs, cfg)
+	}
+	// One profile-collecting configuration, so bucketed histograms are
+	// compared too (Figure 7's shape).
+	cfgs = append(cfgs, core.Dataflow(core.SyscallConservative))
+	return cfgs
+}
+
+// record simulates one workload at scale 1 into an EventBuffer. The trace
+// is capped at 500k events — both engines replay the identical buffer, so
+// the equivalence check is unaffected, but the race-detector run of the
+// battery stays bounded even for espressox's 6.7M-instruction trace.
+func recordWorkload(t *testing.T, w *workloads.Workload) *trace.EventBuffer {
+	t.Helper()
+	s := NewSuite(1)
+	s.MaxInstr = 500_000
+	buf := &trace.EventBuffer{}
+	if _, err := w.Run(s.Scale, s.options(), buf, s.MaxInstr); err != nil {
+		t.Fatalf("workload %s: %v", w.Name, err)
+	}
+	return buf
+}
+
+// TestDifferentialEngine is the core equivalence proof: for every workload,
+// a single recorded trace analyzed serially (FanOut concurrency 1) and in
+// parallel (concurrency 8) yields deeply-equal Result sets across the
+// Table3/Table4/Figure8 configuration union.
+func TestDifferentialEngine(t *testing.T) {
+	cfgs := sweepConfigs()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			buf := recordWorkload(t, w)
+			serial, err := FanOut(buf, cfgs, 1)
+			if err != nil {
+				t.Fatalf("serial engine: %v", err)
+			}
+			parallel, err := FanOut(buf, cfgs, 8)
+			if err != nil {
+				t.Fatalf("parallel engine: %v", err)
+			}
+			if len(serial) != len(parallel) {
+				t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+			}
+			for i := range serial {
+				if serial[i] == nil || parallel[i] == nil {
+					t.Fatalf("config %d: nil result (serial=%v parallel=%v)",
+						i, serial[i] != nil, parallel[i] != nil)
+				}
+				if !reflect.DeepEqual(serial[i], parallel[i]) {
+					t.Errorf("config %d: results differ\nserial:   %v\nparallel: %v",
+						i, serial[i], parallel[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialStreamingVsBuffered checks the other seam: the buffered
+// replay engine must match the legacy streaming engine (events delivered
+// live during simulation through trace.Tee), so recording into the
+// EventBuffer is transparent.
+func TestDifferentialStreamingVsBuffered(t *testing.T) {
+	cfgs := sweepConfigs()
+	for _, name := range []string{"xlispx", "matrixx", "spicex"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		streamSuite := NewSuite(1)
+		streamSuite.MaxInstr = 600_000
+		streamSuite.Concurrency = 1 // serial engine: stream, no buffer
+		streamed, err := streamSuite.analyzeStreaming(w, cfgs, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parSuite := NewSuite(1)
+		parSuite.MaxInstr = 600_000
+		parSuite.Concurrency = 4 // buffered fan-out engine
+		buffered, err := parSuite.AnalyzeMulti(w, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range streamed {
+			if !reflect.DeepEqual(streamed[i], buffered[i]) {
+				t.Errorf("%s config %d: streaming and buffered engines differ\nstream: %v\nbuffer: %v",
+					name, i, streamed[i], buffered[i])
+			}
+		}
+	}
+}
+
+// TestDifferentialSuiteDrivers compares whole experiment drivers — the rows
+// the paper's tables are rendered from — between a fully serial suite and a
+// fully parallel one.
+func TestDifferentialSuiteDrivers(t *testing.T) {
+	serial := suite("xlispx", "naskerx", "matrixx")
+	serial.Parallelism = 1
+	serial.Concurrency = 1
+	par := suite("xlispx", "naskerx", "matrixx")
+	par.Parallelism = 4
+	par.Concurrency = 4
+
+	s3, err := serial.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := par.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s3, p3) {
+		t.Errorf("Table3 rows differ:\nserial:   %+v\nparallel: %+v", s3, p3)
+	}
+
+	s4, err := serial.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p4, err := par.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s4, p4) {
+		t.Errorf("Table4 rows differ:\nserial:   %+v\nparallel: %+v", s4, p4)
+	}
+
+	sizes := []int{1, 128, 8192, 0}
+	s8, err := serial.Figure8(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := par.Figure8(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s8, p8) {
+		t.Errorf("Figure8 series differ:\nserial:   %+v\nparallel: %+v", s8, p8)
+	}
+}
+
+// FanOut error handling: the lowest-indexed failing configuration decides
+// the error, a panicking analyzer is contained, and a poisoned event is
+// reported with its replay position.
+func TestFanOutErrorAggregation(t *testing.T) {
+	buf := &trace.EventBuffer{}
+	good := trace.Event{PC: 0x400000, Ins: isa.Instruction{Op: isa.ADDI, Rt: isa.T0, Rs: isa.Zero, Imm: 1}}
+	for i := 0; i < 100; i++ {
+		if err := buf.Event(&good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A load with no memory access fails core's event validation.
+	bad := trace.Event{PC: 0x400190, Ins: isa.Instruction{Op: isa.LW, Rt: isa.T1, Rs: isa.SP}}
+	if err := buf.Event(&bad); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgs := make([]core.Config, 6)
+	for i := range cfgs {
+		cfgs[i] = core.Dataflow(core.SyscallConservative)
+		cfgs[i].Profile = false
+	}
+	_, err := FanOut(buf, cfgs, 4)
+	if err == nil {
+		t.Fatal("fan-out over a poisoned buffer succeeded")
+	}
+	// Every config fails on the same event; the reported one must be
+	// config 0 — deterministic, not whichever worker lost the race.
+	if !strings.Contains(err.Error(), "config 0:") {
+		t.Errorf("error does not name the lowest failing config: %v", err)
+	}
+	if !strings.Contains(err.Error(), "replay event 100") {
+		t.Errorf("error does not locate the poisoned event: %v", err)
+	}
+}

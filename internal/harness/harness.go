@@ -6,14 +6,20 @@
 // sharing distributions, and the loop-unrolling ablation).
 //
 // One simulated execution can feed any number of analyzer configurations
-// simultaneously (the trace fans out through trace.Tee), so a whole
-// renaming or window sweep costs a single simulation pass per workload.
+// simultaneously: the trace is recorded once into a trace.EventBuffer and
+// fanned out to a bounded pool of analyzer workers (FanOut, sized by
+// Suite.Concurrency), so a whole renaming or window sweep costs a single
+// simulation pass per workload and the analyses run on every core. With
+// Concurrency 1 the suite instead streams events to all analyzers in
+// lockstep during the simulation itself (trace.Tee) — the serial reference
+// engine the differential tests compare the parallel engine against.
 package harness
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paragraph/internal/core"
@@ -39,6 +45,14 @@ type Suite struct {
 	// experiment; 0 selects GOMAXPROCS. Every workload's simulation and
 	// analysis is independent, so experiments parallelize perfectly.
 	Parallelism int
+	// Concurrency bounds how many analyzer configurations run concurrently
+	// over one workload's recorded trace (the per-config fan-out inside
+	// AnalyzeMulti); 0 selects GOMAXPROCS. With Concurrency 1 the suite
+	// uses the serial reference engine instead: events stream to every
+	// analyzer in lockstep during the simulation, nothing is buffered.
+	// Both engines produce deeply-equal Results for the same inputs (the
+	// differential tests enforce this).
+	Concurrency int
 	// ContinueOnError keeps an experiment going when a workload fails:
 	// the remaining workloads still run, the failed row reports its error,
 	// and the experiment returns a *SuiteError listing every failure
@@ -69,8 +83,9 @@ func (s *Suite) options() minic.Options {
 // suite's parallelism bound, preserving result order. Each invocation runs
 // under panic recovery, so one broken workload cannot take down the
 // experiment. Without ContinueOnError the lowest-indexed failure is
-// returned (as a *WorkloadError); with it, every workload runs and all
-// failures are aggregated into a *SuiteError.
+// returned (as a *WorkloadError) and no further workloads are launched once
+// a failure is observed — in serial and parallel mode alike; with it, every
+// workload runs and all failures are aggregated into a *SuiteError.
 func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) error {
 	limit := s.Parallelism
 	if limit <= 0 {
@@ -101,14 +116,26 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 		}
 	} else {
 		var wg sync.WaitGroup
+		var failed atomic.Bool
 		sem := make(chan struct{}, limit)
 		for i, w := range s.Workloads {
+			if !s.ContinueOnError && failed.Load() {
+				// Fail-fast: a failure has been observed, so stop
+				// launching. Workloads already in flight complete, and
+				// because launches happen in index order, the
+				// lowest-indexed failure — the one reported — is always
+				// among them.
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
 				failures[i] = run(i, w)
+				if failures[i] != nil {
+					failed.Store(true)
+				}
 			}()
 		}
 		wg.Wait()
@@ -129,15 +156,54 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 }
 
 // AnalyzeMulti executes one workload once and runs every analyzer
-// configuration over the same trace.
+// configuration over the same trace. With more than one configuration and
+// more than one effective worker (Concurrency, or GOMAXPROCS when it is 0),
+// the trace is recorded into a trace.EventBuffer during the single
+// simulation pass and fanned out to a worker pool (see FanOut); otherwise
+// events stream to the analyzers in lockstep as they are produced. Either
+// way results are indexed by configuration and the two engines return
+// deeply-equal Results.
 func (s *Suite) AnalyzeMulti(w *workloads.Workload, cfgs []core.Config) ([]*core.Result, error) {
+	var deadline time.Time
+	if s.WorkloadTimeout > 0 {
+		deadline = time.Now().Add(s.WorkloadTimeout)
+	}
+	workers := s.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// With one configuration or one effective worker there is nothing to
+	// fan out: stream events straight into the analyzers rather than pay
+	// for a buffer no concurrency will exploit (this keeps single-CPU
+	// machines on the exact legacy path).
+	if workers <= 1 || len(cfgs) == 1 {
+		return s.analyzeStreaming(w, cfgs, deadline)
+	}
+	buf := &trace.EventBuffer{}
+	var sink trace.Sink = buf
+	if !deadline.IsZero() {
+		sink = &watchdog{inner: buf, deadline: deadline}
+	}
+	if _, err := w.Run(s.Scale, s.options(), sink, s.MaxInstr); err != nil {
+		return nil, err
+	}
+	return fanOut(buf, cfgs, s.Concurrency, deadline)
+}
+
+// analyzeStreaming is the serial engine: one simulation pass feeds every
+// analyzer in lockstep through trace.Tee, with no intermediate buffer.
+func (s *Suite) analyzeStreaming(w *workloads.Workload, cfgs []core.Config, deadline time.Time) ([]*core.Result, error) {
 	analyzers := make([]*core.Analyzer, len(cfgs))
 	sinks := make([]trace.Sink, len(cfgs))
 	for i, cfg := range cfgs {
 		analyzers[i] = core.NewAnalyzer(cfg)
 		sinks[i] = analyzers[i]
 	}
-	if _, err := w.Run(s.Scale, s.options(), s.guard(trace.Tee(sinks...)), s.MaxInstr); err != nil {
+	var sink trace.Sink = trace.Tee(sinks...)
+	if !deadline.IsZero() {
+		sink = &watchdog{inner: sink, deadline: deadline}
+	}
+	if _, err := w.Run(s.Scale, s.options(), sink, s.MaxInstr); err != nil {
 		return nil, err
 	}
 	results := make([]*core.Result, len(cfgs))

@@ -1,0 +1,7 @@
+//go:build !race
+
+package harness
+
+// raceDetectorEnabled reports whether the test binary was built with
+// -race; see race_on_test.go for the counterpart.
+const raceDetectorEnabled = false

@@ -146,6 +146,66 @@ func TestSuiteCompileError(t *testing.T) {
 	}
 }
 
+// TestParallelFailureAggregation is the fan-out engine's resilience
+// scenario: a workload failing mid-suite while both the workload pool
+// (Parallelism) and the per-config analyzer pool (Concurrency) are running
+// in parallel must not disturb the other workloads — every healthy row
+// completes, the failure is aggregated at the right index, and the rendered
+// table marks exactly that row FAILED.
+func TestParallelFailureAggregation(t *testing.T) {
+	s := suite("xlispx", "naskerx", "matrixx", "tomcatvx", "fppppx")
+	const brokenIdx = 2
+	s.Workloads[brokenIdx] = brokenWorkload()
+	s.ContinueOnError = true
+	s.Parallelism = 4
+	s.Concurrency = 4
+
+	rows, err := s.Table3()
+	var se *SuiteError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SuiteError", err)
+	}
+	if se.Total != 5 || len(se.Failures) != 1 {
+		t.Fatalf("suite error = %v, want exactly 1 of 5 failed", se)
+	}
+	if f := se.Failures[0]; f.Index != brokenIdx || f.Workload != "brokenx" {
+		t.Errorf("failure = %+v, want index %d workload brokenx", f, brokenIdx)
+	}
+	for i, r := range rows {
+		if i == brokenIdx {
+			if r.Err == "" || r.Name != "brokenx" {
+				t.Errorf("broken row = %+v, want FAILED marker", r)
+			}
+			continue
+		}
+		if r.Err != "" || r.ConsAvailable <= 0 || r.OptAvailable <= 0 {
+			t.Errorf("healthy row %d = %+v, want complete metrics", i, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTable3(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "FAILED"); n != 1 {
+		t.Errorf("render has %d FAILED markers, want 1:\n%s", n, buf.String())
+	}
+
+	// Fail-fast parallel mode: the lowest-indexed failure is returned as a
+	// plain *WorkloadError, never wrapped in a *SuiteError.
+	ff := suite("xlispx", "naskerx", "matrixx")
+	ff.Workloads[1] = brokenWorkload()
+	ff.Parallelism = 3
+	ff.Concurrency = 3
+	_, err = ff.Table3()
+	var we *WorkloadError
+	if !errors.As(err, &we) || we.Index != 1 {
+		t.Fatalf("fail-fast err = %v, want *WorkloadError at index 1", err)
+	}
+	if errors.As(err, &se) {
+		t.Error("fail-fast parallel mode returned a *SuiteError")
+	}
+}
+
 // TestWorkloadWatchdog drives one workload with an expired deadline and
 // expects the timeout error, classified by its sentinel.
 func TestWorkloadWatchdog(t *testing.T) {

@@ -1,0 +1,65 @@
+package trace
+
+import "fmt"
+
+// EventBuffer is an in-memory recording of a trace that can be replayed any
+// number of times. It implements Sink, so it can capture a simulation's
+// event stream directly, and it remembers the ReadStats of the reader that
+// filled it (see ReadAll), so a degraded-mode read's skip accounting travels
+// with the events it actually delivered.
+//
+// The point of the buffer is single-decode fan-out: one simulation or one
+// pass over a stored trace fills the buffer, and any number of analyzers —
+// possibly running concurrently — replay it without re-simulating or
+// re-decoding chunks. Replay hands each sink a pointer to a private copy of
+// the event, so concurrent replays never share mutable state; sinks must not
+// retain the pointer across calls (the same contract the CPU tracer and
+// trace.Reader already impose).
+type EventBuffer struct {
+	events []Event
+	stats  ReadStats
+}
+
+// Event implements Sink: it records a copy of the event.
+func (b *EventBuffer) Event(e *Event) error {
+	b.events = append(b.events, *e)
+	return nil
+}
+
+// Len returns the number of recorded events.
+func (b *EventBuffer) Len() int { return len(b.events) }
+
+// Stats returns the skip accounting of the reader that filled the buffer
+// (zero for a buffer filled directly from a simulation).
+func (b *EventBuffer) Stats() ReadStats { return b.stats }
+
+// SetStats attaches a reader's skip accounting to the buffer.
+func (b *EventBuffer) SetStats(st ReadStats) { b.stats = st }
+
+// Replay delivers every recorded event to sink, in recording order,
+// stopping at the first sink error. It may be called concurrently from
+// multiple goroutines, each with its own sink.
+func (b *EventBuffer) Replay(sink Sink) error {
+	for i := range b.events {
+		// Copy so a misbehaving sink mutating the event cannot corrupt
+		// the recording or race with other replays.
+		e := b.events[i]
+		if err := sink.Event(&e); err != nil {
+			return fmt.Errorf("trace: replay event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadAll drains a Reader into a fresh EventBuffer and captures the reader's
+// final ReadStats. With a degraded-mode reader over a damaged trace, the
+// buffer therefore holds exactly the surviving events, and Stats reports
+// what was lost.
+func ReadAll(r *Reader) (*EventBuffer, error) {
+	b := &EventBuffer{}
+	if err := r.ForEach(b.Event); err != nil {
+		return nil, err
+	}
+	b.stats = r.Stats()
+	return b, nil
+}
