@@ -12,6 +12,7 @@ package paragraph
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -49,7 +50,7 @@ func BenchmarkTable2Inventory(b *testing.B) {
 	s := benchSuite()
 	var total uint64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Table2()
+		rows, err := s.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func BenchmarkTable3Dataflow(b *testing.B) {
 	s := benchSuite()
 	var minAvail, maxAvail float64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Table3()
+		rows, err := s.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkTable4Renaming(b *testing.B) {
 	s := benchSuite()
 	var regsOverNone, memOverRegs float64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Table4()
+		rows, err := s.Table4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func BenchmarkFigure7Profiles(b *testing.B) {
 	s := benchSuite()
 	var burst float64
 	for i := 0; i < b.N; i++ {
-		profiles, err := s.Figure7()
+		profiles, err := s.Figure7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +147,7 @@ func BenchmarkFigure8Window(b *testing.B) {
 	sizes := []int{1, 16, 128, 4096, 65536, 0}
 	var atSmall, minPct float64
 	for i := 0; i < b.N; i++ {
-		series, err := s.Figure8(sizes)
+		series, err := s.Figure8(context.Background(), sizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkResourceLimits(b *testing.B) {
 	s.Workloads = pick("naskerx", "doducx")
 	var oneFU float64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.FunctionalUnits([]int{1, 8, 64, 0})
+		rows, err := s.FunctionalUnits(context.Background(), []int{1, 8, 64, 0})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -190,7 +191,7 @@ func BenchmarkLifetimes(b *testing.B) {
 	s.Workloads = pick("doducx")
 	var meanLife, meanShare float64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.Lifetimes()
+		rows, err := s.Lifetimes(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func BenchmarkAblationUnrolling(b *testing.B) {
 	s := benchSuite()
 	var shrink float64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.AblationUnroll("naskerx", []int{1, 4})
+		rows, err := s.AblationUnroll(context.Background(), "naskerx", []int{1, 4})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -302,7 +303,7 @@ func BenchmarkFanOut(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := harness.FanOut(buf, cfgs, bc.workers); err != nil {
+				if _, err := harness.FanOut(context.Background(), buf, cfgs, bc.workers); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -329,7 +330,7 @@ func BenchmarkSuiteEngines(b *testing.B) {
 			s.Parallelism = bc.jobs
 			s.Concurrency = bc.jobs
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Table4(); err != nil {
+				if _, err := s.Table4(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -398,7 +399,7 @@ func BenchmarkBranchPrediction(b *testing.B) {
 	s.Workloads = pick("xlispx", "doducx")
 	var frac float64
 	for i := 0; i < b.N; i++ {
-		rows, err := s.BranchPrediction(nil)
+		rows, err := s.BranchPrediction(context.Background(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}

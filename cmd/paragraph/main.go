@@ -32,14 +32,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"paragraph/internal/asm"
+	"paragraph/internal/budget"
 	"paragraph/internal/core"
 	"paragraph/internal/cpu"
 	"paragraph/internal/harness"
@@ -79,8 +83,20 @@ func main() {
 
 		sweepWindows = flag.String("sweep-windows", "", "comma-separated window sizes (0 = whole trace): decode the trace once and analyze every size, e.g. -sweep-windows 1,128,8192,0")
 		jobs         = flag.Int("j", 0, "with -sweep-windows: concurrent analyzer workers (0 = GOMAXPROCS, 1 = serial)")
+
+		memBudget     = flag.String("mem-budget", "", "memory budget for the analyzer working set, e.g. 64M or 1G (empty = unlimited)")
+		budgetPolicy  = flag.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
+		autosave      = flag.String("autosave", "", "with -trace: periodically save a resumable checkpoint to this file")
+		autosaveEvery = flag.Uint64("autosave-every", 1_000_000, "events between autosaved checkpoints")
+		resume        = flag.Bool("resume", false, "with -trace and -autosave: resume from the saved checkpoint instead of starting over")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the analysis promptly (within one
+	// budget.CheckEvery stride) instead of killing the process mid-write;
+	// with -autosave the last checkpoint survives for -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := core.Config{
 		WindowSize:      *window,
@@ -118,33 +134,82 @@ func main() {
 	} else {
 		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = *renameRegs, *renameStack, *renameData
 	}
+	if *memBudget != "" {
+		b, err := budget.ParseBytes(*memBudget)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MemBudget = b
+		pol, err := budget.ParsePolicy(*budgetPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.BudgetPolicy = pol
+	}
 
 	if *sweepWindows != "" {
-		runWindowSweep(cfg, *sweepWindows, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded)
+		runWindowSweep(ctx, cfg, *sweepWindows, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded)
 		return
 	}
 
-	analyzer := core.NewAnalyzer(cfg)
-
-	if *twoPass {
+	if *resume && *autosave == "" {
+		fatal(fmt.Errorf("-resume needs -autosave to name the checkpoint file"))
+	}
+	if *autosave != "" {
 		if *traceFile == "" {
-			fatal(fmt.Errorf("-two-pass needs a stored trace (-trace)"))
+			fatal(fmt.Errorf("-autosave needs a stored trace (-trace): checkpoints index into the trace file"))
 		}
+		if *maxInst != 0 {
+			fatal(fmt.Errorf("-autosave is incompatible with -max"))
+		}
+	}
+
+	if *traceFile != "" && (*twoPass || *autosave != "") {
 		f, err := os.Open(*traceFile)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
 		var rstats trace.ReadStats
-		res, err := core.AnalyzeTwoPassOpts(f, cfg, core.TwoPassOptions{Degraded: *degraded, Stats: &rstats})
-		if err != nil {
-			fatal(err)
+		opts := core.TwoPassOptions{Degraded: *degraded, Stats: &rstats}
+		if *autosave != "" {
+			opts.CheckpointEvery = *autosaveEvery
+			opts.OnCheckpoint = func(cp *core.Checkpoint) error {
+				return core.SaveCheckpoint(*autosave, cp)
+			}
+		}
+		var res *core.Result
+		if *resume {
+			cp, err := core.LoadCheckpoint(*autosave)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "paragraph: resuming from %s at event %s\n",
+				*autosave, stats.FormatInt(int64(cp.EventOffset)))
+			res, err = core.ResumeTwoPass(ctx, f, cp, opts)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			run := core.AnalyzeTraceOpts
+			if *twoPass {
+				run = core.AnalyzeTwoPassOpts
+			}
+			res, err = run(ctx, f, cfg, opts)
+			if err != nil {
+				fatal(err)
+			}
 		}
 		reportSkips(rstats)
 		report(res, *plot, *profileOut, *lifetimes, *sharing)
 		writeStorage(res, *storageOut)
 		return
 	}
+	if *twoPass {
+		fatal(fmt.Errorf("-two-pass needs a stored trace (-trace)"))
+	}
+
+	analyzer := core.NewAnalyzer(cfg)
 
 	switch {
 	case *traceFile != "":
@@ -159,6 +224,11 @@ func main() {
 		}
 		n := uint64(0)
 		err = tr.ForEach(func(e *trace.Event) error {
+			if n%budget.CheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("analysis canceled at event %d: %w", n, err)
+				}
+			}
 			if *maxInst != 0 && n >= *maxInst {
 				return errBudget
 			}
@@ -195,7 +265,7 @@ func main() {
 // from a file (or simulated) exactly once into a trace.EventBuffer, then
 // analyzed under every requested window size by a pool of concurrent
 // analyzers (harness.FanOut). The output is one table row per window.
-func runWindowSweep(base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded bool) {
+func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded bool) {
 	var sizes []int
 	for _, s := range strings.Split(sizesArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -244,7 +314,7 @@ func runWindowSweep(base core.Config, sizesArg string, jobs int, traceFile, work
 		cfgs[i] = c
 	}
 	start := time.Now()
-	results, err := harness.FanOut(buf, cfgs, jobs)
+	results, err := harness.FanOut(ctx, buf, cfgs, jobs)
 	if err != nil {
 		fatal(err)
 	}
@@ -341,6 +411,18 @@ func report(res *core.Result, plot bool, profileOut string, lifetimes, sharing b
 		fmt.Printf("branch model:         %s, %s branches, %.2f%% mispredicted\n",
 			res.Config.Branches, stats.FormatInt(int64(res.Branches)),
 			float64(res.Mispredictions)/float64(res.Branches)*100)
+	}
+	if g := res.Governor; g != nil {
+		fmt.Printf("memory budget:        peak %s bytes (live well %s), %d checks\n",
+			stats.FormatInt(g.PeakBytes), stats.FormatInt(g.PeakLiveWellBytes), g.Checks)
+		if g.Governed() {
+			fmt.Printf("budget governance:    %d degradation(s), %d warning(s)",
+				g.Degradations, g.Warnings)
+			if g.EffectiveWindow > 0 {
+				fmt.Printf(", effective window %s", stats.FormatInt(int64(g.EffectiveWindow)))
+			}
+			fmt.Println()
+		}
 	}
 
 	if plot && len(res.Profile) > 0 {

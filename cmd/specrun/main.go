@@ -27,6 +27,15 @@
 //	-keep-going       continue past failing workloads; failed rows are
 //	                  marked FAILED in the tables and the exit code is 1
 //	-timeout D        per-workload wall-clock budget (e.g. -timeout 30s)
+//	-mem-budget B     per-analyzer memory budget, e.g. 64M (0 = unlimited)
+//	-budget-policy P  over-budget response: fail, degrade or warn
+//	-autosave F       save finished rows to F (atomic rename) as the run
+//	                  progresses, so a killed run can pick up where it left
+//	-resume           with -autosave: reuse rows already in F instead of
+//	                  recomputing them; output is identical to a full run
+//	                  because workloads are deterministic
+//
+// Ctrl-C / SIGTERM cancel the run promptly (partial autosave survives).
 //
 // Parallelism:
 //
@@ -38,50 +47,75 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"paragraph/internal/budget"
 	"paragraph/internal/harness"
 	"paragraph/internal/workloads"
 )
 
-// exitCode is the process exit status: set to 1 when any workload failed in
-// keep-going mode, so partial results still come with a failing exit code.
-var exitCode int
-
 func main() {
-	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		table1   = flag.Bool("table1", false, "print Table 1 (operation times)")
-		table2   = flag.Bool("table2", false, "run Table 2 (benchmark inventory)")
-		table3   = flag.Bool("table3", false, "run Table 3 (dataflow limits)")
-		table4   = flag.Bool("table4", false, "run Table 4 (renaming conditions)")
-		fig7     = flag.Bool("fig7", false, "run Figure 7 (parallelism profiles)")
-		fig8     = flag.Bool("fig8", false, "run Figure 8 (window-size sweep)")
-		fus      = flag.Bool("fus", false, "run the functional-unit sweep (E8)")
-		lifet    = flag.Bool("lifetimes", false, "run lifetime/sharing distributions (E9)")
-		ablation = flag.Bool("ablation-unroll", false, "run the loop-unrolling ablation (E7)")
-		branches = flag.Bool("branches", false, "run the branch-prediction sweep (E10)")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
+}
 
-		scale     = flag.Int("scale", 1, "workload scale factor")
-		maxInst   = flag.Uint64("max", 0, "per-run instruction budget (0 = unlimited)")
-		outDir    = flag.String("out", "", "directory for CSV outputs (fig7/fig8)")
-		names     = flag.String("workloads", "", "comma-separated workload subset")
-		ablWork   = flag.String("ablation-workload", "naskerx", "workload for the unrolling ablation")
-		keepGoing = flag.Bool("keep-going", false, "continue past failing workloads; failed rows are marked and the exit code is non-zero")
-		timeout   = flag.Duration("timeout", 0, "per-workload wall-clock budget, e.g. 30s (0 = unlimited)")
-		jobs      = flag.Int("j", 0, "parallelism: bounds both concurrent workloads and concurrent analyzer configs per workload (0 = GOMAXPROCS, 1 = fully serial)")
+// run is the testable entry point: it parses args, executes the selected
+// experiments, and returns the process exit code (0 success, 1 any failure —
+// including per-workload failures in keep-going mode — 2 usage error).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("specrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		table1   = fs.Bool("table1", false, "print Table 1 (operation times)")
+		table2   = fs.Bool("table2", false, "run Table 2 (benchmark inventory)")
+		table3   = fs.Bool("table3", false, "run Table 3 (dataflow limits)")
+		table4   = fs.Bool("table4", false, "run Table 4 (renaming conditions)")
+		fig7     = fs.Bool("fig7", false, "run Figure 7 (parallelism profiles)")
+		fig8     = fs.Bool("fig8", false, "run Figure 8 (window-size sweep)")
+		fus      = fs.Bool("fus", false, "run the functional-unit sweep (E8)")
+		lifet    = fs.Bool("lifetimes", false, "run lifetime/sharing distributions (E9)")
+		ablation = fs.Bool("ablation-unroll", false, "run the loop-unrolling ablation (E7)")
+		branches = fs.Bool("branches", false, "run the branch-prediction sweep (E10)")
+
+		scale     = fs.Int("scale", 1, "workload scale factor")
+		maxInst   = fs.Uint64("max", 0, "per-run instruction budget (0 = unlimited)")
+		outDir    = fs.String("out", "", "directory for CSV outputs (fig7/fig8)")
+		names     = fs.String("workloads", "", "comma-separated workload subset")
+		ablWork   = fs.String("ablation-workload", "naskerx", "workload for the unrolling ablation")
+		keepGoing = fs.Bool("keep-going", false, "continue past failing workloads; failed rows are marked and the exit code is non-zero")
+		timeout   = fs.Duration("timeout", 0, "per-workload wall-clock budget, e.g. 30s (0 = unlimited)")
+		jobs      = fs.Int("j", 0, "parallelism: bounds both concurrent workloads and concurrent analyzer configs per workload (0 = GOMAXPROCS, 1 = fully serial)")
+
+		memBudget    = fs.String("mem-budget", "", "per-analyzer memory budget, e.g. 64M or 1G (empty = unlimited)")
+		budgetPolicy = fs.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
+		autosave     = fs.String("autosave", "", "save finished experiment rows to this file as the run progresses")
+		resume       = fs.Bool("resume", false, "with -autosave: reuse saved rows instead of recomputing them")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if !(*all || *table1 || *table2 || *table3 || *table4 || *fig7 || *fig8 || *fus || *lifet || *ablation || *branches) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "specrun:", err)
+		return 1
 	}
 
 	s := harness.NewSuite(*scale)
@@ -90,150 +124,246 @@ func main() {
 	s.WorkloadTimeout = *timeout
 	s.Parallelism = *jobs
 	s.Concurrency = *jobs
+	if *memBudget != "" {
+		b, err := budget.ParseBytes(*memBudget)
+		if err != nil {
+			return fail(err)
+		}
+		pol, err := budget.ParsePolicy(*budgetPolicy)
+		if err != nil {
+			return fail(err)
+		}
+		s.MemBudget = b
+		s.BudgetPolicy = pol
+	}
 	if *names != "" {
 		s.Workloads = nil
 		for _, n := range strings.Split(*names, ",") {
 			w, ok := workloads.ByName(strings.TrimSpace(n))
 			if !ok {
-				fatal(fmt.Errorf("unknown workload %q", n))
+				return fail(fmt.Errorf("unknown workload %q", n))
 			}
 			s.Workloads = append(s.Workloads, w)
 		}
 	}
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatal(err)
+			return fail(err)
+		}
+	}
+	if *resume && *autosave == "" {
+		return fail(fmt.Errorf("-resume needs -autosave to name the row store"))
+	}
+	var st *store
+	if *autosave != "" {
+		var err error
+		st, err = openStore(*autosave, *resume)
+		if err != nil {
+			return fail(err)
 		}
 	}
 
-	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
+	exitCode := 0
+	// partial handles an experiment's error. A *SuiteError from a
+	// keep-going run is reported and remembered in the exit code while the
+	// partial rows still render; any other error is fatal.
+	partial := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		var se *harness.SuiteError
+		if errors.As(err, &se) {
+			fmt.Fprintln(stderr, "specrun:", err)
+			exitCode = 1
+			return true
+		}
+		return false
+	}
+	section := func(title string) { fmt.Fprintf(stdout, "\n== %s ==\n\n", title) }
 
 	if *all || *table1 {
 		section("Table 1: Instruction Class Operation Times")
-		must(harness.RenderTable1(os.Stdout))
+		if err := harness.RenderTable1(stdout); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *table2 {
 		section("Table 2: Benchmarks Analyzed")
-		rows, err := timed("table2", s.Table2)
-		partial(err)
-		must(harness.RenderTable2(os.Stdout, rows))
+		rows, err := timed(stderr, "table2", func() ([]harness.Table2Row, error) {
+			return cachedRows(st, "table2", s,
+				func(sub *harness.Suite) ([]harness.Table2Row, error) { return sub.Table2(ctx) },
+				func(r harness.Table2Row) bool { return r.Name != "" && r.Err == "" })
+		})
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderTable2(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *table3 {
 		section("Table 3: Dataflow Results (conservative vs optimistic system calls)")
-		rows, err := timed("table3", s.Table3)
-		partial(err)
-		must(harness.RenderTable3(os.Stdout, rows))
+		rows, err := timed(stderr, "table3", func() ([]harness.Table3Row, error) {
+			return cachedRows(st, "table3", s,
+				func(sub *harness.Suite) ([]harness.Table3Row, error) { return sub.Table3(ctx) },
+				func(r harness.Table3Row) bool { return r.Name != "" && r.Err == "" })
+		})
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderTable3(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *table4 {
 		section("Table 4: Available Parallelism under Different Renaming Conditions")
-		rows, err := timed("table4", s.Table4)
-		partial(err)
-		must(harness.RenderTable4(os.Stdout, rows))
+		rows, err := timed(stderr, "table4", func() ([]harness.Table4Row, error) {
+			return cachedRows(st, "table4", s,
+				func(sub *harness.Suite) ([]harness.Table4Row, error) { return sub.Table4(ctx) },
+				func(r harness.Table4Row) bool { return r.Name != "" && r.Err == "" })
+		})
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderTable4(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *fig7 {
 		section("Figure 7: Parallelism Profiles")
-		profiles, err := timed("fig7", s.Figure7)
-		partial(err)
-		must(harness.RenderFigure7(os.Stdout, profiles))
+		profiles, err := timed(stderr, "fig7", func() ([]harness.ProfileResult, error) {
+			return cachedRows(st, "fig7", s,
+				func(sub *harness.Suite) ([]harness.ProfileResult, error) { return sub.Figure7(ctx) },
+				func(r harness.ProfileResult) bool { return r.Name != "" })
+		})
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderFigure7(stdout, profiles); err != nil {
+			return fail(err)
+		}
 		if *outDir != "" {
 			for _, p := range profiles {
 				path := filepath.Join(*outDir, "fig7_"+p.Name+".csv")
 				f, err := os.Create(path)
 				if err != nil {
-					fatal(err)
+					return fail(err)
 				}
-				must(harness.WriteProfileCSV(f, p))
-				must(f.Close())
-				fmt.Printf("wrote %s\n", path)
+				if err := harness.WriteProfileCSV(f, p); err != nil {
+					return fail(err)
+				}
+				if err := f.Close(); err != nil {
+					return fail(err)
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", path)
 			}
 		}
 	}
 	if *all || *fig8 {
 		section("Figure 8: Window Size vs Percent of Total Available Parallelism")
-		series, err := timed("fig8", func() ([]harness.WindowSeries, error) {
-			return s.Figure8(nil)
+		series, err := timed(stderr, "fig8", func() ([]harness.WindowSeries, error) {
+			return cachedRows(st, "fig8", s,
+				func(sub *harness.Suite) ([]harness.WindowSeries, error) { return sub.Figure8(ctx, nil) },
+				func(r harness.WindowSeries) bool { return r.Name != "" })
 		})
-		partial(err)
-		must(harness.RenderFigure8(os.Stdout, series))
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderFigure8(stdout, series); err != nil {
+			return fail(err)
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, "fig8.csv")
 			f, err := os.Create(path)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			must(harness.WriteFigure8CSV(f, series))
-			must(f.Close())
-			fmt.Printf("wrote %s\n", path)
+			if err := harness.WriteFigure8CSV(f, series); err != nil {
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "wrote %s\n", path)
 		}
 	}
 	if *all || *fus {
 		section("Extension E8: Functional-Unit Limits")
-		rows, err := timed("fus", func() ([]harness.FURow, error) {
-			return s.FunctionalUnits(nil)
+		rows, err := timed(stderr, "fus", func() ([]harness.FURow, error) {
+			return cachedRows(st, "fus", s,
+				func(sub *harness.Suite) ([]harness.FURow, error) { return sub.FunctionalUnits(ctx, nil) },
+				func(r harness.FURow) bool { return r.Name != "" })
 		})
-		partial(err)
-		must(harness.RenderFunctionalUnits(os.Stdout, rows))
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderFunctionalUnits(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *lifet {
 		section("Extension E9: Value Lifetimes and Degree of Sharing")
-		rows, err := timed("lifetimes", s.Lifetimes)
-		partial(err)
-		must(harness.RenderLifetimes(os.Stdout, rows))
+		rows, err := timed(stderr, "lifetimes", func() ([]harness.LifetimeRow, error) {
+			return cachedRows(st, "lifetimes", s,
+				func(sub *harness.Suite) ([]harness.LifetimeRow, error) { return sub.Lifetimes(ctx) },
+				func(r harness.LifetimeRow) bool { return r.Name != "" })
+		})
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderLifetimes(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *branches {
 		section("Extension E10: Branch-Prediction Models")
-		rows, err := timed("branches", func() ([]harness.BranchRow, error) {
-			return s.BranchPrediction(nil)
+		rows, err := timed(stderr, "branches", func() ([]harness.BranchRow, error) {
+			return cachedRows(st, "branches", s,
+				func(sub *harness.Suite) ([]harness.BranchRow, error) { return sub.BranchPrediction(ctx, nil) },
+				func(r harness.BranchRow) bool { return r.Name != "" })
 		})
-		partial(err)
-		must(harness.RenderBranches(os.Stdout, rows))
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderBranches(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 	if *all || *ablation {
 		section("Extension E7: Compiler Loop-Unrolling Ablation (" + *ablWork + ")")
-		rows, err := timed("ablation", func() ([]harness.UnrollRow, error) {
-			return s.AblationUnroll(*ablWork, nil)
+		rows, err := timed(stderr, "ablation", func() ([]harness.UnrollRow, error) {
+			// The ablation sweeps unroll factors over one workload, so it
+			// caches as a single unit rather than per workload.
+			key := "ablation/" + *ablWork
+			if rows, ok := getCached[[]harness.UnrollRow](st, key); ok {
+				return rows, nil
+			}
+			rows, err := s.AblationUnroll(ctx, *ablWork, nil)
+			if err == nil && st != nil {
+				if perr := st.put(key, rows); perr != nil {
+					return rows, perr
+				}
+			}
+			return rows, err
 		})
-		partial(err)
-		must(harness.RenderUnroll(os.Stdout, rows))
+		if !partial(err) {
+			return fail(err)
+		}
+		if err := harness.RenderUnroll(stdout, rows); err != nil {
+			return fail(err)
+		}
 	}
 
 	if exitCode != 0 {
-		fmt.Fprintln(os.Stderr, "specrun: some workloads failed; results above are partial")
-		os.Exit(exitCode)
+		fmt.Fprintln(stderr, "specrun: some workloads failed; results above are partial")
 	}
-}
-
-// partial handles an experiment's error. A *SuiteError from a keep-going
-// run is reported to stderr and remembered in the exit code while the
-// partial rows still render; any other error is fatal.
-func partial(err error) {
-	if err == nil {
-		return
-	}
-	var se *harness.SuiteError
-	if errors.As(err, &se) {
-		fmt.Fprintln(os.Stderr, "specrun:", err)
-		exitCode = 1
-		return
-	}
-	fatal(err)
+	return exitCode
 }
 
 // timed runs fn, reporting its wall time to stderr.
-func timed[T any](name string, fn func() (T, error)) (T, error) {
+func timed[T any](stderr io.Writer, name string, fn func() (T, error)) (T, error) {
 	start := time.Now()
 	out, err := fn()
-	fmt.Fprintf(os.Stderr, "specrun: %s took %v\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "specrun: %s took %v\n", name, time.Since(start).Round(time.Millisecond))
 	return out, err
-}
-
-func must(err error) {
-	if err != nil {
-		fatal(err)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "specrun:", err)
-	os.Exit(1)
 }

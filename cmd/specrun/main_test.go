@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSpecrun invokes the CLI entry point with captured output.
+func runSpecrun(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitCodeSuccess(t *testing.T) {
+	code, stdout, stderr := runSpecrun(t, "-table2", "-workloads", "xlispx", "-max", "100000")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "xlispx") {
+		t.Errorf("table output missing the workload row:\n%s", stdout)
+	}
+}
+
+// TestKeepGoingExitCode is the regression test for the silent-success bug
+// class: -keep-going renders partial tables but the process must still exit
+// non-zero when any row failed.
+func TestKeepGoingExitCode(t *testing.T) {
+	code, stdout, stderr := runSpecrun(t,
+		"-table3", "-workloads", "xlispx", "-keep-going", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 for a keep-going run with failures\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "FAILED") {
+		t.Errorf("table does not mark the failed row:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "some workloads failed") {
+		t.Errorf("stderr does not summarize the failure:\n%s", stderr)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runSpecrun(t); code != 2 {
+		t.Errorf("no experiments selected: exit code %d, want 2", code)
+	}
+	if code, _, _ := runSpecrun(t, "-bogus-flag"); code != 2 {
+		t.Errorf("unknown flag: exit code %d, want 2", code)
+	}
+	if code, _, stderr := runSpecrun(t, "-table2", "-workloads", "nonesuch"); code != 1 ||
+		!strings.Contains(stderr, "nonesuch") {
+		t.Errorf("unknown workload: exit code %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runSpecrun(t, "-table2", "-resume"); code != 1 ||
+		!strings.Contains(stderr, "-autosave") {
+		t.Errorf("-resume without -autosave: exit code %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runSpecrun(t, "-table2", "-workloads", "xlispx", "-mem-budget", "lots"); code != 1 ||
+		!strings.Contains(stderr, "bad size") {
+		t.Errorf("bad -mem-budget: exit code %d, stderr %q", code, stderr)
+	}
+}
+
+// TestAutosaveResumeByteIdentical is the crash-recovery acceptance test at
+// the CLI level: a run resumed from a partial autosave store must emit
+// byte-identical tables to the uninterrupted run.
+func TestAutosaveResumeByteIdentical(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "rows.json")
+	args := []string{"-table3", "-workloads", "xlispx,matrixx", "-max", "150000", "-autosave", store}
+
+	code, want, stderr := runSpecrun(t, args...)
+	if code != 0 {
+		t.Fatalf("full run failed (%d):\n%s", code, stderr)
+	}
+
+	// Simulate a run that died after finishing only xlispx: drop the other
+	// workload's row from the store.
+	raw, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rows["table3/xlispx"]; !ok {
+		t.Fatalf("store is missing the xlispx row; keys: %v", keys(rows))
+	}
+	delete(rows, "table3/matrixx")
+	trimmed, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store, trimmed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, got, stderr := runSpecrun(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resumed run failed (%d):\n%s", code, stderr)
+	}
+	if got != want {
+		t.Errorf("resumed output differs from the uninterrupted run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// A second resume finds every row cached and recomputes nothing, but
+	// the rendered tables are still identical.
+	code, again, stderr := runSpecrun(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("fully-cached run failed (%d):\n%s", code, stderr)
+	}
+	if again != want {
+		t.Errorf("fully-cached output differs from the uninterrupted run\ngot:\n%s\nwant:\n%s", again, want)
+	}
+}
+
+// TestAutosaveSkipsFailedRows: rows that failed are not persisted, so a
+// resume retries them instead of replaying the failure forever.
+func TestAutosaveSkipsFailedRows(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "rows.json")
+	code, _, _ := runSpecrun(t,
+		"-table3", "-workloads", "xlispx", "-keep-going", "-timeout", "1ns", "-autosave", store)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if raw, err := os.ReadFile(store); err == nil {
+		var rows map[string]json.RawMessage
+		if jerr := json.Unmarshal(raw, &rows); jerr != nil {
+			t.Fatalf("store is not valid JSON: %v", jerr)
+		}
+		if _, ok := rows["table3/xlispx"]; ok {
+			t.Error("failed row was persisted")
+		}
+	}
+
+	// Retried without the absurd timeout, the resumed run succeeds.
+	code, stdout, stderr := runSpecrun(t,
+		"-table3", "-workloads", "xlispx", "-max", "150000", "-autosave", store, "-resume")
+	if code != 0 {
+		t.Fatalf("retry failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "xlispx") {
+		t.Errorf("retried table missing the workload row:\n%s", stdout)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"paragraph/internal/harness"
+	"paragraph/internal/workloads"
+)
+
+// store is specrun's autosave row store: one JSON object mapping
+// "experiment/workload" keys to finished result rows. Every put rewrites the
+// whole file through a temp-file+rename, so a kill at any instant leaves
+// either the previous or the next complete store on disk, never a torn one.
+// Workloads are deterministic, so a resumed run that splices cached rows into
+// fresh ones produces output identical to an uninterrupted run.
+//
+// A store is used from one goroutine (experiments persist their rows after
+// they return); it is not safe for concurrent use.
+type store struct {
+	path string
+	rows map[string]json.RawMessage
+}
+
+// openStore opens the autosave store at path. With resume, rows already on
+// disk are loaded for reuse; without it the store starts empty and the first
+// put replaces whatever the file held.
+func openStore(path string, resume bool) (*store, error) {
+	st := &store{path: path, rows: map[string]json.RawMessage{}}
+	if !resume {
+		return st, nil
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// Nothing autosaved yet: resume degenerates to a fresh run.
+	case err != nil:
+		return nil, err
+	default:
+		if err := json.Unmarshal(data, &st.rows); err != nil {
+			return nil, fmt.Errorf("corrupt autosave file %s (delete it to start over): %w", path, err)
+		}
+	}
+	return st, nil
+}
+
+// put records v under key and persists the whole store atomically.
+func (st *store) put(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	st.rows[key] = raw
+	return st.flush()
+}
+
+func (st *store) flush() error {
+	data, err := json.MarshalIndent(st.rows, "", "\t")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(st.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(st.path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), st.path)
+}
+
+// getCached returns the row stored under key, if one round-trips cleanly.
+func getCached[T any](st *store, key string) (T, bool) {
+	var v T
+	if st == nil {
+		return v, false
+	}
+	raw, ok := st.rows[key]
+	if !ok {
+		return v, false
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, false
+	}
+	return v, true
+}
+
+// cachedRows runs a per-workload experiment through the autosave store:
+// workloads whose rows were autosaved by an earlier run are spliced back in
+// from the store, the rest run on a sub-suite, and every fresh row accepted
+// by keep (i.e. complete, not a failure marker) is persisted as soon as the
+// experiment returns. With no store configured it is exactly run(s).
+//
+// Experiment errors (including a keep-going run's *SuiteError) pass through
+// with the partial rows, so failure rendering and exit codes are unchanged;
+// failed rows are simply not persisted, and a -resume rerun retries them.
+func cachedRows[T any](st *store, exp string, s *harness.Suite, run func(*harness.Suite) ([]T, error), keep func(T) bool) ([]T, error) {
+	if st == nil {
+		return run(s)
+	}
+	rows := make([]T, len(s.Workloads))
+	var missing []int
+	for i, w := range s.Workloads {
+		if row, ok := getCached[T](st, exp+"/"+w.Name); ok {
+			rows[i] = row
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return rows, nil
+	}
+	sub := *s
+	sub.Workloads = make([]*workloads.Workload, len(missing))
+	for j, i := range missing {
+		sub.Workloads[j] = s.Workloads[i]
+	}
+	fresh, err := run(&sub)
+	for j, i := range missing {
+		if j < len(fresh) {
+			rows[i] = fresh[j]
+		}
+	}
+	for j, i := range missing {
+		if j < len(fresh) && keep(fresh[j]) {
+			if perr := st.put(exp+"/"+s.Workloads[i].Name, fresh[j]); perr != nil && err == nil {
+				err = perr
+			}
+		}
+	}
+	return rows, err
+}

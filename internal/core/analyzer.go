@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"paragraph/internal/budget"
 	"paragraph/internal/isa"
 	"paragraph/internal/stats"
 	"paragraph/internal/trace"
@@ -36,6 +37,7 @@ type Analyzer struct {
 	pred    *predictor
 	deaths  *DeathSchedule
 	storage *stats.LevelHistogram
+	gov     *budget.Governor
 
 	instructions uint64
 	ops          uint64
@@ -69,6 +71,9 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	if cfg.StorageProfile {
 		a.storage = stats.NewLevelHistogram(cfg.ProfileBuckets)
 	}
+	if cfg.MemBudget > 0 {
+		a.gov = budget.New(cfg.MemBudget, cfg.BudgetPolicy)
+	}
 	return a
 }
 
@@ -99,6 +104,45 @@ func (a *Analyzer) Event(e *trace.Event) (err error) {
 	if a.storage != nil {
 		a.storage.Add(int64(seq), uint64(len(a.well.mem)))
 	}
+	if a.gov != nil && a.instructions%budget.CheckEvery == 0 {
+		if err := a.governBudget(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Approximate per-entry working-set costs in bytes, used by the budget
+// governor. The point is an order-of-magnitude guard rail: a live-well map
+// entry is a 4-byte key plus a 20-byte value plus Go map overhead; window
+// state is one uint64 and one int64 per in-window instruction; a
+// functional-unit schedule entry is an int64 key plus an int.
+const (
+	liveWellEntryBytes = 48
+	windowEntryBytes   = 16
+	fuEntryBytes       = 16
+	regFileBytes       = int64(isa.NumRegs) * 24
+)
+
+// governBudget meters the analyzer's working sets against the configured
+// memory budget. Called every budget.CheckEvery events, never per event.
+// Under the degrade policy an over-budget observation tightens the
+// effective instruction window (recorded in GovernorStats and visible in
+// Result.Config.WindowSize); under fail-fast it returns the structured
+// budget error that aborts the analysis.
+func (a *Analyzer) governBudget() error {
+	u := budget.Usage{
+		LiveWellBytes: int64(len(a.well.mem))*liveWellEntryBytes + regFileBytes,
+		WindowBytes:   int64(len(a.window.seqs)-a.window.head) * windowEntryBytes,
+	}
+	if a.fu != nil {
+		u.WindowBytes += int64(len(a.fu.counts)) * fuEntryBytes
+	}
+	newWindow, err := a.gov.Govern(u, a.cfg.WindowSize)
+	if err != nil {
+		return fmt.Errorf("core: event %d: %w", a.instructions, err)
+	}
+	a.cfg.WindowSize = newWindow
 	return nil
 }
 
@@ -449,6 +493,11 @@ type Result struct {
 	// MaxLiveMemoryWords is the peak number of live memory words in the
 	// live well — the working set the paper needed 32 MB for.
 	MaxLiveMemoryWords int
+
+	// Governor reports memory-budget accounting (peak usage, degradations,
+	// the effective window after any tightening); nil unless
+	// Config.MemBudget was set.
+	Governor *budget.GovernorStats
 }
 
 // Finish flushes end-of-trace state and returns the metrics. The analyzer
@@ -509,6 +558,10 @@ func (a *Analyzer) Finish() (res *Result, err error) {
 	}
 	if a.cfg.Sharing {
 		r.Sharing = a.sharing
+	}
+	if a.gov != nil {
+		st := a.gov.Stats()
+		r.Governor = &st
 	}
 	return r, nil
 }

@@ -21,6 +21,12 @@ type Checkpoint struct {
 	EventOffset uint64
 
 	a *Analyzer
+
+	// needDeaths marks a checkpoint that was loaded from disk without its
+	// death schedule (schedules are not persisted — they can rival the live
+	// well in size). ResumeTwoPass re-runs the discovery pass for such
+	// checkpoints; in-memory snapshots keep sharing the original schedule.
+	needDeaths bool
 }
 
 // Snapshot deep-copies the analyzer's state into a checkpoint. The analyzer
@@ -59,6 +65,9 @@ func (a *Analyzer) clone() *Analyzer {
 	}
 	if a.pred != nil {
 		b.pred = a.pred.clone()
+	}
+	if a.gov != nil {
+		b.gov = a.gov.Clone()
 	}
 	b.srcBuf = nil
 	return &b

@@ -31,6 +31,7 @@
 package core
 
 import (
+	"paragraph/internal/budget"
 	"paragraph/internal/isa"
 )
 
@@ -122,6 +123,18 @@ type Config struct {
 	// Sharing enables the degree-of-sharing distribution (number of
 	// consumers per value).
 	Sharing bool
+
+	// MemBudget bounds the analyzer's tracked working set — live well,
+	// window state, functional-unit schedule — in estimated bytes;
+	// 0 disables governance entirely (the default, and the byte-identical
+	// legacy behaviour). Usage is checked every budget.CheckEvery events,
+	// so the hot loop pays nothing measurable.
+	MemBudget int64
+	// BudgetPolicy selects the response to budget pressure: fail fast
+	// with a structured budget.Error (the zero value), degrade by
+	// tightening the effective instruction window, or warn-only.
+	// Ignored when MemBudget is 0.
+	BudgetPolicy budget.Policy
 }
 
 // Dataflow returns the paper's upper-bound configuration: all renaming on,

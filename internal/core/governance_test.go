@@ -1,0 +1,320 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/faultinject"
+	"paragraph/internal/trace"
+)
+
+// governedEvents is enough events past several budget.CheckEvery boundaries
+// for the governor to observe a growing live well.
+const governedEvents = 8192
+
+func TestBudgetFailFast(t *testing.T) {
+	cfg := Dataflow(SyscallConservative)
+	cfg.MemBudget = 1 // one byte: the register file alone exceeds it
+	cfg.BudgetPolicy = budget.FailFast
+	a := NewAnalyzer(cfg)
+	events := genTraceEvents(governedEvents)
+	var err error
+	for i := range events {
+		if err = a.Event(&events[i]); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, budget.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	var be *budget.Error
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %T, want *budget.Error", err)
+	}
+	if be.LimitBytes != 1 || be.UsageBytes <= 1 {
+		t.Errorf("error reports usage %d / limit %d", be.UsageBytes, be.LimitBytes)
+	}
+	if !contains(err.Error(), "core: event") {
+		t.Errorf("err = %q, want the event position in the message", err)
+	}
+}
+
+func TestBudgetDegradeTightensWindow(t *testing.T) {
+	// Enough CheckEvery boundaries to walk an unlimited window all the way
+	// down: DegradeStartWindow then ten halvings to the floor, with checks
+	// to spare that must then count as warnings.
+	events := genTraceEvents(20_000)
+	cfg := Dataflow(SyscallConservative)
+	cfg.Profile = false
+	cfg.MemBudget = 1
+	cfg.BudgetPolicy = budget.Degrade
+	a := NewAnalyzer(cfg)
+	for i := range events {
+		if err := a.Event(&events[i]); err != nil {
+			t.Fatalf("degrade-mode event %d: %v", i, err)
+		}
+	}
+	res, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Governor == nil {
+		t.Fatal("governed run has no GovernorStats")
+	}
+	st := *res.Governor
+	if !st.Governed() || st.Degradations == 0 {
+		t.Fatalf("stats = %+v, want recorded degradations", st)
+	}
+	if st.Checks == 0 || st.PeakBytes == 0 || st.PeakLiveWellBytes == 0 {
+		t.Errorf("stats = %+v, want non-zero accounting", st)
+	}
+	// An impossible budget degrades all the way to the floor, after which
+	// overages are only counted.
+	if st.EffectiveWindow != budget.MinWindow {
+		t.Errorf("EffectiveWindow = %d, want the %d floor", st.EffectiveWindow, budget.MinWindow)
+	}
+	if st.Warnings == 0 {
+		t.Errorf("stats = %+v, want at-floor overages counted as warnings", st)
+	}
+}
+
+func TestBudgetWarnOnlyDoesNotIntervene(t *testing.T) {
+	events := genTraceEvents(governedEvents)
+	base := Dataflow(SyscallConservative)
+
+	plain := NewAnalyzer(base)
+	feed(t, plain, events, 0, len(events))
+	want, err := plain.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Governor != nil {
+		t.Fatalf("ungoverned run has GovernorStats %+v", want.Governor)
+	}
+
+	cfg := base
+	cfg.MemBudget = 1
+	cfg.BudgetPolicy = budget.WarnOnly
+	warned := NewAnalyzer(cfg)
+	feed(t, warned, events, 0, len(events))
+	got, err := warned.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Governor == nil || got.Governor.Warnings == 0 {
+		t.Fatalf("stats = %+v, want counted warnings", got.Governor)
+	}
+	// Metrics must be untouched: warn-only governance observes, never acts.
+	// Only the accounting and the budget knobs echoed in Config may differ.
+	got.Governor = nil
+	got.Config.MemBudget = 0
+	got.Config.BudgetPolicy = budget.FailFast
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("warn-only results differ from ungoverned run\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestFaultInjectedTightBudgetDegrade combines the two degradation paths: a
+// trace with an injected corrupt chunk, read in degraded mode, analyzed
+// under a hopeless memory budget with the Degrade policy. The run must
+// complete, skip exactly the damaged chunk, and report accurate governor
+// accounting.
+func TestFaultInjectedTightBudgetDegrade(t *testing.T) {
+	events := genTraceEvents(20_000)
+	data := encodeV2(t, events, 2048)
+	chunks, err := trace.ScanChunks(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := len(chunks) / 2
+	bad, err := faultinject.CorruptChunk(data, target, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Dataflow(SyscallConservative)
+	cfg.Profile = false
+	cfg.MemBudget = 1
+	cfg.BudgetPolicy = budget.Degrade
+	var rst trace.ReadStats
+	res, err := AnalyzeTwoPassOpts(context.Background(), bytes.NewReader(bad), cfg,
+		TwoPassOptions{Degraded: true, Stats: &rst})
+	if err != nil {
+		t.Fatalf("degraded fault-injected run failed: %v", err)
+	}
+	if rst.SkippedChunks != 1 {
+		t.Errorf("read stats = %+v, want exactly the corrupt chunk skipped", rst)
+	}
+	lost := uint64(chunks[target].Events)
+	if res.Instructions != uint64(len(events))-lost {
+		t.Errorf("Instructions = %d, want %d", res.Instructions, uint64(len(events))-lost)
+	}
+	st := res.Governor
+	if st == nil || !st.Governed() || st.Degradations == 0 {
+		t.Fatalf("governor stats = %+v, want recorded degradations", st)
+	}
+	if st.EffectiveWindow != budget.MinWindow || st.Warnings == 0 {
+		t.Errorf("stats = %+v, want window at the %d floor with overages counted", st, budget.MinWindow)
+	}
+	if st.PeakBytes < st.PeakLiveWellBytes || st.PeakLiveWellBytes == 0 {
+		t.Errorf("stats = %+v, want consistent non-zero peaks", st)
+	}
+	// Checks happen once per CheckEvery surviving events across both
+	// passes' analysis loop (the discovery pass is ungoverned).
+	if want := res.Instructions / budget.CheckEvery; st.Checks != want {
+		t.Errorf("Checks = %d, want %d (one per %d analyzed events)", st.Checks, want, budget.CheckEvery)
+	}
+}
+
+// TestPersistedCheckpointResume is the crash-recovery acceptance test: an
+// analysis killed mid-trace, restarted from its last on-disk autosave,
+// reproduces the uninterrupted run's results exactly — including the death
+// schedule, which is not persisted and must be recomputed by a discovery
+// pass on resume.
+func TestPersistedCheckpointResume(t *testing.T) {
+	events := genTraceEvents(3000)
+	data := encodeV2(t, events, 1024)
+	configs := map[string]Config{
+		"dataflow": Dataflow(SyscallConservative),
+		"windowed": {Syscalls: SyscallConservative, RenameRegisters: true, RenameStack: true,
+			WindowSize: 64, FunctionalUnits: 4, Branches: BranchTwoBit},
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			want, err := AnalyzeTwoPass(bytes.NewReader(data), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Autosave to disk, then die at the second checkpoint.
+			path := filepath.Join(t.TempDir(), "autosave.ckpt")
+			killed := errors.New("simulated crash")
+			opts := TwoPassOptions{CheckpointEvery: 512}
+			opts.OnCheckpoint = func(cp *Checkpoint) error {
+				if err := SaveCheckpoint(path, cp); err != nil {
+					return err
+				}
+				if cp.EventOffset >= 1024 {
+					return killed
+				}
+				return nil
+			}
+			if _, err := AnalyzeTwoPassOpts(context.Background(), bytes.NewReader(data), cfg, opts); !errors.Is(err, killed) {
+				t.Fatalf("interrupted run gave %v", err)
+			}
+
+			// A new process loads the file and resumes.
+			cp, err := LoadCheckpoint(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cp.EventOffset != 1024 {
+				t.Fatalf("loaded checkpoint at %d, want 1024", cp.EventOffset)
+			}
+			got, err := ResumeTwoPass(context.Background(), bytes.NewReader(data), cp, TwoPassOptions{})
+			if err != nil {
+				t.Fatalf("resume failed: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("resumed result differs from uninterrupted run\ngot:  %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestResumeAfterCancellation covers the interaction the two features were
+// built for: a run cancelled mid-workload (Ctrl-C) leaves its last autosave
+// behind, and resuming from it under a fresh context deep-equals the
+// uninterrupted run.
+func TestResumeAfterCancellation(t *testing.T) {
+	events := genTraceEvents(4000)
+	data := encodeV2(t, events, 1024)
+	cfg := Config{Syscalls: SyscallConservative, RenameRegisters: true, RenameStack: true,
+		WindowSize: 128, Branches: BranchTwoBit}
+
+	want, err := AnalyzeTwoPass(bytes.NewReader(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	path := filepath.Join(t.TempDir(), "autosave.ckpt")
+	opts := TwoPassOptions{CheckpointEvery: 1000}
+	opts.OnCheckpoint = func(cp *Checkpoint) error {
+		if err := SaveCheckpoint(path, cp); err != nil {
+			return err
+		}
+		if cp.EventOffset >= 2000 {
+			cancel() // the user hits Ctrl-C mid-analysis
+		}
+		return nil
+	}
+	_, err = AnalyzeTwoPassOpts(ctx, bytes.NewReader(data), cfg, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run gave %v, want context.Canceled in the chain", err)
+	}
+	if !contains(err.Error(), "canceled at event") {
+		t.Errorf("err = %q, want the cancellation position", err)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ResumeTwoPass(context.Background(), bytes.NewReader(data), cp, TwoPassOptions{})
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed result differs from uninterrupted run\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestDiscoveryCancellation(t *testing.T) {
+	events := genTraceEvents(4000)
+	data := encodeV2(t, events, 1024)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr, err := trace.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ComputeDeathScheduleContext(ctx, tr)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !contains(err.Error(), "discovery canceled") {
+		t.Errorf("err = %q, want it to name the discovery pass", err)
+	}
+}
+
+func TestCheckpointCorruptionDetected(t *testing.T) {
+	events := genTraceEvents(1500)
+	a := NewAnalyzer(Dataflow(SyscallConservative))
+	feed(t, a, events, 0, 1000)
+	path := filepath.Join(t.TempDir(), "cp")
+	if err := SaveCheckpoint(path, a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation and header damage must fail loudly, not decode garbage.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated checkpoint decoded")
+	}
+	mangled := append([]byte(nil), raw...)
+	mangled[3] ^= 0xFF
+	if _, err := ReadCheckpoint(bytes.NewReader(mangled)); err == nil {
+		t.Error("checkpoint with a damaged header decoded")
+	}
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/isa"
+	"paragraph/internal/stats"
+)
+
+// Checkpoint persistence: a Checkpoint can be written to disk and read back
+// in a later process, so a killed analysis resumes from its last autosave
+// instead of from the beginning of the trace.
+//
+// The encoding is a short magic header followed by a gob stream of exported
+// mirror structs (gob cannot see unexported fields). Everything the analyzer
+// tracks round-trips exactly — gob preserves float64 bits, so even the
+// LogDist running sums are reproduced bit-for-bit. The one deliberate
+// omission is the death schedule: it can rival the live well in size, and it
+// is a pure function of the trace, so ResumeTwoPass recomputes it with a
+// fresh discovery pass when the persisted analysis had one.
+//
+// Saves are crash-safe: SaveCheckpoint writes to a temporary file in the
+// destination directory and renames it into place, so a crash mid-write
+// leaves the previous checkpoint intact and a reader never observes a
+// half-written file.
+
+// checkpointMagic identifies and versions the on-disk format.
+const checkpointMagic = "paragraph-checkpoint-v1\n"
+
+// valueState mirrors the live well's value record.
+type valueState struct {
+	Level   int64
+	LastUse int64
+	Uses    uint32
+}
+
+// wellState mirrors liveWell.
+type wellState struct {
+	Regs     [isa.NumRegs]valueState
+	RegLive  [isa.NumRegs]bool
+	Mem      map[uint32]valueState
+	PreLevel int64
+}
+
+// fuState mirrors fuSchedule.
+type fuState struct {
+	Units  int
+	Counts map[int64]int
+	Floor  int64
+}
+
+// predState mirrors predictor.
+type predState struct {
+	Policy      BranchPolicy
+	Counters    []uint8
+	Mask        uint32
+	Branches    uint64
+	Mispredicts uint64
+}
+
+// checkpointState is the complete exported mirror of a Checkpoint. Window
+// state is persisted compacted (the consumed head prefix dropped).
+type checkpointState struct {
+	EventOffset      uint64
+	HasDeathSchedule bool
+
+	Config       Config
+	HighestLevel int64
+	Deepest      int64
+	AnyOps       bool
+
+	Profile   *stats.LevelHistogramState
+	Lifetimes stats.LogDistState
+	Sharing   stats.LogDistState
+	Storage   *stats.LevelHistogramState
+
+	WindowSeqs   []uint64
+	WindowLevels []int64
+
+	FU   *fuState
+	Pred *predState
+
+	GovernorStats *budget.GovernorStats
+
+	Well wellState
+
+	Instructions uint64
+	Ops          uint64
+	Syscalls     uint64
+	ClassCounts  [16]uint64
+	MaxLiveMem   int
+}
+
+// state snapshots the checkpoint's analyzer into the exported mirror.
+func (cp *Checkpoint) state() *checkpointState {
+	a := cp.a
+	st := &checkpointState{
+		EventOffset:      cp.EventOffset,
+		HasDeathSchedule: a.deaths != nil,
+		Config:           a.cfg.Clone(),
+		HighestLevel:     a.highestLevel,
+		Deepest:          a.deepest,
+		AnyOps:           a.anyOps,
+		Lifetimes:        a.lifetimes.State(),
+		Sharing:          a.sharing.State(),
+		Instructions:     a.instructions,
+		Ops:              a.ops,
+		Syscalls:         a.syscalls,
+		ClassCounts:      a.classCounts,
+		MaxLiveMem:       a.maxLiveMem,
+	}
+	if a.profile != nil {
+		s := a.profile.State()
+		st.Profile = &s
+	}
+	if a.storage != nil {
+		s := a.storage.State()
+		st.Storage = &s
+	}
+	st.WindowSeqs = append([]uint64(nil), a.window.seqs[a.window.head:]...)
+	st.WindowLevels = append([]int64(nil), a.window.levels[a.window.head:]...)
+	if a.fu != nil {
+		counts := make(map[int64]int, len(a.fu.counts))
+		for k, v := range a.fu.counts {
+			counts[k] = v
+		}
+		st.FU = &fuState{Units: a.fu.units, Counts: counts, Floor: a.fu.floor}
+	}
+	if a.pred != nil {
+		st.Pred = &predState{
+			Policy:      a.pred.policy,
+			Counters:    append([]uint8(nil), a.pred.counters...),
+			Mask:        a.pred.mask,
+			Branches:    a.pred.branches,
+			Mispredicts: a.pred.mispredicts,
+		}
+	}
+	if a.gov != nil {
+		s := a.gov.Stats()
+		st.GovernorStats = &s
+	}
+	st.Well = wellStateOf(a.well)
+	return st
+}
+
+// wellStateOf snapshots the live well.
+func wellStateOf(w *liveWell) wellState {
+	ws := wellState{
+		RegLive:  w.regLive,
+		Mem:      make(map[uint32]valueState, len(w.mem)),
+		PreLevel: w.preLevel,
+	}
+	for i, v := range w.regs {
+		ws.Regs[i] = valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}
+	}
+	for word, v := range w.mem {
+		ws.Mem[word] = valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}
+	}
+	return ws
+}
+
+// restore rebuilds a Checkpoint (including its analyzer) from the mirror.
+func (st *checkpointState) restore() (*Checkpoint, error) {
+	a := &Analyzer{
+		cfg:          st.Config.Clone(),
+		well:         newLiveWell(),
+		highestLevel: st.HighestLevel,
+		deepest:      st.Deepest,
+		anyOps:       st.AnyOps,
+		lifetimes:    stats.LogDistFromState(st.Lifetimes),
+		sharing:      stats.LogDistFromState(st.Sharing),
+		instructions: st.Instructions,
+		ops:          st.Ops,
+		syscalls:     st.Syscalls,
+		classCounts:  st.ClassCounts,
+		maxLiveMem:   st.MaxLiveMem,
+	}
+	if st.Profile != nil {
+		a.profile = stats.LevelHistogramFromState(*st.Profile)
+	}
+	if st.Storage != nil {
+		a.storage = stats.LevelHistogramFromState(*st.Storage)
+	}
+	if len(st.WindowSeqs) != len(st.WindowLevels) {
+		return nil, fmt.Errorf("core: corrupt checkpoint: window seqs/levels length mismatch (%d vs %d)",
+			len(st.WindowSeqs), len(st.WindowLevels))
+	}
+	a.window = windowState{
+		seqs:   append([]uint64(nil), st.WindowSeqs...),
+		levels: append([]int64(nil), st.WindowLevels...),
+	}
+	if st.FU != nil {
+		a.fu = newFUSchedule(st.FU.Units)
+		for k, v := range st.FU.Counts {
+			a.fu.counts[k] = v
+		}
+		a.fu.floor = st.FU.Floor
+	}
+	if st.Pred != nil {
+		a.pred = &predictor{
+			policy:      st.Pred.Policy,
+			counters:    append([]uint8(nil), st.Pred.Counters...),
+			mask:        st.Pred.Mask,
+			branches:    st.Pred.Branches,
+			mispredicts: st.Pred.Mispredicts,
+		}
+	}
+	if a.cfg.MemBudget > 0 {
+		a.gov = budget.New(a.cfg.MemBudget, a.cfg.BudgetPolicy)
+		if st.GovernorStats != nil {
+			a.gov.RestoreStats(*st.GovernorStats)
+		}
+	}
+	a.well.regLive = st.Well.RegLive
+	a.well.preLevel = st.Well.PreLevel
+	for i, v := range st.Well.Regs {
+		a.well.regs[i] = value{level: v.Level, lastUse: v.LastUse, uses: v.Uses}
+	}
+	for word, v := range st.Well.Mem {
+		a.well.mem[word] = value{level: v.Level, lastUse: v.LastUse, uses: v.Uses}
+	}
+	return &Checkpoint{
+		EventOffset: st.EventOffset,
+		a:           a,
+		needDeaths:  st.HasDeathSchedule,
+	}, nil
+}
+
+// WriteCheckpoint serializes the checkpoint to w.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	if _, err := io.WriteString(w, checkpointMagic); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(cp.state()); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteCheckpoint. The
+// returned checkpoint resumes via ResumeTwoPass; if the original analysis
+// used a death schedule, resumption re-runs the discovery pass first.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	if !bytes.Equal(magic, []byte(checkpointMagic)) {
+		return nil, fmt.Errorf("core: read checkpoint: bad magic %q", magic)
+	}
+	var st checkpointState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	return st.restore()
+}
+
+// SaveCheckpoint atomically writes the checkpoint to path: the bytes land in
+// a temporary file in the same directory, are synced, and are renamed into
+// place, so a crash at any point leaves either the old file or the new one —
+// never a torn write.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	if err := WriteCheckpoint(bw, cp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint saved by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(bufio.NewReader(f))
+}

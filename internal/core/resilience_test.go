@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -283,7 +284,7 @@ func TestTwoPassDegradedOverCorruptChunk(t *testing.T) {
 	cfg.Profile = false
 
 	// Fail-fast: the corrupt chunk aborts the run with a structured error.
-	_, err = AnalyzeTwoPassOpts(bytes.NewReader(bad), cfg, TwoPassOptions{})
+	_, err = AnalyzeTwoPassOpts(context.Background(), bytes.NewReader(bad), cfg, TwoPassOptions{})
 	var cce *trace.CorruptChunkError
 	if !errors.As(err, &cce) {
 		t.Fatalf("fail-fast run gave %v, want *CorruptChunkError", err)
@@ -294,7 +295,7 @@ func TestTwoPassDegradedOverCorruptChunk(t *testing.T) {
 
 	// Degraded: the run completes, losing exactly the corrupt chunk.
 	var st trace.ReadStats
-	res, err := AnalyzeTwoPassOpts(bytes.NewReader(bad), cfg, TwoPassOptions{Degraded: true, Stats: &st})
+	res, err := AnalyzeTwoPassOpts(context.Background(), bytes.NewReader(bad), cfg, TwoPassOptions{Degraded: true, Stats: &st})
 	if err != nil {
 		t.Fatalf("degraded run failed: %v", err)
 	}
@@ -330,7 +331,7 @@ func TestTwoPassCheckpointResume(t *testing.T) {
 		}
 		return nil
 	}
-	_, err = AnalyzeTwoPassOpts(bytes.NewReader(data), cfg, opts)
+	_, err = AnalyzeTwoPassOpts(context.Background(), bytes.NewReader(data), cfg, opts)
 	if !errors.Is(err, interrupted) {
 		t.Fatalf("interrupted run gave %v", err)
 	}
@@ -338,7 +339,7 @@ func TestTwoPassCheckpointResume(t *testing.T) {
 		t.Fatalf("last checkpoint at %+v, want offset 1024", last)
 	}
 
-	res, err := ResumeTwoPass(bytes.NewReader(data), last, TwoPassOptions{})
+	res, err := ResumeTwoPass(context.Background(), bytes.NewReader(data), last, TwoPassOptions{})
 	if err != nil {
 		t.Fatalf("resume failed: %v", err)
 	}
@@ -346,7 +347,7 @@ func TestTwoPassCheckpointResume(t *testing.T) {
 
 	// Resuming past the end of the trace is a clear error, not a hang.
 	tooFar := &Checkpoint{EventOffset: uint64(len(events)) + 1, a: last.a}
-	if _, err := ResumeTwoPass(bytes.NewReader(data), tooFar, TwoPassOptions{}); err == nil {
+	if _, err := ResumeTwoPass(context.Background(), bytes.NewReader(data), tooFar, TwoPassOptions{}); err == nil {
 		t.Error("resume beyond trace end succeeded")
 	}
 }
@@ -357,7 +358,7 @@ func TestCheckpointEveryErrorPosition(t *testing.T) {
 	data := encodeV2(t, events, 1024)
 	cfg := Config{Syscalls: SyscallConservative}
 	boom := errors.New("checkpoint store full")
-	_, err := AnalyzeTwoPassOpts(bytes.NewReader(data), cfg, TwoPassOptions{
+	_, err := AnalyzeTwoPassOpts(context.Background(), bytes.NewReader(data), cfg, TwoPassOptions{
 		CheckpointEvery: 500,
 		OnCheckpoint:    func(*Checkpoint) error { return boom },
 	})

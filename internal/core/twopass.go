@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"paragraph/internal/budget"
 	"paragraph/internal/trace"
 )
 
@@ -37,12 +39,23 @@ type DeathSchedule struct {
 // ComputeDeathSchedule scans a trace and builds the eviction schedule; the
 // paper's "value lifetime information ... inserted into the trace".
 func ComputeDeathSchedule(r *trace.Reader) (*DeathSchedule, error) {
+	return ComputeDeathScheduleContext(context.Background(), r)
+}
+
+// ComputeDeathScheduleContext is ComputeDeathSchedule under a cancellation
+// context, checked every trace.CtxCheckEvery events.
+func ComputeDeathScheduleContext(ctx context.Context, r *trace.Reader) (*DeathSchedule, error) {
 	ds := &DeathSchedule{byIndex: make(map[uint64][]uint32)}
 	// lastAccess holds, for each word with a live value, the index of the
 	// value's most recent access (its creation or a later read).
 	lastAccess := make(map[uint32]uint64)
 	var idx uint64
 	err := r.ForEach(func(e *trace.Event) error {
+		if idx%trace.CtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: discovery canceled at event %d: %w", idx, err)
+			}
+		}
 		info := e.Ins.Op.Info()
 		if info.IsLoad || info.IsStore {
 			lo, hi := wordRange(e.MemAddr, e.MemSize)
@@ -153,14 +166,16 @@ type TwoPassOptions struct {
 // are identical to a single-pass analysis; the live-well footprint
 // (Result.MaxLiveMemoryWords) is what shrinks.
 func AnalyzeTwoPass(rs io.ReadSeeker, cfg Config) (*Result, error) {
-	return AnalyzeTwoPassOpts(rs, cfg, TwoPassOptions{})
+	return AnalyzeTwoPassOpts(context.Background(), rs, cfg, TwoPassOptions{})
 }
 
-// AnalyzeTwoPassOpts is AnalyzeTwoPass with fault-tolerance options:
-// degraded reads over damaged traces and periodic checkpoints for resuming
-// an interrupted pass (see ResumeTwoPass).
-func AnalyzeTwoPassOpts(rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Result, error) {
-	ds, err := discoverDeaths(rs, opts)
+// AnalyzeTwoPassOpts is AnalyzeTwoPass with cancellation and fault-tolerance
+// options: degraded reads over damaged traces and periodic checkpoints for
+// resuming an interrupted pass (see ResumeTwoPass). Cancelling ctx aborts
+// either pass within budget.CheckEvery events, returning an error wrapping
+// ctx.Err().
+func AnalyzeTwoPassOpts(ctx context.Context, rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Result, error) {
+	ds, err := discoverDeaths(ctx, rs, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +187,23 @@ func AnalyzeTwoPassOpts(rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Res
 	if err := a.UseDeathSchedule(ds); err != nil {
 		return nil, err
 	}
-	return runAnalysisPass(a, r, 0, opts)
+	return runAnalysisPass(ctx, a, r, 0, opts)
+}
+
+// AnalyzeTraceOpts runs a single-pass (Method-2) analysis over a stored
+// trace under a cancellation context, with the same checkpoint and degraded-
+// read options as the two-pass pipeline. Checkpoints taken here restore to
+// single-pass analyzers; ResumeTwoPass detects which pipeline a checkpoint
+// came from and only recomputes a death schedule for two-pass ones.
+func AnalyzeTraceOpts(ctx context.Context, rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Result, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r, err := trace.NewReaderOpts(rs, trace.ReaderOptions{Degraded: opts.Degraded})
+	if err != nil {
+		return nil, err
+	}
+	return runAnalysisPass(ctx, NewAnalyzer(cfg), r, 0, opts)
 }
 
 // ResumeTwoPass continues an interrupted analysis pass from a checkpoint:
@@ -181,7 +212,22 @@ func AnalyzeTwoPassOpts(rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Res
 // identical to an uninterrupted run over the same trace. The options'
 // Degraded flag must match the original run, or the event numbering
 // diverges.
-func ResumeTwoPass(rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Result, error) {
+//
+// A checkpoint loaded from disk (LoadCheckpoint) does not carry the death
+// schedule — it can rival the live well in size — so resumption re-runs the
+// discovery pass first when the original analysis had one. In-memory
+// checkpoints share the original schedule and skip that. Despite the name,
+// single-pass checkpoints resume here too; they simply never need the
+// discovery pass.
+func ResumeTwoPass(ctx context.Context, rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Result, error) {
+	a := cp.Restore()
+	if cp.needDeaths {
+		ds, err := discoverDeaths(ctx, rs, opts)
+		if err != nil {
+			return nil, err
+		}
+		a.deaths = ds
+	}
 	if _, err := rs.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
@@ -191,6 +237,11 @@ func ResumeTwoPass(rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Resu
 	}
 	var e trace.Event
 	for skipped := uint64(0); skipped < cp.EventOffset; skipped++ {
+		if skipped%budget.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: resume canceled while skipping to event %d: %w", cp.EventOffset, err)
+			}
+		}
 		if err := r.Next(&e); err != nil {
 			if err == io.EOF {
 				return nil, fmt.Errorf("core: resume: trace ended at event %d, before checkpoint offset %d", skipped, cp.EventOffset)
@@ -198,12 +249,12 @@ func ResumeTwoPass(rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Resu
 			return nil, fmt.Errorf("core: resume: %w", err)
 		}
 	}
-	return runAnalysisPass(cp.Restore(), r, cp.EventOffset, opts)
+	return runAnalysisPass(ctx, a, r, cp.EventOffset, opts)
 }
 
 // discoverDeaths runs the discovery pass from the start of the trace and
 // rewinds the input for the analysis pass.
-func discoverDeaths(rs io.ReadSeeker, opts TwoPassOptions) (*DeathSchedule, error) {
+func discoverDeaths(ctx context.Context, rs io.ReadSeeker, opts TwoPassOptions) (*DeathSchedule, error) {
 	if _, err := rs.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
@@ -211,7 +262,7 @@ func discoverDeaths(rs io.ReadSeeker, opts TwoPassOptions) (*DeathSchedule, erro
 	if err != nil {
 		return nil, err
 	}
-	ds, err := ComputeDeathSchedule(r)
+	ds, err := ComputeDeathScheduleContext(ctx, r)
 	if err != nil {
 		return nil, fmt.Errorf("core: discovery pass: %w", err)
 	}
@@ -223,10 +274,17 @@ func discoverDeaths(rs io.ReadSeeker, opts TwoPassOptions) (*DeathSchedule, erro
 
 // runAnalysisPass drives the analyzer over the remaining events of r,
 // taking checkpoints as configured. idx is the trace position of the next
-// event (non-zero when resuming).
-func runAnalysisPass(a *Analyzer, r *trace.Reader, idx uint64, opts TwoPassOptions) (*Result, error) {
+// event (non-zero when resuming). Cancellation is checked every
+// budget.CheckEvery events, the same amortized cadence the analyzer uses
+// for budget governance, so the per-event cost is one modulo.
+func runAnalysisPass(ctx context.Context, a *Analyzer, r *trace.Reader, idx uint64, opts TwoPassOptions) (*Result, error) {
 	var e trace.Event
 	for {
+		if idx%budget.CheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: analysis canceled at event %d: %w", idx, err)
+			}
+		}
 		err := r.Next(&e)
 		if err == io.EOF {
 			break

@@ -133,6 +133,72 @@ func (c *CorruptReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// TransientError is the retryable failure injected by TransientReader. It
+// advertises itself via the net-package convention Temporary() == true, which
+// is what trace.RetryReader's default classifier looks for.
+type TransientError struct {
+	// Offset is the stream position at which the fault fired.
+	Offset int64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient I/O error at offset %d", e.Offset)
+}
+
+// Temporary marks the error retryable.
+func (e *TransientError) Temporary() bool { return true }
+
+// TransientReader wraps an io.Reader and injects transient errors: at
+// seeded pseudo-random stream positions, Read returns (0, *TransientError)
+// Failures consecutive times before the read is allowed through, consuming
+// no data. A retrying consumer therefore recovers the byte stream exactly;
+// a non-retrying consumer sees the error. Rate is the expected number of
+// bytes between fault sites (0 selects 4096).
+type TransientReader struct {
+	R        io.Reader
+	Rate     int
+	Failures int
+
+	// Injected counts transient errors returned so far.
+	Injected int
+
+	rng     *rand.Rand
+	off     int64
+	next    int64
+	pending int
+}
+
+// NewTransientReader builds a TransientReader with the given seed.
+// failures <= 0 selects 1 failure per fault site.
+func NewTransientReader(r io.Reader, rate, failures int, seed int64) *TransientReader {
+	if rate <= 0 {
+		rate = 4096
+	}
+	if failures <= 0 {
+		failures = 1
+	}
+	t := &TransientReader{R: r, Rate: rate, Failures: failures}
+	t.rng = rand.New(rand.NewSource(seed))
+	t.next = 1 + int64(t.rng.Intn(rate))
+	return t
+}
+
+// Read implements io.Reader.
+func (t *TransientReader) Read(p []byte) (int, error) {
+	if t.pending == 0 && t.off >= t.next {
+		t.pending = t.Failures
+		t.next = t.off + 1 + int64(t.rng.Intn(t.Rate))
+	}
+	if t.pending > 0 {
+		t.pending--
+		t.Injected++
+		return 0, &TransientError{Offset: t.off}
+	}
+	n, err := t.R.Read(p)
+	t.off += int64(n)
+	return n, err
+}
+
 // SinkOptions configures a fault-injecting Sink wrapper. Probabilities are
 // per event and evaluated in the order drop, duplicate, mangle.
 type SinkOptions struct {

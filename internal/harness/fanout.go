@@ -1,10 +1,11 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"paragraph/internal/core"
 	"paragraph/internal/trace"
@@ -23,17 +24,21 @@ import (
 // index, not by completion order) decides the returned error; a panicking
 // analyzer is contained and reported as that configuration's error.
 //
+// Cancelling ctx stops every in-flight replay within trace.CtxCheckEvery
+// events and stops handing out further configurations; all workers drain
+// before FanOut returns, so no goroutines outlive the call.
+//
 // FanOut is the primitive every multi-configuration experiment driver in
 // this package is built on; it is exported so trace-file tools
 // (cmd/paragraph) can reuse it for sweeps over stored traces.
-func FanOut(buf *trace.EventBuffer, cfgs []core.Config, concurrency int) ([]*core.Result, error) {
-	return fanOut(buf, cfgs, concurrency, time.Time{})
+func FanOut(ctx context.Context, buf *trace.EventBuffer, cfgs []core.Config, concurrency int) ([]*core.Result, error) {
+	return fanOut(ctx, buf, cfgs, concurrency)
 }
 
-// fanOut is FanOut with a wall-clock deadline: when nonzero, each worker's
-// replay runs under a watchdog so Suite.WorkloadTimeout covers analysis as
-// well as simulation.
-func fanOut(buf *trace.EventBuffer, cfgs []core.Config, concurrency int, deadline time.Time) ([]*core.Result, error) {
+// fanOut implements FanOut. A deadline on ctx (Suite.WorkloadTimeout) covers
+// analysis as well as simulation; its expiry is reported as
+// ErrWorkloadTimeout with context.DeadlineExceeded still in the chain.
+func fanOut(ctx context.Context, buf *trace.EventBuffer, cfgs []core.Config, concurrency int) ([]*core.Result, error) {
 	workers := concurrency
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -50,11 +55,10 @@ func fanOut(buf *trace.EventBuffer, cfgs []core.Config, concurrency int, deadlin
 			}
 		}()
 		a := core.NewAnalyzer(cfgs[i])
-		var sink trace.Sink = a
-		if !deadline.IsZero() {
-			sink = &watchdog{inner: a, deadline: deadline}
-		}
-		if err := buf.Replay(sink); err != nil {
+		if err := buf.ReplayContext(ctx, a); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%w: %w", ErrWorkloadTimeout, err)
+			}
 			return err
 		}
 		r, err := a.Finish()
@@ -80,8 +84,20 @@ func fanOut(buf *trace.EventBuffer, cfgs []core.Config, concurrency int, deadlin
 				}
 			}()
 		}
+		// Feed configurations until done or cancelled; once the context
+		// falls, remaining configurations fail immediately with the
+		// cancellation instead of waiting for a worker slot.
+		done := ctx.Done()
+	feed:
 		for i := range cfgs {
-			idx <- i
+			select {
+			case idx <- i:
+			case <-done:
+				for j := i; j < len(cfgs); j++ {
+					errs[j] = ctxError(ctx.Err(), 0)
+				}
+				break feed
+			}
 		}
 		close(idx)
 		wg.Wait()

@@ -7,10 +7,10 @@ package harness
 // the data-race audit of the worker pool.
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
-	"time"
 
 	"paragraph/internal/core"
 	"paragraph/internal/isa"
@@ -75,11 +75,11 @@ func TestDifferentialEngine(t *testing.T) {
 		t.Run(w.Name, func(t *testing.T) {
 			t.Parallel()
 			buf := recordWorkload(t, w)
-			serial, err := FanOut(buf, cfgs, 1)
+			serial, err := FanOut(context.Background(), buf, cfgs, 1)
 			if err != nil {
 				t.Fatalf("serial engine: %v", err)
 			}
-			parallel, err := FanOut(buf, cfgs, 8)
+			parallel, err := FanOut(context.Background(), buf, cfgs, 8)
 			if err != nil {
 				t.Fatalf("parallel engine: %v", err)
 			}
@@ -114,14 +114,14 @@ func TestDifferentialStreamingVsBuffered(t *testing.T) {
 		streamSuite := NewSuite(1)
 		streamSuite.MaxInstr = 600_000
 		streamSuite.Concurrency = 1 // serial engine: stream, no buffer
-		streamed, err := streamSuite.analyzeStreaming(w, cfgs, time.Time{})
+		streamed, err := streamSuite.analyzeStreaming(context.Background(), w, cfgs)
 		if err != nil {
 			t.Fatal(err)
 		}
 		parSuite := NewSuite(1)
 		parSuite.MaxInstr = 600_000
 		parSuite.Concurrency = 4 // buffered fan-out engine
-		buffered, err := parSuite.AnalyzeMulti(w, cfgs)
+		buffered, err := parSuite.AnalyzeMulti(context.Background(), w, cfgs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,11 +145,11 @@ func TestDifferentialSuiteDrivers(t *testing.T) {
 	par.Parallelism = 4
 	par.Concurrency = 4
 
-	s3, err := serial.Table3()
+	s3, err := serial.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err := par.Table3()
+	p3, err := par.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +157,11 @@ func TestDifferentialSuiteDrivers(t *testing.T) {
 		t.Errorf("Table3 rows differ:\nserial:   %+v\nparallel: %+v", s3, p3)
 	}
 
-	s4, err := serial.Table4()
+	s4, err := serial.Table4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p4, err := par.Table4()
+	p4, err := par.Table4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +170,11 @@ func TestDifferentialSuiteDrivers(t *testing.T) {
 	}
 
 	sizes := []int{1, 128, 8192, 0}
-	s8, err := serial.Figure8(sizes)
+	s8, err := serial.Figure8(context.Background(), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p8, err := par.Figure8(sizes)
+	p8, err := par.Figure8(context.Background(), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestFanOutErrorAggregation(t *testing.T) {
 		cfgs[i] = core.Dataflow(core.SyscallConservative)
 		cfgs[i].Profile = false
 	}
-	_, err := FanOut(buf, cfgs, 4)
+	_, err := FanOut(context.Background(), buf, cfgs, 4)
 	if err == nil {
 		t.Fatal("fan-out over a poisoned buffer succeeded")
 	}

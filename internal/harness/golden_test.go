@@ -13,6 +13,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,7 +98,7 @@ func TestGoldenTable1(t *testing.T) {
 
 func TestGoldenTable2(t *testing.T) {
 	skipUnderRace(t)
-	rows, err := NewSuite(1).Table2()
+	rows, err := NewSuite(1).Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestGoldenTable2(t *testing.T) {
 
 func TestGoldenTable3(t *testing.T) {
 	skipUnderRace(t)
-	rows, err := NewSuite(1).Table3()
+	rows, err := NewSuite(1).Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestGoldenTable3(t *testing.T) {
 
 func TestGoldenTable4(t *testing.T) {
 	skipUnderRace(t)
-	rows, err := NewSuite(1).Table4()
+	rows, err := NewSuite(1).Table4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestGoldenTable4(t *testing.T) {
 
 func TestGoldenFigure7(t *testing.T) {
 	skipUnderRace(t)
-	profiles, err := NewSuite(1).Figure7()
+	profiles, err := NewSuite(1).Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,12 +16,15 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"paragraph/internal/budget"
 	"paragraph/internal/core"
 	"paragraph/internal/minic"
 	"paragraph/internal/stats"
@@ -62,9 +65,22 @@ type Suite struct {
 	// never unwound through the caller.
 	ContinueOnError bool
 	// WorkloadTimeout bounds each workload's simulate+analyze wall-clock
-	// time; a workload over budget fails with ErrWorkloadTimeout. 0 means
-	// no limit.
+	// time; a workload over budget fails with ErrWorkloadTimeout (with
+	// context.DeadlineExceeded still in the error chain). 0 means no
+	// limit. The timeout is implemented as a per-workload context
+	// deadline, so it composes with whatever context the caller passes to
+	// the experiment methods.
 	WorkloadTimeout time.Duration
+	// MemBudget bounds each analyzer's working set and, in the buffered
+	// engine, the recorded trace buffer, in estimated bytes; 0 disables
+	// governance (see core.Config.MemBudget). When the trace buffer
+	// itself would exceed the budget under the Degrade policy, the suite
+	// falls back to the streaming engine for that workload and records
+	// the downgrade in every result's GovernorStats.
+	MemBudget int64
+	// BudgetPolicy selects the over-budget response (see
+	// core.Config.BudgetPolicy). Ignored when MemBudget is 0.
+	BudgetPolicy budget.Policy
 }
 
 // NewSuite returns the default suite: all ten analogues at the given scale.
@@ -86,7 +102,11 @@ func (s *Suite) options() minic.Options {
 // returned (as a *WorkloadError) and no further workloads are launched once
 // a failure is observed — in serial and parallel mode alike; with it, every
 // workload runs and all failures are aggregated into a *SuiteError.
-func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) error {
+//
+// Cancelling ctx stops launching new workloads in either mode — a
+// cancellation is user intent, which ContinueOnError does not override —
+// and the workloads already in flight abort promptly through their guards.
+func (s *Suite) forEachWorkload(ctx context.Context, fn func(i int, w *workloads.Workload) error) error {
 	limit := s.Parallelism
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
@@ -109,6 +129,9 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 	failures := make([]*WorkloadError, len(s.Workloads))
 	if limit <= 1 {
 		for i, w := range s.Workloads {
+			if ctx.Err() != nil {
+				break
+			}
 			failures[i] = run(i, w)
 			if failures[i] != nil && !s.ContinueOnError {
 				break
@@ -119,6 +142,9 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 		var failed atomic.Bool
 		sem := make(chan struct{}, limit)
 		for i, w := range s.Workloads {
+			if ctx.Err() != nil {
+				break
+			}
 			if !s.ContinueOnError && failed.Load() {
 				// Fail-fast: a failure has been observed, so stop
 				// launching. Workloads already in flight complete, and
@@ -147,12 +173,69 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 		}
 	}
 	if len(collected) == 0 {
+		if err := ctx.Err(); err != nil {
+			// Cancelled before any workload could fail (e.g. between
+			// launches): surface the cancellation itself.
+			return fmt.Errorf("harness: experiment canceled: %w", err)
+		}
 		return nil
 	}
 	if !s.ContinueOnError {
 		return collected[0]
 	}
 	return &SuiteError{Total: len(s.Workloads), Failures: collected}
+}
+
+// applyBudget stamps the suite's memory budget onto every configuration
+// that does not already carry its own.
+func (s *Suite) applyBudget(cfgs []core.Config) []core.Config {
+	if s.MemBudget <= 0 {
+		return cfgs
+	}
+	out := make([]core.Config, len(cfgs))
+	for i, c := range cfgs {
+		if c.MemBudget == 0 {
+			c.MemBudget = s.MemBudget
+			c.BudgetPolicy = s.BudgetPolicy
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// errEngineDowngrade aborts trace recording when the buffer outgrows the
+// memory budget under the Degrade policy; AnalyzeMulti catches it and falls
+// back to the streaming engine, which buffers nothing.
+var errEngineDowngrade = errors.New("harness: trace buffer over memory budget")
+
+// bufferMeter is a trace.Sink wrapper that meters the recorded buffer's
+// bytes against the suite's memory budget every budget.CheckEvery events.
+type bufferMeter struct {
+	buf    *trace.EventBuffer
+	limit  int64
+	policy budget.Policy
+	n      uint64
+}
+
+// Event implements trace.Sink.
+func (m *bufferMeter) Event(e *trace.Event) error {
+	if err := m.buf.Event(e); err != nil {
+		return err
+	}
+	m.n++
+	if m.n%budget.CheckEvery == 0 {
+		if b := m.buf.Bytes(); b > m.limit {
+			switch m.policy {
+			case budget.FailFast:
+				return &budget.Error{Resource: budget.EventBuffer, UsageBytes: b, LimitBytes: m.limit}
+			case budget.Degrade:
+				return errEngineDowngrade
+			}
+			// WarnOnly: keep recording; the analyzers' own governors
+			// still meter their working sets.
+		}
+	}
+	return nil
 }
 
 // AnalyzeMulti executes one workload once and runs every analyzer
@@ -163,11 +246,18 @@ func (s *Suite) forEachWorkload(fn func(i int, w *workloads.Workload) error) err
 // events stream to the analyzers in lockstep as they are produced. Either
 // way results are indexed by configuration and the two engines return
 // deeply-equal Results.
-func (s *Suite) AnalyzeMulti(w *workloads.Workload, cfgs []core.Config) ([]*core.Result, error) {
-	var deadline time.Time
-	if s.WorkloadTimeout > 0 {
-		deadline = time.Now().Add(s.WorkloadTimeout)
-	}
+//
+// Cancelling ctx aborts simulation and analysis within one guard stride
+// (guardEvery events); Suite.WorkloadTimeout expiry surfaces as
+// ErrWorkloadTimeout with context.DeadlineExceeded in the chain. Under a
+// memory budget (Suite.MemBudget) with the Degrade policy, a trace buffer
+// that outgrows the budget makes the suite re-simulate the workload on the
+// streaming engine instead, marking EngineDowngraded in every result's
+// GovernorStats.
+func (s *Suite) AnalyzeMulti(ctx context.Context, w *workloads.Workload, cfgs []core.Config) ([]*core.Result, error) {
+	cfgs = s.applyBudget(cfgs)
+	wctx, cancel := s.workloadContext(ctx)
+	defer cancel()
 	workers := s.Concurrency
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -177,32 +267,44 @@ func (s *Suite) AnalyzeMulti(w *workloads.Workload, cfgs []core.Config) ([]*core
 	// for a buffer no concurrency will exploit (this keeps single-CPU
 	// machines on the exact legacy path).
 	if workers <= 1 || len(cfgs) == 1 {
-		return s.analyzeStreaming(w, cfgs, deadline)
+		return s.analyzeStreaming(wctx, w, cfgs)
 	}
 	buf := &trace.EventBuffer{}
 	var sink trace.Sink = buf
-	if !deadline.IsZero() {
-		sink = &watchdog{inner: buf, deadline: deadline}
+	if s.MemBudget > 0 {
+		sink = &bufferMeter{buf: buf, limit: s.MemBudget, policy: s.BudgetPolicy}
 	}
-	if _, err := w.Run(s.Scale, s.options(), sink, s.MaxInstr); err != nil {
+	if _, err := w.Run(s.Scale, s.options(), guardSink(wctx, sink), s.MaxInstr); err != nil {
+		if errors.Is(err, errEngineDowngrade) {
+			// The recorded trace would blow the budget: drop the partial
+			// buffer, re-simulate on the streaming engine (which holds no
+			// buffer at all), and record the downgrade.
+			results, serr := s.analyzeStreaming(wctx, w, cfgs)
+			if serr != nil {
+				return nil, serr
+			}
+			for _, r := range results {
+				if r.Governor != nil {
+					r.Governor.EngineDowngraded = true
+				}
+			}
+			return results, nil
+		}
 		return nil, err
 	}
-	return fanOut(buf, cfgs, s.Concurrency, deadline)
+	return fanOut(wctx, buf, cfgs, s.Concurrency)
 }
 
 // analyzeStreaming is the serial engine: one simulation pass feeds every
 // analyzer in lockstep through trace.Tee, with no intermediate buffer.
-func (s *Suite) analyzeStreaming(w *workloads.Workload, cfgs []core.Config, deadline time.Time) ([]*core.Result, error) {
+func (s *Suite) analyzeStreaming(ctx context.Context, w *workloads.Workload, cfgs []core.Config) ([]*core.Result, error) {
 	analyzers := make([]*core.Analyzer, len(cfgs))
 	sinks := make([]trace.Sink, len(cfgs))
 	for i, cfg := range cfgs {
 		analyzers[i] = core.NewAnalyzer(cfg)
 		sinks[i] = analyzers[i]
 	}
-	var sink trace.Sink = trace.Tee(sinks...)
-	if !deadline.IsZero() {
-		sink = &watchdog{inner: sink, deadline: deadline}
-	}
+	sink := guardSink(ctx, trace.Tee(sinks...))
 	if _, err := w.Run(s.Scale, s.options(), sink, s.MaxInstr); err != nil {
 		return nil, err
 	}
@@ -218,8 +320,8 @@ func (s *Suite) analyzeStreaming(w *workloads.Workload, cfgs []core.Config, dead
 }
 
 // Analyze runs a single configuration.
-func (s *Suite) Analyze(w *workloads.Workload, cfg core.Config) (*core.Result, error) {
-	rs, err := s.AnalyzeMulti(w, []core.Config{cfg})
+func (s *Suite) Analyze(ctx context.Context, w *workloads.Workload, cfg core.Config) (*core.Result, error) {
+	rs, err := s.AnalyzeMulti(ctx, w, []core.Config{cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -240,10 +342,12 @@ type Table2Row struct {
 }
 
 // Table2 runs every workload (without analysis) and reports the inventory.
-func (s *Suite) Table2() ([]Table2Row, error) {
+func (s *Suite) Table2(ctx context.Context) ([]Table2Row, error) {
 	rows := make([]Table2Row, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
-		res, err := w.Run(s.Scale, s.options(), s.guard(nil), s.MaxInstr)
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+		wctx, cancel := s.workloadContext(ctx)
+		defer cancel()
+		res, err := w.Run(s.Scale, s.options(), guardSink(wctx, nil), s.MaxInstr)
 		if err != nil {
 			return err
 		}
@@ -284,7 +388,7 @@ type Table3Row struct {
 
 // Table3 reproduces Table 3: full renaming, unlimited window and
 // functional units, conservative vs optimistic system calls.
-func (s *Suite) Table3() ([]Table3Row, error) {
+func (s *Suite) Table3(ctx context.Context) ([]Table3Row, error) {
 	cfgs := []core.Config{
 		core.Dataflow(core.SyscallConservative),
 		core.Dataflow(core.SyscallOptimistic),
@@ -293,8 +397,8 @@ func (s *Suite) Table3() ([]Table3Row, error) {
 	cfgs[0].Profile = false
 	cfgs[1].Profile = false
 	rows := make([]Table3Row, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
-		rs, err := s.AnalyzeMulti(w, cfgs)
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
 		}
@@ -332,11 +436,11 @@ type ProfileResult struct {
 
 // Figure7 reproduces the parallelism profiles: conservative system calls,
 // full renaming, whole-trace window.
-func (s *Suite) Figure7() ([]ProfileResult, error) {
+func (s *Suite) Figure7(ctx context.Context) ([]ProfileResult, error) {
 	out := make([]ProfileResult, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
 		cfg := core.Dataflow(core.SyscallConservative)
-		r, err := s.Analyze(w, cfg)
+		r, err := s.Analyze(ctx, w, cfg)
 		if err != nil {
 			return err
 		}
@@ -368,7 +472,7 @@ type Table4Row struct {
 // Table4 reproduces Table 4: available parallelism under the four renaming
 // conditions, conservative system calls, whole-trace window, no functional
 // unit limits.
-func (s *Suite) Table4() ([]Table4Row, error) {
+func (s *Suite) Table4(ctx context.Context) ([]Table4Row, error) {
 	cfgs := []core.Config{
 		{Syscalls: core.SyscallConservative},
 		{Syscalls: core.SyscallConservative, RenameRegisters: true},
@@ -376,8 +480,8 @@ func (s *Suite) Table4() ([]Table4Row, error) {
 		{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true, RenameData: true},
 	}
 	rows := make([]Table4Row, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
-		rs, err := s.AnalyzeMulti(w, cfgs)
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
 		}
@@ -426,12 +530,12 @@ type WindowSeries struct {
 // full renaming, no functional-unit limits, window sizes as given (use
 // DefaultWindowSizes for the paper's log-scale axis). Each workload is
 // simulated once; all window sizes analyze the same trace.
-func (s *Suite) Figure8(sizes []int) ([]WindowSeries, error) {
+func (s *Suite) Figure8(ctx context.Context, sizes []int) ([]WindowSeries, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultWindowSizes()
 	}
 	out := make([]WindowSeries, len(s.Workloads))
-	err := s.forEachWorkload(func(wi int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(wi int, w *workloads.Workload) error {
 		cfgs := make([]core.Config, len(sizes))
 		for i, size := range sizes {
 			cfg := core.Dataflow(core.SyscallConservative)
@@ -439,7 +543,7 @@ func (s *Suite) Figure8(sizes []int) ([]WindowSeries, error) {
 			cfg.WindowSize = size
 			cfgs[i] = cfg
 		}
-		rs, err := s.AnalyzeMulti(w, cfgs)
+		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
 		}
@@ -482,12 +586,12 @@ type FURow struct {
 // FunctionalUnits sweeps generic functional-unit counts (Figure 4's
 // resource dependencies, quantified): full renaming, conservative
 // syscalls.
-func (s *Suite) FunctionalUnits(limits []int) ([]FURow, error) {
+func (s *Suite) FunctionalUnits(ctx context.Context, limits []int) ([]FURow, error) {
 	if len(limits) == 0 {
 		limits = []int{1, 2, 4, 8, 16, 32, 64, 0}
 	}
 	rows := make([]FURow, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
 		cfgs := make([]core.Config, len(limits))
 		for j, f := range limits {
 			cfg := core.Dataflow(core.SyscallConservative)
@@ -495,7 +599,7 @@ func (s *Suite) FunctionalUnits(limits []int) ([]FURow, error) {
 			cfg.FunctionalUnits = f
 			cfgs[j] = cfg
 		}
-		rs, err := s.AnalyzeMulti(w, cfgs)
+		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
 		}
@@ -520,14 +624,14 @@ type LifetimeRow struct {
 // Lifetimes collects value-lifetime and degree-of-sharing distributions
 // (Section 2.3's "distribution of value lifetimes" and "degree of sharing
 // of each computed value").
-func (s *Suite) Lifetimes() ([]LifetimeRow, error) {
+func (s *Suite) Lifetimes(ctx context.Context) ([]LifetimeRow, error) {
 	rows := make([]LifetimeRow, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
 		cfg := core.Dataflow(core.SyscallConservative)
 		cfg.Profile = false
 		cfg.Lifetimes = true
 		cfg.Sharing = true
-		r, err := s.Analyze(w, cfg)
+		r, err := s.Analyze(ctx, w, cfg)
 		if err != nil {
 			return err
 		}
@@ -555,7 +659,7 @@ type UnrollRow struct {
 // 3.1's caveat): the same workload compiled with and without loop
 // unrolling, analyzed under full renaming and under register-only
 // renaming (where loop-counter recurrences matter most).
-func (s *Suite) AblationUnroll(name string, factors []int) ([]UnrollRow, error) {
+func (s *Suite) AblationUnroll(ctx context.Context, name string, factors []int) ([]UnrollRow, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", name)
@@ -570,7 +674,7 @@ func (s *Suite) AblationUnroll(name string, factors []int) ([]UnrollRow, error) 
 		full := core.Dataflow(core.SyscallConservative)
 		full.Profile = false
 		regsOnly := core.Config{Syscalls: core.SyscallConservative, RenameRegisters: true}
-		rs, err := sub.AnalyzeMulti(w, []core.Config{full, regsOnly})
+		rs, err := sub.AnalyzeMulti(ctx, w, []core.Config{full, regsOnly})
 		if err != nil {
 			return nil, err
 		}
@@ -599,14 +703,14 @@ type BranchRow struct {
 // static BTFN, stall), quantifying Section 3.2's observation that the
 // firewall can model mispredicted branches. Renaming is full and windows
 // unlimited, so control is the only constraint varied.
-func (s *Suite) BranchPrediction(policies []core.BranchPolicy) ([]BranchRow, error) {
+func (s *Suite) BranchPrediction(ctx context.Context, policies []core.BranchPolicy) ([]BranchRow, error) {
 	if len(policies) == 0 {
 		policies = []core.BranchPolicy{
 			core.BranchStall, core.BranchStatic, core.BranchTwoBit, core.BranchPerfect,
 		}
 	}
 	rows := make([]BranchRow, len(s.Workloads))
-	err := s.forEachWorkload(func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
 		cfgs := make([]core.Config, len(policies))
 		for j, p := range policies {
 			cfg := core.Dataflow(core.SyscallConservative)
@@ -614,7 +718,7 @@ func (s *Suite) BranchPrediction(policies []core.BranchPolicy) ([]BranchRow, err
 			cfg.Branches = p
 			cfgs[j] = cfg
 		}
-		rs, err := s.AnalyzeMulti(w, cfgs)
+		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestTable1(t *testing.T) {
 
 func TestTable2Inventory(t *testing.T) {
 	s := suite("xlispx", "naskerx")
-	rows, err := s.Table2()
+	rows, err := s.Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestTable2Inventory(t *testing.T) {
 // interpreter benchmark has by far the least parallelism.
 func TestTable3Claims(t *testing.T) {
 	s := suite("xlispx", "naskerx", "matrixx")
-	rows, err := s.Table3()
+	rows, err := s.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestTable3Claims(t *testing.T) {
 // espressox needs memory renaming.
 func TestTable4Claims(t *testing.T) {
 	s := suite("matrixx", "espressox", "xlispx")
-	rows, err := s.Table4()
+	rows, err := s.Table4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestTable4Claims(t *testing.T) {
 // the profile spans the critical path.
 func TestFigure7Profiles(t *testing.T) {
 	s := suite("doducx", "xlispx")
-	profiles, err := s.Figure7()
+	profiles, err := s.Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestFigure7Profiles(t *testing.T) {
 func TestFigure8Claims(t *testing.T) {
 	s := suite("matrixx", "xlispx")
 	sizes := []int{1, 4, 16, 64, 256, 1024, 8192, 0}
-	series, err := s.Figure8(sizes)
+	series, err := s.Figure8(context.Background(), sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestFigure8Claims(t *testing.T) {
 // dataflow limit.
 func TestFunctionalUnitsClaims(t *testing.T) {
 	s := suite("naskerx")
-	rows, err := s.FunctionalUnits([]int{1, 4, 16, 0})
+	rows, err := s.FunctionalUnits(context.Background(), []int{1, 4, 16, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestFunctionalUnitsClaims(t *testing.T) {
 // TestLifetimesClaims: distributions are populated and self-consistent.
 func TestLifetimesClaims(t *testing.T) {
 	s := suite("doducx")
-	rows, err := s.Lifetimes()
+	rows, err := s.Lifetimes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestLifetimesClaims(t *testing.T) {
 // compiler effect).
 func TestAblationUnroll(t *testing.T) {
 	s := suite()
-	rows, err := s.AblationUnroll("naskerx", []int{1, 4})
+	rows, err := s.AblationUnroll(context.Background(), "naskerx", []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestAblationUnroll(t *testing.T) {
 	if err := RenderUnroll(&buf, rows); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.AblationUnroll("nope", nil); err == nil {
+	if _, err := s.AblationUnroll(context.Background(), "nope", nil); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
@@ -314,7 +315,7 @@ func TestSharedTraceConsistency(t *testing.T) {
 	w, _ := workloads.ByName("xlispx")
 	cfg := core.Dataflow(core.SyscallConservative)
 	cfg.Profile = false
-	rs, err := s.AnalyzeMulti(w, []core.Config{cfg, cfg})
+	rs, err := s.AnalyzeMulti(context.Background(), w, []core.Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,12 +328,12 @@ func TestSharedTraceConsistency(t *testing.T) {
 func TestMaxInstrBudget(t *testing.T) {
 	s := suite("cc1x")
 	s.MaxInstr = 20_000
-	rows, err := s.Table3()
+	rows, err := s.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Instructions analyzed should equal the cap (cc1x runs longer).
-	r, err := s.Analyze(s.Workloads[0], core.Dataflow(core.SyscallConservative))
+	r, err := s.Analyze(context.Background(), s.Workloads[0], core.Dataflow(core.SyscallConservative))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestMaxInstrBudget(t *testing.T) {
 // "are not accurate enough to expose even hundreds of instructions".
 func TestBranchPredictionClaims(t *testing.T) {
 	s := suite("xlispx", "matrixx")
-	rows, err := s.BranchPrediction(nil)
+	rows, err := s.BranchPrediction(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,11 +390,11 @@ func TestParallelExperimentsDeterministic(t *testing.T) {
 	par := suite("xlispx", "naskerx", "matrixx")
 	par.Parallelism = 4
 
-	s3, err := serial.Table3()
+	s3, err := serial.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p3, err := par.Table3()
+	p3, err := par.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

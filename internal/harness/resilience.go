@@ -1,10 +1,10 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
-	"time"
 
 	"paragraph/internal/trace"
 )
@@ -82,39 +82,72 @@ func markFailures(err error, mark func(i int, msg string)) {
 	}
 }
 
-// watchdogEvery is how many events pass between wall-clock checks; checking
-// time.Now on every event would dominate the simulation's hot loop.
-const watchdogEvery = 4096
+// guardEvery is how many events pass between context checks; consulting the
+// context on every event would measurably tax the simulation's hot loop
+// (BenchmarkGuard quantifies the difference), while a 1024-event stride
+// bounds the cancellation latency to microseconds at simulation speed.
+const guardEvery = 1024
 
-// watchdog is a trace.Sink wrapper that aborts the simulation when a
-// wall-clock deadline passes. The CPU simulator stops at the first sink
-// error, so the abort propagates as the workload's run error.
-type watchdog struct {
-	inner    trace.Sink
-	deadline time.Time
-	n        uint64
+// ctxGuard is a trace.Sink wrapper that aborts the simulation when its
+// context is cancelled or its deadline passes. The CPU simulator stops at
+// the first sink error, so the abort propagates as the workload's run error.
+type ctxGuard struct {
+	inner trace.Sink
+	ctx   context.Context
+	n     uint64
 }
 
 // Event implements trace.Sink.
-func (d *watchdog) Event(e *trace.Event) error {
-	if d.inner != nil {
-		if err := d.inner.Event(e); err != nil {
+func (g *ctxGuard) Event(e *trace.Event) error {
+	if g.inner != nil {
+		if err := g.inner.Event(e); err != nil {
 			return err
 		}
 	}
-	d.n++
-	if d.n%watchdogEvery == 0 && time.Now().After(d.deadline) {
-		return fmt.Errorf("%w (after %d instructions)", ErrWorkloadTimeout, d.n)
+	g.n++
+	if g.n%guardEvery == 0 {
+		if err := g.ctx.Err(); err != nil {
+			return ctxError(err, g.n)
+		}
 	}
 	return nil
 }
 
-// guard wraps a workload's sink with the suite's watchdog, when one is
-// configured. The returned sink must be fresh per workload: the deadline
-// starts now.
-func (s *Suite) guard(sink trace.Sink) trace.Sink {
-	if s.WorkloadTimeout <= 0 {
+// ctxError maps a context failure onto the suite's error taxonomy: a passed
+// deadline keeps its ErrWorkloadTimeout identity, and the underlying context
+// error stays in the chain either way, so callers can classify with
+// errors.Is against ErrWorkloadTimeout, context.DeadlineExceeded or
+// context.Canceled as they prefer.
+func ctxError(err error, n uint64) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		if n == 0 {
+			return fmt.Errorf("%w: %w", ErrWorkloadTimeout, err)
+		}
+		return fmt.Errorf("%w after %d instructions: %w", ErrWorkloadTimeout, n, err)
+	}
+	if n == 0 {
+		return fmt.Errorf("harness: canceled: %w", err)
+	}
+	return fmt.Errorf("harness: workload canceled after %d instructions: %w", n, err)
+}
+
+// guardSink wraps a workload's sink with a cancellation guard. A context
+// that can never be cancelled (context.Background and friends report a nil
+// Done channel) costs nothing: the sink is returned unwrapped, keeping the
+// legacy hot path byte-identical.
+func guardSink(ctx context.Context, sink trace.Sink) trace.Sink {
+	if ctx.Done() == nil {
 		return sink
 	}
-	return &watchdog{inner: sink, deadline: time.Now().Add(s.WorkloadTimeout)}
+	return &ctxGuard{inner: sink, ctx: ctx}
+}
+
+// workloadContext derives one workload's run context from the experiment's:
+// the suite's WorkloadTimeout, when set, becomes a per-workload deadline.
+// The returned cancel func must be called when the workload finishes.
+func (s *Suite) workloadContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.WorkloadTimeout > 0 {
+		return context.WithTimeout(ctx, s.WorkloadTimeout)
+	}
+	return ctx, func() {}
 }

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -47,7 +48,7 @@ func TestSuiteSurvivesCrashingWorkload(t *testing.T) {
 	s.Workloads[crashIdx] = crashingWorkload()
 	s.ContinueOnError = true
 
-	rows, err := s.Table2()
+	rows, err := s.Table2(context.Background())
 	var se *SuiteError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v, want *SuiteError", err)
@@ -102,7 +103,7 @@ func TestSuiteFailFast(t *testing.T) {
 	s.Workloads[0] = crashingWorkload()
 	s.Parallelism = 1
 
-	_, err := s.Table2()
+	_, err := s.Table2(context.Background())
 	var we *WorkloadError
 	if !errors.As(err, &we) {
 		t.Fatalf("err = %v, want *WorkloadError", err)
@@ -123,7 +124,7 @@ func TestSuiteCompileError(t *testing.T) {
 	s.Workloads = append(s.Workloads, brokenWorkload())
 	s.ContinueOnError = true
 
-	rows, err := s.Table3()
+	rows, err := s.Table3(context.Background())
 	var se *SuiteError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v, want *SuiteError", err)
@@ -160,7 +161,7 @@ func TestParallelFailureAggregation(t *testing.T) {
 	s.Parallelism = 4
 	s.Concurrency = 4
 
-	rows, err := s.Table3()
+	rows, err := s.Table3(context.Background())
 	var se *SuiteError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v, want *SuiteError", err)
@@ -196,7 +197,7 @@ func TestParallelFailureAggregation(t *testing.T) {
 	ff.Workloads[1] = brokenWorkload()
 	ff.Parallelism = 3
 	ff.Concurrency = 3
-	_, err = ff.Table3()
+	_, err = ff.Table3(context.Background())
 	var we *WorkloadError
 	if !errors.As(err, &we) || we.Index != 1 {
 		t.Fatalf("fail-fast err = %v, want *WorkloadError at index 1", err)
@@ -212,7 +213,7 @@ func TestWorkloadWatchdog(t *testing.T) {
 	s := suite("xlispx")
 	s.WorkloadTimeout = time.Nanosecond
 
-	_, err := s.Table2()
+	_, err := s.Table2(context.Background())
 	if !errors.Is(err, ErrWorkloadTimeout) {
 		t.Fatalf("err = %v, want ErrWorkloadTimeout", err)
 	}
@@ -223,7 +224,7 @@ func TestWorkloadWatchdog(t *testing.T) {
 
 	// A generous deadline does not interfere.
 	s.WorkloadTimeout = time.Minute
-	if _, err := s.Table2(); err != nil {
+	if _, err := s.Table2(context.Background()); err != nil {
 		t.Errorf("run with ample budget failed: %v", err)
 	}
 }

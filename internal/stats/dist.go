@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -129,6 +130,54 @@ func (d *LogDist) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%.2f min=%d max=%d", d.count, d.Mean(), d.min, d.max)
 	return b.String()
+}
+
+// LogDistState is the exported snapshot of a LogDist, used to persist
+// analysis checkpoints. It round-trips exactly through LogDistFromState
+// (Sum is a float64 and is preserved bit-for-bit by gob).
+type LogDistState struct {
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+	Min     int64
+	Max     int64
+}
+
+// State snapshots the distribution.
+func (d *LogDist) State() LogDistState {
+	return LogDistState{
+		Buckets: append([]uint64(nil), d.buckets[:]...),
+		Count:   d.count,
+		Sum:     d.sum,
+		Min:     d.min,
+		Max:     d.max,
+	}
+}
+
+// LogDistFromState rebuilds a distribution from a snapshot.
+func LogDistFromState(s LogDistState) LogDist {
+	var d LogDist
+	copy(d.buckets[:], s.Buckets)
+	d.count = s.Count
+	d.sum = s.Sum
+	d.min = s.Min
+	d.max = s.Max
+	return d
+}
+
+// MarshalJSON persists the distribution through its exported State; the
+// unexported fields would otherwise serialize as {} and silently drop the
+// data. Go's JSON encoding of float64 round-trips exactly, so Sum survives.
+func (d LogDist) MarshalJSON() ([]byte, error) { return json.Marshal(d.State()) }
+
+// UnmarshalJSON rebuilds the distribution from a persisted State.
+func (d *LogDist) UnmarshalJSON(b []byte) error {
+	var s LogDistState
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*d = LogDistFromState(s)
+	return nil
 }
 
 // Merge adds all observations of other into d, preserving counts, sums and

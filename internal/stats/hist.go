@@ -120,6 +120,43 @@ func (h *LevelHistogram) Clone() *LevelHistogram {
 	return &c
 }
 
+// LevelHistogramState is the exported snapshot of a LevelHistogram, used to
+// persist analysis checkpoints. It round-trips exactly through
+// LevelHistogramFromState.
+type LevelHistogramState struct {
+	Counts     []uint64
+	Width      int64
+	MaxBuckets int
+	Total      uint64
+	MaxLevel   int64
+	HaveLevel  bool
+}
+
+// State snapshots the histogram.
+func (h *LevelHistogram) State() LevelHistogramState {
+	return LevelHistogramState{
+		Counts:     append([]uint64(nil), h.counts...),
+		Width:      h.width,
+		MaxBuckets: h.maxBuckets,
+		Total:      h.total,
+		MaxLevel:   h.maxLevel,
+		HaveLevel:  h.haveLevel,
+	}
+}
+
+// LevelHistogramFromState rebuilds a histogram from a snapshot.
+func LevelHistogramFromState(s LevelHistogramState) *LevelHistogram {
+	h := NewLevelHistogram(s.MaxBuckets)
+	h.counts = append([]uint64(nil), s.Counts...)
+	if s.Width > 0 {
+		h.width = s.Width
+	}
+	h.total = s.Total
+	h.maxLevel = s.MaxLevel
+	h.haveLevel = s.HaveLevel
+	return h
+}
+
 // Merge adds all mass from other into h. Used to combine profiles of
 // parallel shards.
 func (h *LevelHistogram) Merge(other *LevelHistogram) {

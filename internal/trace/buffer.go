@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"unsafe"
+)
 
 // EventBuffer is an in-memory recording of a trace that can be replayed any
 // number of times. It implements Sink, so it can capture a simulation's
@@ -29,6 +33,13 @@ func (b *EventBuffer) Event(e *Event) error {
 // Len returns the number of recorded events.
 func (b *EventBuffer) Len() int { return len(b.events) }
 
+// Bytes estimates the memory held by the recording: the capacity of the
+// backing array times the event size. This is what a memory budget should
+// meter — the buffer is the fan-out engine's dominant allocation.
+func (b *EventBuffer) Bytes() int64 {
+	return int64(cap(b.events)) * int64(unsafe.Sizeof(Event{}))
+}
+
 // Stats returns the skip accounting of the reader that filled the buffer
 // (zero for a buffer filled directly from a simulation).
 func (b *EventBuffer) Stats() ReadStats { return b.stats }
@@ -40,7 +51,26 @@ func (b *EventBuffer) SetStats(st ReadStats) { b.stats = st }
 // stopping at the first sink error. It may be called concurrently from
 // multiple goroutines, each with its own sink.
 func (b *EventBuffer) Replay(sink Sink) error {
+	return b.ReplayContext(context.Background(), sink)
+}
+
+// CtxCheckEvery is how many events pass between context checks in replay
+// and read loops. Checking ctx.Err() per event would put an atomic load in
+// the hot loop; once per 1024 events bounds cancellation latency to a
+// microsecond-scale burst while costing one integer test per event.
+const CtxCheckEvery = 1024
+
+// ReplayContext is Replay under a context: cancellation or deadline expiry
+// stops the replay within CtxCheckEvery events, returning an error wrapping
+// ctx.Err().
+func (b *EventBuffer) ReplayContext(ctx context.Context, sink Sink) error {
+	done := ctx.Done()
 	for i := range b.events {
+		if done != nil && i%CtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace: replay canceled at event %d: %w", i, err)
+			}
+		}
 		// Copy so a misbehaving sink mutating the event cannot corrupt
 		// the recording or race with other replays.
 		e := b.events[i]

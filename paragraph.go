@@ -33,6 +33,7 @@
 package paragraph
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -211,15 +212,16 @@ type TwoPassOptions = core.TwoPassOptions
 type Checkpoint = core.Checkpoint
 
 // AnalyzeTraceFileTwoPassOpts is AnalyzeTraceFileTwoPass with
-// fault-tolerance options.
+// fault-tolerance options. For cancellation, call core.AnalyzeTwoPassOpts
+// with a context directly.
 func AnalyzeTraceFileTwoPassOpts(rs io.ReadSeeker, cfg Config, opts TwoPassOptions) (*Result, error) {
-	return core.AnalyzeTwoPassOpts(rs, cfg, opts)
+	return core.AnalyzeTwoPassOpts(context.Background(), rs, cfg, opts)
 }
 
 // ResumeTraceFileTwoPass continues an interrupted two-pass analysis from a
 // checkpoint; the result matches an uninterrupted run.
 func ResumeTraceFileTwoPass(rs io.ReadSeeker, cp *Checkpoint, opts TwoPassOptions) (*Result, error) {
-	return core.ResumeTwoPass(rs, cp, opts)
+	return core.ResumeTwoPass(context.Background(), rs, cp, opts)
 }
 
 // Error taxonomy of the fault-tolerant pipeline, re-exported so callers can
