@@ -21,23 +21,27 @@ test:
 race:
 	$(GO) test -race -skip Differential ./...
 
-# The serial-vs-parallel equivalence proof under the race detector: every
-# workload's recorded trace analyzed by both engines across the paper's
-# configuration sweeps, compared for deep equality. This is the data-race
-# audit of the fan-out worker pool.
+# The equivalence proofs under the race detector: every workload's recorded
+# trace analyzed by the serial and parallel engines, and monolithically vs
+# in N chunk-aligned shards (internal/shard), across the paper's
+# configuration sweeps, compared for deep equality. This is also the
+# data-race audit of the fan-out worker pool and the shard pipeline.
 differential:
 	$(GO) test -race -run Differential ./...
 
-# Short coverage-guided run of the trace-reader fuzzer on top of its seed
-# corpus. Minimization is bounded so the 10s budget is spent fuzzing.
+# Short coverage-guided runs of the trace-reader and trace-splitter fuzzers
+# on top of their seed corpora. Minimization is bounded so the budget is
+# spent fuzzing.
 fuzz:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceReader \
 		-fuzztime 10s -fuzzminimizetime 20x
+	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzSplitter \
+		-fuzztime 10s -fuzzminimizetime 20x
 
-# Serial-vs-parallel engine benchmarks, captured as JSON for regression
-# tracking (see README "Performance").
+# Serial-vs-parallel engine and sharded-analysis benchmarks, captured as
+# JSON for regression tracking (see README "Performance").
 bench:
-	$(GO) test -run '^$$' -bench 'FanOut|SuiteEngines' -benchmem -json . \
+	$(GO) test -run '^$$' -bench 'FanOut|SuiteEngines|ShardedAnalysis' -benchmem -json . \
 		| tee BENCH_parallel.json
 
 # The full verification gate: static checks, build, race-detector test run,

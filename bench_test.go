@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 
 	"paragraph/internal/core"
@@ -23,6 +24,7 @@ import (
 	"paragraph/internal/harness"
 	"paragraph/internal/isa"
 	"paragraph/internal/minic"
+	"paragraph/internal/shard"
 	"paragraph/internal/trace"
 	"paragraph/internal/workloads"
 )
@@ -439,4 +441,60 @@ func BenchmarkTwoPassFootprint(b *testing.B) {
 	}
 	b.ReportMetric(float64(onePeak), "onepass-live-words")
 	b.ReportMetric(float64(twoPeak), "twopass-live-words")
+}
+
+// BenchmarkShardedAnalysis measures the sharded pipeline against one
+// monolithic pass over the same stored trace bytes: the trace is split at
+// chunk boundaries and analyzed with decode of shard i+1 overlapped with
+// analysis of shard i (internal/shard). On a multi-core machine the
+// sharded/N=GOMAXPROCS case is the wall-clock win; the merged Result is
+// deep-equal to the monolithic one either way (the differential battery
+// enforces that — here it is just spot-checked).
+func BenchmarkShardedAnalysis(b *testing.B) {
+	w, _ := workloads.ByName("cc1x")
+	prog, err := w.Build(*benchScale, minic.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteTrace(prog, &buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	cfg := core.Dataflow(core.SyscallConservative)
+	cfg.Profile = false
+
+	ref, err := AnalyzeTraceFile(bytes.NewReader(data), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := float64(ref.Instructions)
+
+	b.Run("monolithic", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeTraceFile(bytes.NewReader(data), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
+	for _, n := range []int{2, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("sharded-%d", n), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, _, err = shard.Analyze(context.Background(), data, cfg, n, shard.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if res.CriticalPath != ref.CriticalPath || res.Operations != ref.Operations {
+				b.Fatalf("sharded result drifted: critical path %d vs %d", res.CriticalPath, ref.CriticalPath)
+			}
+			b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }

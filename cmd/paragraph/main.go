@@ -32,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -48,6 +49,7 @@ import (
 	"paragraph/internal/cpu"
 	"paragraph/internal/harness"
 	"paragraph/internal/minic"
+	"paragraph/internal/shard"
 	"paragraph/internal/stats"
 	"paragraph/internal/trace"
 	"paragraph/internal/workloads"
@@ -82,7 +84,8 @@ func main() {
 		degraded   = flag.Bool("degraded", false, "with -trace: skip corrupt v2 chunks instead of failing fast, reporting what was lost")
 
 		sweepWindows = flag.String("sweep-windows", "", "comma-separated window sizes (0 = whole trace): decode the trace once and analyze every size, e.g. -sweep-windows 1,128,8192,0")
-		jobs         = flag.Int("j", 0, "with -sweep-windows: concurrent analyzer workers (0 = GOMAXPROCS, 1 = serial)")
+		jobs         = flag.Int("j", 0, "with -sweep-windows or -shards: concurrent workers (0 = GOMAXPROCS, 1 = serial)")
+		shards       = flag.Int("shards", 0, "analyze the trace in N chunk-aligned shards with pipelined decode and a deterministic merge (0 = monolithic)")
 
 		memBudget     = flag.String("mem-budget", "", "memory budget for the analyzer working set, e.g. 64M or 1G (empty = unlimited)")
 		budgetPolicy  = flag.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
@@ -148,7 +151,25 @@ func main() {
 	}
 
 	if *sweepWindows != "" {
+		if *shards != 0 {
+			fatal(fmt.Errorf("-shards is incompatible with -sweep-windows"))
+		}
 		runWindowSweep(ctx, cfg, *sweepWindows, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded)
+		return
+	}
+
+	if *shards != 0 {
+		if *shards < 1 {
+			fatal(fmt.Errorf("-shards must be at least 1"))
+		}
+		if *twoPass || *autosave != "" || *resume {
+			fatal(fmt.Errorf("-shards is incompatible with -two-pass, -autosave and -resume (sharding has its own resume seam: pgshard)"))
+		}
+		if *traceFile != "" && *maxInst != 0 {
+			fatal(fmt.Errorf("-shards analyzes a stored trace whole; -max only applies when simulating"))
+		}
+		runSharded(ctx, cfg, *shards, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded,
+			*plot, *profileOut, *lifetimes, *sharing, *storageOut)
 		return
 	}
 
@@ -330,6 +351,54 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 		t.AddRow(win, stats.FormatInt(int64(r.Operations)), stats.FormatInt(r.CriticalPath), r.Available)
 	}
 	must(t.Render(os.Stdout))
+}
+
+// runSharded is the in-process sharded path: the trace bytes (read from a
+// file or encoded from one simulation) are split at chunk boundaries,
+// decoded by a bounded pool with decode of shard i+1 overlapping analysis
+// of shard i, and the per-shard results merged into a Result deep-equal to
+// a monolithic run (see internal/shard).
+func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded bool, plot bool, profileOut string, lifetimes, sharing bool, storageOut string) {
+	var data []byte
+	if traceFile != "" {
+		var err error
+		data, err = os.ReadFile(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		prog, err := buildProgram(workload, srcFile, asmFile, scale)
+		if err != nil {
+			fatal(err)
+		}
+		var enc bytes.Buffer
+		tw, err := trace.NewWriter(&enc)
+		if err != nil {
+			fatal(err)
+		}
+		machine, err := cpu.New(prog, cpu.WithTrace(tw), cpu.WithStdout(os.Stderr))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := machine.Run(maxInst); err != nil && err != cpu.ErrLimit {
+			fatal(err)
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+		data = enc.Bytes()
+	}
+
+	start := time.Now()
+	res, rs, err := shard.Analyze(ctx, data, cfg, n, shard.Options{Degraded: degraded, Concurrency: jobs})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "paragraph: analyzed %s events in %d shard(s) in %v\n",
+		stats.FormatInt(int64(res.Instructions)), n, time.Since(start).Round(time.Millisecond))
+	reportSkips(rs)
+	report(res, plot, profileOut, lifetimes, sharing)
+	writeStorage(res, storageOut)
 }
 
 // reportSkips warns on stderr when a degraded-mode read lost events; the

@@ -1,0 +1,254 @@
+// Command pgshard analyzes a giant stored trace in independently-run
+// shards: split writes a chunk-boundary-aligned plan, analyze runs one
+// shard (seeded from the previous shard's result file) and merge
+// reassembles the per-shard results into the exact Result a monolithic run
+// would produce. Each step is a separate process invocation, so the shards
+// of one trace can run at different times, on different machines sharing a
+// filesystem, or under a job scheduler:
+//
+//	pgshard split -trace huge.pgt -shards 3 -plan plan.json
+//	pgshard analyze -trace huge.pgt -plan plan.json -shard 0 -out shard-0.pgsr
+//	pgshard analyze -trace huge.pgt -plan plan.json -shard 1 -prev shard-0.pgsr -out shard-1.pgsr
+//	pgshard analyze -trace huge.pgt -plan plan.json -shard 2 -prev shard-1.pgsr -out shard-2.pgsr
+//	pgshard merge shard-0.pgsr shard-1.pgsr shard-2.pgsr
+//
+// The analysis switches of the analyze subcommand mirror the paragraph CLI
+// and must be identical for every shard of one trace; merge rejects
+// mismatched configurations.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/core"
+	"paragraph/internal/shard"
+	"paragraph/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	switch os.Args[1] {
+	case "split":
+		runSplit(os.Args[2:])
+	case "analyze":
+		runAnalyze(ctx, os.Args[2:])
+	case "merge":
+		runMerge(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pgshard: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  pgshard split   -trace FILE -shards N [-degraded] -plan PLAN
+  pgshard analyze -trace FILE -plan PLAN -shard I [-prev PREV.pgsr] -out OUT.pgsr [analysis flags]
+  pgshard merge   SHARD-0.pgsr SHARD-1.pgsr ...
+
+Run 'pgshard analyze -h' for the analysis flags (they mirror paragraph).
+`)
+	os.Exit(2)
+}
+
+func runSplit(args []string) {
+	fs := flag.NewFlagSet("pgshard split", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "stored v2 trace file to split")
+	shards := fs.Int("shards", 0, "number of shards to plan")
+	degraded := fs.Bool("degraded", false, "tolerate corrupt chunks; shards skip them exactly as a monolithic degraded read would")
+	planOut := fs.String("plan", "plan.json", "write the shard plan (JSON) to this file")
+	fs.Parse(args)
+	if *traceFile == "" || *shards < 1 {
+		fatal(fmt.Errorf("split needs -trace and -shards >= 1"))
+	}
+	data, err := os.ReadFile(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := shard.Split(data, *shards, shard.Options{Degraded: *degraded})
+	if err != nil {
+		fatal(err)
+	}
+	if err := shard.SavePlan(*planOut, plan); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("planned %d shard(s) over %s events (%s trace bytes) -> %s\n",
+		len(plan.Shards), stats.FormatInt(int64(plan.TotalEvents)),
+		stats.FormatInt(plan.TraceBytes), *planOut)
+	for _, sh := range plan.Shards {
+		fmt.Printf("  shard %d: bytes [%d,%d) events [%s,%s)\n", sh.Index, sh.Start, sh.End,
+			stats.FormatInt(int64(sh.StartEvent)), stats.FormatInt(int64(sh.StartEvent+sh.Events)))
+	}
+}
+
+func runAnalyze(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("pgshard analyze", flag.ExitOnError)
+	traceFile := fs.String("trace", "", "stored v2 trace file the plan was made for")
+	planFile := fs.String("plan", "", "shard plan written by pgshard split")
+	shardIdx := fs.Int("shard", -1, "index of the shard to analyze")
+	prevFile := fs.String("prev", "", "previous shard's result file (required for every shard but the first)")
+	outFile := fs.String("out", "", "write this shard's result file here")
+
+	syscalls := fs.String("syscalls", "conservative", "system-call policy: conservative or optimistic")
+	renameRegs := fs.Bool("rename-regs", false, "remove register storage dependencies")
+	renameStack := fs.Bool("rename-stack", false, "remove stack-segment storage dependencies")
+	renameData := fs.Bool("rename-data", false, "remove non-stack memory storage dependencies")
+	renameAll := fs.Bool("rename-all", false, "enable all renaming switches")
+	window := fs.Int("window", 0, "instruction window size (0 = whole trace)")
+	fus := fs.Int("fus", 0, "generic functional units (0 = unlimited)")
+	unitLat := fs.Bool("unit-latency", false, "give every operation a one-level latency")
+	branches := fs.String("branches", "perfect", "branch model: perfect, stall, static, twobit")
+	profile := fs.Bool("profile", false, "collect the parallelism profile")
+	buckets := fs.Int("buckets", 0, "profile resolution in buckets (0 = default)")
+	lifetimes := fs.Bool("lifetimes", false, "collect the value-lifetime distribution")
+	sharing := fs.Bool("sharing", false, "collect the degree-of-sharing distribution")
+	storage := fs.Bool("storage", false, "collect the live-well occupancy curve")
+	memBudget := fs.String("mem-budget", "", "memory budget for the analyzer working set, e.g. 64M (empty = unlimited)")
+	budgetPolicy := fs.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
+	fs.Parse(args)
+	if *traceFile == "" || *planFile == "" || *shardIdx < 0 || *outFile == "" {
+		fatal(fmt.Errorf("analyze needs -trace, -plan, -shard and -out"))
+	}
+
+	cfg := core.Config{
+		WindowSize:      *window,
+		FunctionalUnits: *fus,
+		UnitLatency:     *unitLat,
+		Profile:         *profile,
+		ProfileBuckets:  *buckets,
+		Lifetimes:       *lifetimes,
+		Sharing:         *sharing,
+		StorageProfile:  *storage,
+	}
+	switch *branches {
+	case "perfect":
+		cfg.Branches = core.BranchPerfect
+	case "stall":
+		cfg.Branches = core.BranchStall
+	case "static", "btfn":
+		cfg.Branches = core.BranchStatic
+	case "twobit", "2bit":
+		cfg.Branches = core.BranchTwoBit
+	default:
+		fatal(fmt.Errorf("bad -branches value %q", *branches))
+	}
+	switch *syscalls {
+	case "conservative", "cons":
+		cfg.Syscalls = core.SyscallConservative
+	case "optimistic", "opt":
+		cfg.Syscalls = core.SyscallOptimistic
+	default:
+		fatal(fmt.Errorf("bad -syscalls value %q", *syscalls))
+	}
+	if *renameAll || (!*renameRegs && !*renameStack && !*renameData) {
+		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = true, true, true
+	} else {
+		cfg.RenameRegisters, cfg.RenameStack, cfg.RenameData = *renameRegs, *renameStack, *renameData
+	}
+	if *memBudget != "" {
+		b, err := budget.ParseBytes(*memBudget)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.MemBudget = b
+		pol, err := budget.ParsePolicy(*budgetPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.BudgetPolicy = pol
+	}
+
+	plan, err := shard.LoadPlan(*planFile)
+	if err != nil {
+		fatal(err)
+	}
+	if *shardIdx >= len(plan.Shards) {
+		fatal(fmt.Errorf("plan has %d shard(s); no shard %d", len(plan.Shards), *shardIdx))
+	}
+	data, err := os.ReadFile(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Shard 0 starts a fresh analyzer; every later shard resumes the
+	// analyzer state the previous shard's process saved alongside its
+	// result. This handoff is what makes N processes equal one.
+	var a *core.Analyzer
+	if *shardIdx == 0 {
+		if *prevFile != "" {
+			fatal(fmt.Errorf("shard 0 starts fresh; -prev is for later shards"))
+		}
+		a = core.NewAnalyzer(cfg)
+	} else {
+		if *prevFile == "" {
+			fatal(fmt.Errorf("shard %d needs -prev (shard %d's result file)", *shardIdx, *shardIdx-1))
+		}
+		prev, cp, err := shard.LoadResult(*prevFile)
+		if err != nil {
+			fatal(err)
+		}
+		if prev.Index != *shardIdx-1 {
+			fatal(fmt.Errorf("-prev holds shard %d, want shard %d", prev.Index, *shardIdx-1))
+		}
+		if cp == nil {
+			fatal(fmt.Errorf("-prev carries no checkpoint (is it the last shard's result?)"))
+		}
+		a = cp.Restore()
+	}
+
+	sh := plan.Shards[*shardIdx]
+	buf, err := shard.DecodeShard(ctx, data, sh, plan.Degraded)
+	if err != nil {
+		fatal(err)
+	}
+	res, cp, err := shard.RunShard(ctx, a, buf, cfg, sh, len(plan.Shards), *shardIdx < len(plan.Shards)-1)
+	if err != nil {
+		fatal(err)
+	}
+	if err := shard.SaveResult(*outFile, res, cp); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("shard %d/%d: %s events analyzed -> %s\n", sh.Index, len(plan.Shards),
+		stats.FormatInt(int64(res.Events)), *outFile)
+}
+
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("pgshard merge", flag.ExitOnError)
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		fatal(fmt.Errorf("merge needs the shard result files as arguments"))
+	}
+	parts := make([]*shard.Result, len(files))
+	for i, f := range files {
+		var err error
+		parts[i], _, err = shard.LoadResult(f)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	res, rs, err := shard.Merge(parts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := shard.RenderMerge(os.Stdout, res, rs, parts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pgshard:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"paragraph/internal/faultinject"
+	"paragraph/internal/trace"
+)
+
+// FuzzSplitter feeds arbitrary bytes — valid traces, damaged traces, pure
+// garbage — through Split and asserts the splitter's contract: it never
+// panics, it never cuts mid-chunk (every shard decodes independently and
+// delivers exactly the events the plan promised), and the per-shard event
+// counts and ReadStats sum to what one monolithic read of the same bytes
+// delivers.
+func FuzzSplitter(f *testing.F) {
+	valid := func(n int, seed int64, chunk int) []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriterOpts(&buf, trace.WriterOptions{ChunkBytes: chunk})
+		if err != nil {
+			f.Fatal(err)
+		}
+		events := synthEvents(n, seed)
+		for i := range events {
+			if err := w.Event(&events[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	small := valid(400, 1, 128)
+	f.Add(small, uint8(3), true)
+	f.Add(small, uint8(1), false)
+	f.Add(valid(50, 2, 64), uint8(7), true)
+	f.Add(small[:len(small)/2], uint8(2), true) // torn tail
+	if c, err := faultinject.CorruptChunk(small, 2, 99); err == nil {
+		f.Add(c, uint8(4), true)
+	}
+	if d, err := faultinject.DuplicateChunk(small, 1); err == nil {
+		f.Add(d, uint8(3), true)
+	}
+	f.Add([]byte("PGTRACE2"), uint8(2), true)
+	f.Add([]byte("PGTRACE1junk"), uint8(2), true)
+	f.Add([]byte{}, uint8(1), false)
+	f.Add(bytes.Repeat([]byte{0xD7, 'P', 'G', 0xC5}, 50), uint8(5), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, degraded bool) {
+		n := int(nRaw%8) + 1
+		plan, err := Split(data, n, Options{Degraded: degraded})
+		if err != nil {
+			// Bad magic, v1 traces, and fail-fast corruption are all
+			// legitimate refusals; the contract is only about plans that
+			// were produced.
+			return
+		}
+
+		// Structural invariants: contiguous coverage of the whole trace
+		// body, indices in order, event chain consistent.
+		if len(plan.Shards) < 1 || len(plan.Shards) > n {
+			t.Fatalf("%d shards from n=%d", len(plan.Shards), n)
+		}
+		var events uint64
+		next := int64(trace.HeaderBytes)
+		for i, sh := range plan.Shards {
+			if sh.Index != i || sh.Start != next || sh.StartEvent != events {
+				t.Fatalf("shard %d malformed: %+v (want start %d, startEvent %d)", i, sh, next, events)
+			}
+			events += sh.Events
+			next = sh.End
+		}
+		if next != int64(len(data)) {
+			t.Fatalf("plan covers %d bytes of %d", next, len(data))
+		}
+		if events != plan.TotalEvents {
+			t.Fatalf("shard events sum %d != plan total %d", events, plan.TotalEvents)
+		}
+
+		// Decode oracle: a monolithic read of the same bytes must deliver
+		// exactly the planned events with exactly the planned ReadStats,
+		// and each shard must decode independently to its promised count,
+		// with per-shard ReadStats summing to the monolithic ones. This is
+		// the "never split mid-chunk" property in executable form — a cut
+		// inside a chunk cannot decode to the right event counts.
+		r, err := trace.NewReaderOpts(bytes.NewReader(data), trace.ReaderOptions{Degraded: degraded})
+		if err != nil {
+			t.Fatalf("plan produced for unreadable trace: %v", err)
+		}
+		var whole uint64
+		var e trace.Event
+		for {
+			if err := r.Next(&e); err != nil {
+				break
+			}
+			whole++
+		}
+		if whole != plan.TotalEvents {
+			t.Fatalf("monolithic read delivers %d events, plan says %d", whole, plan.TotalEvents)
+		}
+		if r.Stats() != plan.Stats {
+			t.Fatalf("monolithic ReadStats %+v != plan stats %+v", r.Stats(), plan.Stats)
+		}
+		ctx := context.Background()
+		var sum trace.ReadStats
+		for _, sh := range plan.Shards {
+			buf, err := DecodeShard(ctx, data, sh, degraded)
+			if err != nil {
+				t.Fatalf("shard %d failed to decode: %v", sh.Index, err)
+			}
+			if uint64(buf.Len()) != sh.Events {
+				t.Fatalf("shard %d delivered %d events, plan says %d", sh.Index, buf.Len(), sh.Events)
+			}
+			st := buf.Stats()
+			sum.Chunks += st.Chunks
+			sum.SkippedChunks += st.SkippedChunks
+			sum.SkippedEvents += st.SkippedEvents
+			sum.DuplicateChunks += st.DuplicateChunks
+			sum.ResyncBytes += st.ResyncBytes
+		}
+		if sum != plan.Stats {
+			t.Fatalf("summed shard ReadStats %+v != monolithic %+v", sum, plan.Stats)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/core"
+	"paragraph/internal/stats"
+	"paragraph/internal/trace"
+)
+
+// Result is one shard's contribution to an analysis: chain metadata for
+// validation, the shard's read accounting, its slice of the mergeable
+// statistics, and — on the last shard only — the finished core.Result
+// carrying everything that flows through the checkpoint chain (critical
+// path, scalars, class counts, peak memory). All fields gob-encode, so
+// shard results can cross process and machine boundaries.
+type Result struct {
+	// Index and Shards place this result in its plan: shard Index of
+	// Shards total.
+	Index  int
+	Shards int
+	// Config is the analysis configuration, identical across shards.
+	Config core.Config
+	// StartEvent and Events tie the result into the event chain: this
+	// shard covered [StartEvent, StartEvent+Events).
+	StartEvent uint64
+	Events     uint64
+	// ReadStats is this shard's read accounting; the per-shard stats sum
+	// to the monolithic read's.
+	ReadStats trace.ReadStats
+	// Stats holds the shard's mergeable accumulators.
+	Stats core.ShardStats
+	// Final is the finished whole-trace Result, set only on the last
+	// shard (its analyzer carries all preceding shards' state via the
+	// checkpoint chain).
+	Final *core.Result
+}
+
+// Merge validates a complete set of shard results and reassembles the
+// monolithic Result: scalars, critical path and class counts come from the
+// last shard's finished Result (checkpoint handoff already made them
+// whole-trace values); profiles, distributions and governor accounting are
+// recombined from the per-shard contributions. The returned ReadStats are
+// the per-shard sums. For results produced by one analysis chain over one
+// trace, the merged Result is deep-equal to the monolithic run's — the
+// differential battery in internal/harness enforces exactly that.
+func Merge(parts []*Result) (*core.Result, trace.ReadStats, error) {
+	if len(parts) == 0 {
+		return nil, trace.ReadStats{}, errors.New("shard: no results to merge")
+	}
+	sorted := append([]*Result(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	n := sorted[0].Shards
+	if len(sorted) != n {
+		return nil, trace.ReadStats{}, fmt.Errorf("shard: have %d results of a %d-shard plan", len(sorted), n)
+	}
+	var nextEvent uint64
+	for i, p := range sorted {
+		if p.Index != i {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard: results are not shards 0..%d (missing or duplicate index %d)", n-1, p.Index)
+		}
+		if p.Shards != n {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard %d: from a %d-shard plan, others from %d", i, p.Shards, n)
+		}
+		if !reflect.DeepEqual(p.Config, sorted[0].Config) {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard %d: config differs from shard 0's", i)
+		}
+		if p.StartEvent != nextEvent {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard %d: starts at event %d, chain is at %d", i, p.StartEvent, nextEvent)
+		}
+		nextEvent += p.Events
+		if i < n-1 && p.Final != nil {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard %d: non-final shard carries a finished Result", i)
+		}
+	}
+	last := sorted[n-1]
+	if last.Final == nil {
+		return nil, trace.ReadStats{}, fmt.Errorf("shard %d: final shard has no finished Result", n-1)
+	}
+
+	out := *last.Final
+	cfg := out.Config
+	if cfg.Profile {
+		h, err := mergeHists(sorted, func(p *Result) *stats.LevelHistogramState { return p.Stats.Profile })
+		if err != nil {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard: parallelism profile: %w", err)
+		}
+		out.Profile = h.Profile()
+		out.ProfileBucketWidth = h.Width()
+		out.PeakOps = 0
+		for _, pt := range out.Profile {
+			if pt.Ops > out.PeakOps {
+				out.PeakOps = pt.Ops
+			}
+		}
+	}
+	if cfg.StorageProfile {
+		h, err := mergeHists(sorted, func(p *Result) *stats.LevelHistogramState { return p.Stats.Storage })
+		if err != nil {
+			return nil, trace.ReadStats{}, fmt.Errorf("shard: storage profile: %w", err)
+		}
+		out.StorageProfile = h.Profile()
+	}
+	if cfg.Lifetimes {
+		out.Lifetimes = mergeDists(sorted, func(p *Result) stats.LogDistState { return p.Stats.Lifetime })
+	}
+	if cfg.Sharing {
+		out.Sharing = mergeDists(sorted, func(p *Result) stats.LogDistState { return p.Stats.Sharing })
+	}
+	if last.Final.Governor != nil {
+		out.Governor = mergeGovernor(sorted)
+	}
+	var rs trace.ReadStats
+	for _, p := range sorted {
+		rs.Chunks += p.ReadStats.Chunks
+		rs.SkippedChunks += p.ReadStats.SkippedChunks
+		rs.SkippedEvents += p.ReadStats.SkippedEvents
+		rs.DuplicateChunks += p.ReadStats.DuplicateChunks
+		rs.ResyncBytes += p.ReadStats.ResyncBytes
+	}
+	return &out, rs, nil
+}
+
+// mergeHists folds the per-shard histogram states, in shard order, into one
+// histogram. Levels are absolute (DDG levels, trace positions), so the
+// merge is exact: the shard that reached the deepest level determines the
+// bucket width, and power-of-two widths nest (see LevelHistogram.Merge).
+func mergeHists(parts []*Result, get func(*Result) *stats.LevelHistogramState) (*stats.LevelHistogram, error) {
+	var h *stats.LevelHistogram
+	for _, p := range parts {
+		s := get(p)
+		if s == nil {
+			return nil, fmt.Errorf("shard %d: histogram missing", p.Index)
+		}
+		if h == nil {
+			h = stats.LevelHistogramFromState(*s)
+			continue
+		}
+		h.Merge(stats.LevelHistogramFromState(*s))
+	}
+	return h, nil
+}
+
+// mergeDists folds the per-shard distribution states in shard order. Counts
+// and extremes combine exactly; the float64 sums are integer-valued (Add
+// takes int64), so the addition is exact while totals stay below 2^53 and
+// the merged sum matches the monolithic one bit for bit.
+func mergeDists(parts []*Result, get func(*Result) stats.LogDistState) stats.LogDist {
+	var d stats.LogDist
+	for _, p := range parts {
+		o := stats.LogDistFromState(get(p))
+		d.Merge(&o)
+	}
+	return d
+}
+
+// mergeGovernor reassembles whole-run governor accounting: counters sum,
+// peaks max, EffectiveWindow is the value after the run's last degradation
+// (the last shard that degraded), and the engine-downgrade flag ORs.
+func mergeGovernor(parts []*Result) *budget.GovernorStats {
+	var g budget.GovernorStats
+	for _, p := range parts {
+		ps := p.Stats.Governor
+		if ps == nil {
+			continue
+		}
+		g.Checks += ps.Checks
+		g.Warnings += ps.Warnings
+		g.Degradations += ps.Degradations
+		if ps.PeakBytes > g.PeakBytes {
+			g.PeakBytes = ps.PeakBytes
+		}
+		if ps.PeakLiveWellBytes > g.PeakLiveWellBytes {
+			g.PeakLiveWellBytes = ps.PeakLiveWellBytes
+		}
+		if ps.EffectiveWindow != 0 {
+			g.EffectiveWindow = ps.EffectiveWindow
+		}
+		g.EngineDowngraded = g.EngineDowngraded || ps.EngineDowngraded
+	}
+	return &g
+}

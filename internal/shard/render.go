@@ -1,0 +1,43 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"paragraph/internal/core"
+	"paragraph/internal/stats"
+	"paragraph/internal/trace"
+)
+
+// RenderMerge writes the human-readable report of a merged shard analysis:
+// a per-shard table (byte range, chunks, events) followed by the combined
+// metrics and read accounting. The output is deterministic for a given
+// input, so it golden-tests cleanly (see internal/harness).
+func RenderMerge(w io.Writer, res *core.Result, rs trace.ReadStats, parts []*Result) error {
+	sorted := append([]*Result(nil), parts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+
+	t := stats.NewTable("Shard", "Start", "End", "Chunks", "Events", "Skipped", "Resync B")
+	for _, p := range sorted {
+		t.AddRow(p.Index, p.StartEvent, p.StartEvent+p.Events, p.ReadStats.Chunks,
+			stats.FormatInt(int64(p.Events)), p.ReadStats.SkippedChunks, p.ReadStats.ResyncBytes)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "instructions:    %d\n", res.Instructions)
+	fmt.Fprintf(w, "operations:      %d\n", res.Operations)
+	fmt.Fprintf(w, "critical path:   %d\n", res.CriticalPath)
+	fmt.Fprintf(w, "available:       %.2f\n", res.Available)
+	if res.Governor != nil && res.Governor.Governed() {
+		fmt.Fprintf(w, "governed:        %d degradations, effective window %d\n",
+			res.Governor.Degradations, res.Governor.EffectiveWindow)
+	}
+	if rs.SkippedChunks > 0 || rs.DuplicateChunks > 0 || rs.ResyncBytes > 0 {
+		fmt.Fprintf(w, "degraded read:   %d chunks ok, %d skipped (%d events), %d duplicates, %d resync bytes\n",
+			rs.Chunks, rs.SkippedChunks, rs.SkippedEvents, rs.DuplicateChunks, rs.ResyncBytes)
+	}
+	return nil
+}

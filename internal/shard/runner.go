@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"paragraph/internal/core"
+	"paragraph/internal/trace"
+)
+
+// DecodeShard decodes one shard's byte range into an EventBuffer, carrying
+// the shard reader's ReadStats. The buffer can be replayed by any number of
+// analyzers (different configs fan out over one decode). Decode honors ctx
+// with the usual CtxCheckEvery granularity.
+func DecodeShard(ctx context.Context, data []byte, sh Shard, degraded bool) (*trace.EventBuffer, error) {
+	r, err := trace.NewSectionReader(data, sh.Start, sh.End, trace.ReaderOptions{
+		Degraded:      degraded,
+		StartSeq:      sh.PrevSeq,
+		StartSeqValid: sh.HavePrevSeq,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", sh.Index, err)
+	}
+	buf := &trace.EventBuffer{}
+	done := ctx.Done()
+	var e trace.Event
+	for i := 0; ; i++ {
+		if done != nil && i%trace.CtxCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("shard %d: decode canceled at event %d: %w", sh.Index, i, err)
+			}
+		}
+		if err := r.Next(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("shard %d: %w", sh.Index, err)
+		}
+		_ = buf.Event(&e) // EventBuffer.Event never fails
+	}
+	buf.SetStats(r.Stats())
+	if got := uint64(buf.Len()); got != sh.Events {
+		return nil, fmt.Errorf("shard %d: decoded %d events, plan says %d (trace modified since Split?)",
+			sh.Index, got, sh.Events)
+	}
+	return buf, nil
+}
+
+// RunShard replays one decoded shard through an analyzer that carries the
+// state of all preceding shards (a fresh analyzer for shard 0, a
+// checkpoint-restored one otherwise). It resets the mergeable accumulators
+// at entry and harvests them after the replay, finishing the analysis on
+// the last shard. When wantCheckpoint is set, the analyzer's outgoing state
+// is snapshotted (before any finish) for handoff to the next shard's
+// process.
+func RunShard(ctx context.Context, a *core.Analyzer, buf *trace.EventBuffer, cfg core.Config, sh Shard, total int, wantCheckpoint bool) (*Result, *core.Checkpoint, error) {
+	if err := a.BeginShard(); err != nil {
+		return nil, nil, fmt.Errorf("shard %d: %w", sh.Index, err)
+	}
+	if err := buf.ReplayContext(ctx, a); err != nil {
+		return nil, nil, fmt.Errorf("shard %d: %w", sh.Index, err)
+	}
+	res := &Result{
+		Index:      sh.Index,
+		Shards:     total,
+		Config:     cfg,
+		StartEvent: sh.StartEvent,
+		Events:     uint64(buf.Len()),
+		ReadStats:  buf.Stats(),
+	}
+	var cp *core.Checkpoint
+	if wantCheckpoint {
+		cp = a.Snapshot()
+	}
+	if sh.Index == total-1 {
+		fin, err := a.Finish()
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", sh.Index, err)
+		}
+		res.Final = fin
+	}
+	// Harvest after Finish so the last shard's stats include end-of-trace
+	// retirements (still-live values folded into lifetime/sharing).
+	res.Stats = a.ShardStats()
+	return res, cp, nil
+}
+
+// Analyze splits the trace into n shards and analyzes it under one config,
+// returning the merged Result and the summed ReadStats — deep-equal to
+// what a monolithic core.AnalyzeTraceOpts run over the same bytes returns.
+func Analyze(ctx context.Context, data []byte, cfg core.Config, n int, opts Options) (*core.Result, trace.ReadStats, error) {
+	results, rs, err := AnalyzeMulti(ctx, data, []core.Config{cfg}, n, opts)
+	if err != nil {
+		return nil, trace.ReadStats{}, err
+	}
+	return results[0], rs, nil
+}
+
+// AnalyzeMulti is the pipelined in-process shard driver: the trace is split
+// once, each shard's byte range is decoded and validated by a bounded
+// worker pool, and one analysis chain per config walks the shards in order,
+// handing analyzer state from shard to shard. Decode of shard i+1 overlaps
+// analysis of shard i, and every config's chain replays the same decoded
+// buffers (single-decode fan-out). Errors are reported deterministically:
+// the failing config with the lowest index wins.
+func AnalyzeMulti(ctx context.Context, data []byte, cfgs []core.Config, n int, opts Options) ([]*core.Result, trace.ReadStats, error) {
+	if len(cfgs) == 0 {
+		return nil, trace.ReadStats{}, errors.New("shard: no configs to analyze")
+	}
+	plan, err := Split(data, n, opts)
+	if err != nil {
+		return nil, trace.ReadStats{}, err
+	}
+	return AnalyzePlan(ctx, data, cfgs, plan, opts)
+}
+
+// AnalyzePlan runs AnalyzeMulti's decode and analysis stages over an
+// existing plan (for callers that persist plans, like the pgshard CLI).
+func AnalyzePlan(ctx context.Context, data []byte, cfgs []core.Config, plan *Plan, opts Options) ([]*core.Result, trace.ReadStats, error) {
+	if plan.TraceBytes != int64(len(data)) {
+		return nil, trace.ReadStats{}, fmt.Errorf("shard: plan is for a %d-byte trace, have %d bytes", plan.TraceBytes, len(data))
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ns := len(plan.Shards)
+
+	// Decode stage: a bounded pool fills shard buffers; each buffer's
+	// channel closes when it is ready, so analysis chains start on shard i
+	// while shard i+1 is still decoding.
+	bufs := make([]*trace.EventBuffer, ns)
+	decErrs := make([]error, ns)
+	ready := make([]chan struct{}, ns)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	decSem := make(chan struct{}, workers)
+	go func() {
+		for i := range plan.Shards {
+			decSem <- struct{}{}
+			go func(i int) {
+				defer func() { <-decSem; close(ready[i]) }()
+				bufs[i], decErrs[i] = DecodeShard(ctx, data, plan.Shards[i], plan.Degraded)
+			}(i)
+		}
+	}()
+
+	// Analysis stage: one serial checkpoint-handoff chain per config, the
+	// chains themselves running in parallel (bounded separately from the
+	// decode pool — sharing one semaphore could deadlock the pipeline).
+	results := make([]*core.Result, len(cfgs))
+	readStats := make([]trace.ReadStats, len(cfgs))
+	errs := make([]error, len(cfgs))
+	anSem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for ci := range cfgs {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			anSem <- struct{}{}
+			defer func() { <-anSem }()
+			a := core.NewAnalyzer(cfgs[ci])
+			parts := make([]*Result, ns)
+			for si := range plan.Shards {
+				<-ready[si]
+				if decErrs[si] != nil {
+					errs[ci] = fmt.Errorf("config %d: %w", ci, decErrs[si])
+					return
+				}
+				part, _, err := RunShard(ctx, a, bufs[si], cfgs[ci], plan.Shards[si], ns, false)
+				if err != nil {
+					errs[ci] = fmt.Errorf("config %d: %w", ci, err)
+					return
+				}
+				parts[si] = part
+			}
+			res, rs, err := Merge(parts)
+			if err != nil {
+				errs[ci] = fmt.Errorf("config %d: %w", ci, err)
+				return
+			}
+			results[ci], readStats[ci] = res, rs
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, trace.ReadStats{}, err
+		}
+	}
+	return results, readStats[0], nil
+}

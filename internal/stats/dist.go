@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -174,6 +176,28 @@ func (d LogDist) MarshalJSON() ([]byte, error) { return json.Marshal(d.State()) 
 func (d *LogDist) UnmarshalJSON(b []byte) error {
 	var s LogDistState
 	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	*d = LogDistFromState(s)
+	return nil
+}
+
+// GobEncode persists the distribution through its exported State; like the
+// JSON path, gob cannot see the unexported fields, and without an explicit
+// encoder any struct embedding a LogDist (core.Result, shard results) would
+// fail to gob-encode at all. Gob preserves the float64 Sum bit-for-bit.
+func (d LogDist) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d.State()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds the distribution persisted by GobEncode.
+func (d *LogDist) GobDecode(b []byte) error {
+	var s LogDistState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s); err != nil {
 		return err
 	}
 	*d = LogDistFromState(s)

@@ -159,7 +159,19 @@ func LevelHistogramFromState(s LevelHistogramState) *LevelHistogram {
 
 // Merge adds all mass from other into h. Used to combine profiles of
 // parallel shards.
+//
+// Power-of-two widths nest, so the receiver first coarsens until its width
+// is at least other's; every source bucket then lands wholly inside one
+// receiver bucket and the merged histogram has exactly the counts a single
+// histogram fed all observations would have. Without the alignment, a
+// coarse bucket re-added at its start level can land in a finer receiver
+// bucket than the original observations occupied, making merge order
+// visible. Given equal bucket capacities, merge is commutative and
+// associative; the shard-result merger relies on that exactness.
 func (h *LevelHistogram) Merge(other *LevelHistogram) {
+	for h.width < other.width {
+		h.rescale()
+	}
 	for i, c := range other.counts {
 		if c == 0 {
 			continue

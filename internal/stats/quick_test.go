@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the merge operations the shard-result merger depends
+// on. Sharded analysis reassembles per-shard histograms and distributions
+// with Merge, so Merge must behave like a mathematical sum: commutative,
+// associative, with the zero container as identity, and exactly preserved
+// by the State round-trip used for gob persistence.
+
+// histFromSeed builds a deterministic histogram. All generated histograms
+// share maxBuckets (as all shards of one analysis do); levels span several
+// octaves so rescaling — and therefore the width-alignment path of Merge —
+// is exercised.
+func histFromSeed(seed int64, maxBuckets int) *LevelHistogram {
+	rng := rand.New(rand.NewSource(seed))
+	h := NewLevelHistogram(maxBuckets)
+	n := rng.Intn(64)
+	for i := 0; i < n; i++ {
+		level := rng.Int63n(1 << uint(4+rng.Intn(16)))
+		h.Add(level, uint64(1+rng.Intn(5)))
+	}
+	return h
+}
+
+// mergeHist merges without mutating its arguments.
+func mergeHist(a, b *LevelHistogram) *LevelHistogram {
+	m := a.Clone()
+	m.Merge(b)
+	return m
+}
+
+// histEqual compares full observable state — bucket contents, width, total
+// and extremes. Merge must produce identical state regardless of order, so
+// State equality (not just Profile equality) is the right notion.
+func histEqual(a, b *LevelHistogram) bool {
+	return reflect.DeepEqual(a.State(), b.State())
+}
+
+func TestQuickLevelHistogramMergeCommutative(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		a, b := histFromSeed(sa, 256), histFromSeed(sb, 256)
+		return histEqual(mergeHist(a, b), mergeHist(b, a))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevelHistogramMergeAssociative(t *testing.T) {
+	f := func(sa, sb, sc int64) bool {
+		a, b, c := histFromSeed(sa, 128), histFromSeed(sb, 128), histFromSeed(sc, 128)
+		left := mergeHist(mergeHist(a, b), c)
+		right := mergeHist(a, mergeHist(b, c))
+		return histEqual(left, right)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevelHistogramMergeIdentity(t *testing.T) {
+	f := func(sa int64) bool {
+		a := histFromSeed(sa, 256)
+		zero := NewLevelHistogram(256)
+		// Zero on either side leaves the histogram's mass, extremes and
+		// width untouched.
+		return histEqual(mergeHist(a, zero), a) && histEqual(mergeHist(zero, a), a)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(47))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLevelHistogramMergeStateRoundTrip(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		m := mergeHist(histFromSeed(sa, 256), histFromSeed(sb, 256))
+		back := LevelHistogramFromState(m.State())
+		return histEqual(back, m) &&
+			reflect.DeepEqual(back.Profile(), m.Profile()) &&
+			back.Width() == m.Width()
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLevelHistogramMergeEqualsDirect: merging two histograms equals
+// one histogram fed both observation streams — the exactness the shard
+// merger needs, stronger than the algebraic laws above.
+func TestQuickLevelHistogramMergeEqualsDirect(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		rngA := rand.New(rand.NewSource(sa))
+		rngB := rand.New(rand.NewSource(sb))
+		partA := NewLevelHistogram(64)
+		partB := NewLevelHistogram(64)
+		whole := NewLevelHistogram(64)
+		for i, rng := range []*rand.Rand{rngA, rngB} {
+			part := partA
+			if i == 1 {
+				part = partB
+			}
+			n := rng.Intn(64)
+			for j := 0; j < n; j++ {
+				level := rng.Int63n(1 << uint(4+rng.Intn(16)))
+				c := uint64(1 + rng.Intn(5))
+				part.Add(level, c)
+				whole.Add(level, c)
+			}
+		}
+		return histEqual(mergeHist(partA, partB), whole)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(59))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// distFromSeed builds a deterministic distribution. Values are bounded
+// integers, so the float64 running sum stays exact (every partial sum is an
+// integer far below 2^53) and merge order cannot perturb it.
+func distFromSeed(seed int64) LogDist {
+	rng := rand.New(rand.NewSource(seed))
+	var d LogDist
+	n := rng.Intn(64)
+	for i := 0; i < n; i++ {
+		d.Add(rng.Int63n(1 << 20))
+	}
+	return d
+}
+
+func mergeDist(a, b LogDist) LogDist {
+	a.Merge(&b)
+	return a
+}
+
+// distState reads the state of a by-value distribution (State has a
+// pointer receiver; the parameter makes the value addressable).
+func distState(d LogDist) LogDistState { return d.State() }
+
+func TestQuickLogDistMergeCommutative(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		a, b := distFromSeed(sa), distFromSeed(sb)
+		return reflect.DeepEqual(distState(mergeDist(a, b)), distState(mergeDist(b, a)))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLogDistMergeAssociative(t *testing.T) {
+	f := func(sa, sb, sc int64) bool {
+		a, b, c := distFromSeed(sa), distFromSeed(sb), distFromSeed(sc)
+		left := mergeDist(mergeDist(a, b), c)
+		right := mergeDist(a, mergeDist(b, c))
+		return reflect.DeepEqual(distState(left), distState(right))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(67))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLogDistMergeIdentity(t *testing.T) {
+	f := func(sa int64) bool {
+		a := distFromSeed(sa)
+		var zero LogDist
+		return reflect.DeepEqual(distState(mergeDist(a, zero)), distState(a)) &&
+			reflect.DeepEqual(distState(mergeDist(zero, a)), distState(a))
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLogDistMergeStateRoundTrip(t *testing.T) {
+	f := func(sa, sb int64) bool {
+		m := mergeDist(distFromSeed(sa), distFromSeed(sb))
+		back := LogDistFromState(distState(m))
+		return reflect.DeepEqual(distState(back), distState(m)) && back.Mean() == m.Mean()
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(73))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"fmt"
 	"unsafe"
 )
@@ -78,6 +80,35 @@ func (b *EventBuffer) ReplayContext(ctx context.Context, sink Sink) error {
 			return fmt.Errorf("trace: replay event %d: %w", i, err)
 		}
 	}
+	return nil
+}
+
+// eventBufferState mirrors EventBuffer with exported fields for gob.
+// Without it, gob-encoding a buffer fails outright (no exported fields),
+// which is how shard-result files would silently lose a degraded read's
+// skip accounting.
+type eventBufferState struct {
+	Events []Event
+	Stats  ReadStats
+}
+
+// GobEncode persists the recording and its ReadStats, so a buffer embedded
+// in a shard-result file round-trips events and skip accounting exactly.
+func (b *EventBuffer) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(eventBufferState{Events: b.events, Stats: b.stats}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode rebuilds the recording persisted by GobEncode.
+func (b *EventBuffer) GobDecode(p []byte) error {
+	var st eventBufferState
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&st); err != nil {
+		return err
+	}
+	b.events, b.stats = st.Events, st.Stats
 	return nil
 }
 

@@ -6,6 +6,7 @@ package trace_test
 
 import (
 	"bytes"
+	"encoding/gob"
 	"reflect"
 	"testing"
 
@@ -170,6 +171,62 @@ func TestEventBufferDegradedRead(t *testing.T) {
 	// A second replay of the degraded recording is identical to the first.
 	if again := collect(t, buf); !reflect.DeepEqual(got, again) {
 		t.Fatal("degraded buffer replays are not identical")
+	}
+}
+
+// TestEventBufferGobRoundTrip pins the gob seam shard-result files depend
+// on: a buffer filled by a degraded read must round-trip through gob with
+// its events AND its ReadStats intact. Before EventBuffer had an explicit
+// GobEncode, encoding silently saw no exported fields, so the skip
+// accounting (and the recording itself) was dropped on the floor — exactly
+// the drift this test would have caught.
+func TestEventBufferGobRoundTrip(t *testing.T) {
+	events := bufEvents(1500)
+	var raw bytes.Buffer
+	w, err := trace.NewWriterOpts(&raw, trace.WriterOptions{Version: 2, ChunkBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if err := w.Event(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := faultinject.CorruptChunk(raw.Bytes(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReaderOpts(bytes.NewReader(damaged), trace.ReaderOptions{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := trace.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Stats().SkippedChunks == 0 {
+		t.Fatal("fixture has no skips; the stats half of the round trip is untested")
+	}
+
+	var enc bytes.Buffer
+	if err := gob.NewEncoder(&enc).Encode(buf); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var back trace.EventBuffer
+	if err := gob.NewDecoder(&enc).Decode(&back); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	if back.Stats() != buf.Stats() {
+		t.Errorf("ReadStats drifted through gob: %+v != %+v", back.Stats(), buf.Stats())
+	}
+	if back.Len() != buf.Len() {
+		t.Fatalf("Len drifted through gob: %d != %d", back.Len(), buf.Len())
+	}
+	if !reflect.DeepEqual(collect(t, &back), collect(t, buf)) {
+		t.Fatal("decoded buffer replays differently from the original")
 	}
 }
 

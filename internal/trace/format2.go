@@ -214,6 +214,9 @@ func (r *Reader) loadChunk() error {
 		plen := int(binary.LittleEndian.Uint32(hdr[8:12]))
 		events := binary.LittleEndian.Uint32(hdr[12:16])
 		crc := binary.LittleEndian.Uint32(hdr[16:20])
+		// Capture the claimed event count now: the larger Peek below may
+		// slide the bufio buffer, invalidating hdr.
+		claimed := headerEvents(hdr, r.aligned)
 		if plen > maxChunkPayload {
 			if cerr := r.corrupt(fmt.Errorf("implausible payload length %d", plen), headerEvents(hdr, r.aligned)); cerr != nil {
 				return cerr
@@ -228,7 +231,7 @@ func (r *Reader) loadChunk() error {
 			if err == io.EOF || err == io.ErrUnexpectedEOF || err == nil {
 				err = ErrTruncated
 			}
-			if cerr := r.corrupt(err, headerEvents(hdr, r.aligned)); cerr != nil {
+			if cerr := r.corrupt(err, claimed); cerr != nil {
 				return cerr
 			}
 			if rerr := r.resync(); rerr != nil {
@@ -237,7 +240,7 @@ func (r *Reader) loadChunk() error {
 			continue
 		}
 		if chunkCRC(full[:chunkHdrLen], full[chunkHdrLen:]) != crc {
-			if cerr := r.corrupt(ErrChecksum, headerEvents(hdr, r.aligned)); cerr != nil {
+			if cerr := r.corrupt(ErrChecksum, claimed); cerr != nil {
 				return cerr
 			}
 			if err := r.resync(); err != nil {

@@ -312,6 +312,15 @@ type ReaderOptions struct {
 	// accounts for the loss in Stats. It has no effect on v1 traces,
 	// which have no redundancy to recover with.
 	Degraded bool
+	// StartSeq seeds the duplicate-chunk detector for a reader that begins
+	// mid-file, as per-shard readers do: chunks with seq <= StartSeq are
+	// dropped as duplicates, exactly as if one reader had already consumed
+	// the preceding portion of the trace. Only meaningful for v2 traces and
+	// only honored when StartSeqValid is set.
+	StartSeq uint32
+	// StartSeqValid marks StartSeq as meaningful (sequence numbers start
+	// at 0, so a zero value alone cannot express "no predecessor").
+	StartSeqValid bool
 }
 
 // ReadStats accounts for what a degraded-mode reader skipped.
@@ -355,7 +364,11 @@ func NewReaderOpts(r io.Reader, o ReaderOptions) (*Reader, error) {
 		// Chunk validation peeks whole chunks before consuming them, so
 		// the buffer must hold the largest legal chunk.
 		big := bufio.NewReaderSize(br, maxChunkPayload+2*chunkHdrLen)
-		return &Reader{br: big, version: 2, degraded: o.Degraded, off: int64(len(magic2)), aligned: true}, nil
+		return &Reader{
+			br: big, version: 2, degraded: o.Degraded,
+			off: int64(len(magic2)), aligned: true,
+			lastSeq: o.StartSeq, haveSeq: o.StartSeqValid,
+		}, nil
 	case bytes.Equal(got[:7], magic[:7]):
 		return nil, fmt.Errorf("%w: version byte %q", ErrVersion, got[7])
 	default:
