@@ -29,11 +29,13 @@ race:
 differential:
 	$(GO) test -race -run Differential ./...
 
-# Short coverage-guided runs of the trace-reader and trace-splitter fuzzers
-# on top of their seed corpora. Minimization is bounded so the budget is
-# spent fuzzing.
+# Short coverage-guided runs of the trace-reader, reader-equivalence and
+# trace-splitter fuzzers on top of their seed corpora. Minimization is
+# bounded so the budget is spent fuzzing.
 fuzz:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceReader \
+		-fuzztime 10s -fuzzminimizetime 20x
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzReaderEquivalence \
 		-fuzztime 10s -fuzzminimizetime 20x
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzSplitter \
 		-fuzztime 10s -fuzzminimizetime 20x
@@ -43,6 +45,8 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench 'FanOut|SuiteEngines|ShardedAnalysis' -benchmem -json . \
 		| tee BENCH_parallel.json
+	$(GO) test -run '^$$' -bench 'HotPath|AnalyzerThroughput' -benchmem -json . \
+		| tee BENCH_hotpath.json
 
 # The full verification gate: static checks, build, race-detector test run,
 # the serial-vs-parallel differential battery, and a short fuzz of the

@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -82,6 +83,7 @@ func main() {
 		storageOut = flag.String("storage", "", "write the live-well occupancy curve as CSV to this file")
 		sharing    = flag.Bool("sharing", false, "collect and print the degree-of-sharing distribution")
 		degraded   = flag.Bool("degraded", false, "with -trace: skip corrupt v2 chunks instead of failing fast, reporting what was lost")
+		useMmap    = flag.Bool("mmap", false, "with -trace: memory-map the trace file and decode it zero-copy (falls back to one buffered read where mmap is unavailable)")
 
 		sweepWindows = flag.String("sweep-windows", "", "comma-separated window sizes (0 = whole trace): decode the trace once and analyze every size, e.g. -sweep-windows 1,128,8192,0")
 		jobs         = flag.Int("j", 0, "with -sweep-windows or -shards: concurrent workers (0 = GOMAXPROCS, 1 = serial)")
@@ -154,7 +156,7 @@ func main() {
 		if *shards != 0 {
 			fatal(fmt.Errorf("-shards is incompatible with -sweep-windows"))
 		}
-		runWindowSweep(ctx, cfg, *sweepWindows, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded)
+		runWindowSweep(ctx, cfg, *sweepWindows, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded, *useMmap)
 		return
 	}
 
@@ -168,7 +170,7 @@ func main() {
 		if *traceFile != "" && *maxInst != 0 {
 			fatal(fmt.Errorf("-shards analyzes a stored trace whole; -max only applies when simulating"))
 		}
-		runSharded(ctx, cfg, *shards, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded,
+		runSharded(ctx, cfg, *shards, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded, *useMmap,
 			*plot, *profileOut, *lifetimes, *sharing, *storageOut)
 		return
 	}
@@ -186,11 +188,25 @@ func main() {
 	}
 
 	if *traceFile != "" && (*twoPass || *autosave != "") {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fatal(err)
+		// The two passes each walk the whole trace; mapping it makes the
+		// second pass (and a resumed skip-ahead) decode straight from the
+		// page cache through a bytes.Reader.
+		var rs io.ReadSeeker
+		if *useMmap {
+			m, err := trace.OpenMapped(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer m.Close()
+			rs = bytes.NewReader(m.Bytes())
+		} else {
+			f, err := os.Open(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			rs = f
 		}
-		defer f.Close()
 		var rstats trace.ReadStats
 		opts := core.TwoPassOptions{Degraded: *degraded, Stats: &rstats}
 		if *autosave != "" {
@@ -207,7 +223,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "paragraph: resuming from %s at event %s\n",
 				*autosave, stats.FormatInt(int64(cp.EventOffset)))
-			res, err = core.ResumeTwoPass(ctx, f, cp, opts)
+			res, err = core.ResumeTwoPass(ctx, rs, cp, opts)
 			if err != nil {
 				fatal(err)
 			}
@@ -216,10 +232,11 @@ func main() {
 			if *twoPass {
 				run = core.AnalyzeTwoPassOpts
 			}
-			res, err = run(ctx, f, cfg, opts)
+			r, err := run(ctx, rs, cfg, opts)
 			if err != nil {
 				fatal(err)
 			}
+			res = r
 		}
 		reportSkips(rstats)
 		report(res, *plot, *profileOut, *lifetimes, *sharing)
@@ -234,15 +251,11 @@ func main() {
 
 	switch {
 	case *traceFile != "":
-		f, err := os.Open(*traceFile)
+		tr, closeTrace, err := openTrace(*traceFile, *useMmap, *degraded)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		tr, err := trace.NewReaderOpts(f, trace.ReaderOptions{Degraded: *degraded})
-		if err != nil {
-			fatal(err)
-		}
+		defer closeTrace()
 		n := uint64(0)
 		err = tr.ForEach(func(e *trace.Event) error {
 			if n%budget.CheckEvery == 0 {
@@ -286,7 +299,7 @@ func main() {
 // from a file (or simulated) exactly once into a trace.EventBuffer, then
 // analyzed under every requested window size by a pool of concurrent
 // analyzers (harness.FanOut). The output is one table row per window.
-func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded bool) {
+func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded, useMmap bool) {
 	var sizes []int
 	for _, s := range strings.Split(sizesArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -298,16 +311,12 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 
 	var buf *trace.EventBuffer
 	if traceFile != "" {
-		f, err := os.Open(traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		tr, err := trace.NewReaderOpts(f, trace.ReaderOptions{Degraded: degraded})
+		tr, closeTrace, err := openTrace(traceFile, useMmap, degraded)
 		if err != nil {
 			fatal(err)
 		}
 		buf, err = trace.ReadAll(tr)
+		closeTrace()
 		if err != nil {
 			fatal(err)
 		}
@@ -358,13 +367,24 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 // decoded by a bounded pool with decode of shard i+1 overlapping analysis
 // of shard i, and the per-shard results merged into a Result deep-equal to
 // a monolithic run (see internal/shard).
-func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded bool, plot bool, profileOut string, lifetimes, sharing bool, storageOut string) {
+func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded, useMmap bool, plot bool, profileOut string, lifetimes, sharing bool, storageOut string) {
 	var data []byte
 	if traceFile != "" {
-		var err error
-		data, err = os.ReadFile(traceFile)
-		if err != nil {
-			fatal(err)
+		if useMmap {
+			// Every shard decodes its byte range straight out of the
+			// mapping; the splitter's planning scan does too.
+			m, err := trace.OpenMapped(traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer m.Close()
+			data = m.Bytes()
+		} else {
+			var err error
+			data, err = os.ReadFile(traceFile)
+			if err != nil {
+				fatal(err)
+			}
 		}
 	} else {
 		prog, err := buildProgram(workload, srcFile, asmFile, scale)
@@ -399,6 +419,35 @@ func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, wo
 	reportSkips(rs)
 	report(res, plot, profileOut, lifetimes, sharing)
 	writeStorage(res, storageOut)
+}
+
+// openTrace opens a stored trace for reading, memory-mapped and zero-copy
+// when useMmap is set (with a transparent buffered-read fallback on
+// platforms without mmap), streaming through bufio otherwise. The returned
+// closure releases the file or mapping once reading is done.
+func openTrace(path string, useMmap, degraded bool) (*trace.Reader, func(), error) {
+	if useMmap {
+		m, err := trace.OpenMapped(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := m.Reader(trace.ReaderOptions{Degraded: degraded})
+		if err != nil {
+			m.Close()
+			return nil, nil, err
+		}
+		return r, func() { m.Close() }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReaderOpts(f, trace.ReaderOptions{Degraded: degraded})
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, func() { f.Close() }, nil
 }
 
 // reportSkips warns on stderr when a degraded-mode read lost events; the

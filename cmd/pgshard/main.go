@@ -29,6 +29,7 @@ import (
 	"paragraph/internal/core"
 	"paragraph/internal/shard"
 	"paragraph/internal/stats"
+	"paragraph/internal/trace"
 )
 
 func main() {
@@ -68,15 +69,17 @@ func runSplit(args []string) {
 	traceFile := fs.String("trace", "", "stored v2 trace file to split")
 	shards := fs.Int("shards", 0, "number of shards to plan")
 	degraded := fs.Bool("degraded", false, "tolerate corrupt chunks; shards skip them exactly as a monolithic degraded read would")
+	useMmap := fs.Bool("mmap", false, "memory-map the trace instead of reading it into the heap")
 	planOut := fs.String("plan", "plan.json", "write the shard plan (JSON) to this file")
 	fs.Parse(args)
 	if *traceFile == "" || *shards < 1 {
 		fatal(fmt.Errorf("split needs -trace and -shards >= 1"))
 	}
-	data, err := os.ReadFile(*traceFile)
+	data, closeTrace, err := readTrace(*traceFile, *useMmap)
 	if err != nil {
 		fatal(err)
 	}
+	defer closeTrace()
 	plan, err := shard.Split(data, *shards, shard.Options{Degraded: *degraded})
 	if err != nil {
 		fatal(err)
@@ -117,6 +120,7 @@ func runAnalyze(ctx context.Context, args []string) {
 	storage := fs.Bool("storage", false, "collect the live-well occupancy curve")
 	memBudget := fs.String("mem-budget", "", "memory budget for the analyzer working set, e.g. 64M (empty = unlimited)")
 	budgetPolicy := fs.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
+	useMmap := fs.Bool("mmap", false, "memory-map the trace instead of reading it into the heap; the shard decodes zero-copy from the mapping")
 	fs.Parse(args)
 	if *traceFile == "" || *planFile == "" || *shardIdx < 0 || *outFile == "" {
 		fatal(fmt.Errorf("analyze needs -trace, -plan, -shard and -out"))
@@ -177,10 +181,11 @@ func runAnalyze(ctx context.Context, args []string) {
 	if *shardIdx >= len(plan.Shards) {
 		fatal(fmt.Errorf("plan has %d shard(s); no shard %d", len(plan.Shards), *shardIdx))
 	}
-	data, err := os.ReadFile(*traceFile)
+	data, closeTrace, err := readTrace(*traceFile, *useMmap)
 	if err != nil {
 		fatal(err)
 	}
+	defer closeTrace()
 
 	// Shard 0 starts a fresh analyzer; every later shard resumes the
 	// analyzer state the previous shard's process saved alongside its
@@ -246,6 +251,25 @@ func runMerge(args []string) {
 	if err := shard.RenderMerge(os.Stdout, res, rs, parts); err != nil {
 		fatal(err)
 	}
+}
+
+// readTrace loads the trace bytes, either by mapping the file (zero-copy,
+// shared page cache across concurrent shard processes) or by reading it
+// whole. The closure releases the mapping; it must outlive every use of
+// the returned bytes.
+func readTrace(path string, useMmap bool) ([]byte, func(), error) {
+	if useMmap {
+		m, err := trace.OpenMapped(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m.Bytes(), func() { m.Close() }, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
 }
 
 func fatal(err error) {

@@ -102,7 +102,7 @@ func (a *Analyzer) Event(e *trace.Event) (err error) {
 		a.evictDead(seq)
 	}
 	if a.storage != nil {
-		a.storage.Add(int64(seq), uint64(len(a.well.mem)))
+		a.storage.Add(int64(seq), uint64(a.well.memLen()))
 	}
 	if a.gov != nil && a.instructions%budget.CheckEvery == 0 {
 		if err := a.governBudget(); err != nil {
@@ -112,17 +112,53 @@ func (a *Analyzer) Event(e *trace.Event) (err error) {
 	return nil
 }
 
-// Approximate per-entry working-set costs in bytes, used by the budget
-// governor. The point is an order-of-magnitude guard rail: a live-well map
-// entry is a 4-byte key plus a 20-byte value plus Go map overhead; window
-// state is one uint64 and one int64 per in-window instruction; a
-// functional-unit schedule entry is an int64 key plus an int.
-const (
-	liveWellEntryBytes = 48
-	windowEntryBytes   = 16
-	fuEntryBytes       = 16
-	regFileBytes       = int64(isa.NumRegs) * 24
-)
+// Events implements trace.BatchSink: the hot-path batch ingest loop.
+// Feeding a batch is observation-equivalent to calling Event for each
+// element — validation, eviction, storage profiling and the governor's
+// every-CheckEvery cadence are all preserved per event, so GovernorStats
+// and every Result field come out identical — but the interface call, the
+// defensive event copy and the panic-recovery frame are paid once per
+// batch instead of once per event. Per the BatchSink contract the events
+// are read through the shared slice and never mutated or retained.
+func (a *Analyzer) Events(batch []trace.Event) (err error) {
+	if a.finished {
+		return errors.New("core: Event after Finish")
+	}
+	seq := a.instructions
+	defer func() {
+		if v := recover(); v != nil {
+			err = &AnalysisError{Event: seq, Stage: "event", Cause: recoveredError(v)}
+		}
+	}()
+	for i := range batch {
+		e := &batch[i]
+		seq = a.instructions
+		if verr := validateEvent(e, seq); verr != nil {
+			return verr
+		}
+		if err := a.event(e, seq); err != nil {
+			return err
+		}
+		if a.deaths != nil {
+			a.evictDead(seq)
+		}
+		if a.storage != nil {
+			a.storage.Add(int64(seq), uint64(a.well.memLen()))
+		}
+		if a.gov != nil && a.instructions%budget.CheckEvery == 0 {
+			if err := a.governBudget(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Per-entry working-set costs used by the budget governor live in
+// internal/budget (see budget.LiveWellEntryBytes, calibrated against
+// runtime.MemStats by BenchmarkLiveWellCalibration). Only the register-file
+// floor is computed here, since it depends on the ISA.
+const regFileBytes = int64(isa.NumRegs) * 24
 
 // governBudget meters the analyzer's working sets against the configured
 // memory budget. Called every budget.CheckEvery events, never per event.
@@ -132,11 +168,11 @@ const (
 // budget error that aborts the analysis.
 func (a *Analyzer) governBudget() error {
 	u := budget.Usage{
-		LiveWellBytes: int64(len(a.well.mem))*liveWellEntryBytes + regFileBytes,
-		WindowBytes:   int64(len(a.window.seqs)-a.window.head) * windowEntryBytes,
+		LiveWellBytes: int64(a.well.memLen())*budget.LiveWellEntryBytes + regFileBytes,
+		WindowBytes:   int64(len(a.window.seqs)-a.window.head) * budget.WindowEntryBytes,
 	}
 	if a.fu != nil {
-		u.WindowBytes += int64(len(a.fu.counts)) * fuEntryBytes
+		u.WindowBytes += int64(len(a.fu.counts)) * budget.FUEntryBytes
 	}
 	newWindow, err := a.gov.Govern(u, a.cfg.WindowSize)
 	if err != nil {
@@ -399,7 +435,7 @@ func (a *Analyzer) place(e *trace.Event, seq uint64) {
 				a.retire(old)
 			}
 		}
-		if n := len(a.well.mem); n > a.maxLiveMem {
+		if n := a.well.memLen(); n > a.maxLiveMem {
 			a.maxLiveMem = n
 		}
 	}

@@ -74,10 +74,10 @@ func (a *Analyzer) clone() *Analyzer {
 }
 
 // clone deep-copies the live well. The register arrays copy with the struct;
-// only the memory map needs duplication.
+// only the memory table needs duplication.
 func (w *liveWell) clone() *liveWell {
 	c := *w
-	c.mem = maps.Clone(w.mem)
+	c.mem = *w.mem.clone()
 	return &c
 }
 

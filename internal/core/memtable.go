@@ -1,0 +1,259 @@
+package core
+
+// memTable is the open-addressed hash table behind the live well's memory
+// half: word address -> value record. It replaces the earlier
+// map[uint32]value, which paid a hash-map bucket walk (plus interface-free
+// but cache-hostile overflow chasing) on every load and store of the
+// analysis hot loop. The design is tuned for the trace access pattern —
+// word addresses are dense in a few regions, lookups vastly outnumber
+// deletes, and the table grows monotonically except under two-pass
+// eviction:
+//
+//   - power-of-two capacity with Fibonacci (multiplicative) hashing, so
+//     the probe start is a multiply and a shift, no modulo;
+//   - linear probing, so a probe sequence is one cache line most of the
+//     time (keys are stored apart from the 24-byte records, keeping the
+//     key scan dense);
+//   - tombstone-free deletion by backward shift, so deletes (two-pass
+//     dead-value eviction) never degrade later probes;
+//   - incremental growth: when the load factor crosses 3/4 the table
+//     allocates a double-size successor and migrates a bounded number of
+//     slots per subsequent write, so no single Event call pays a
+//     full-table rehash.
+//
+// The zero memTable is ready to use. The table is not safe for concurrent
+// use, matching the analyzer it belongs to.
+type memTable struct {
+	keys []uint32
+	vals []value
+	used []bool
+	mask uint32 // len(keys) - 1
+	n    int    // live entries in keys/vals/used
+
+	// Pending migration source: while old is non-nil, lookups consult it
+	// after the main table and every mutating call moves up to
+	// memMigrateStep old slots forward. oldN tracks entries still there.
+	old     *memTable
+	oldScan uint32 // next old slot to migrate
+}
+
+const (
+	// memTableMinCap is the initial capacity of a table's first
+	// allocation; must be a power of two.
+	memTableMinCap = 256
+	// memMigrateStep bounds how many source slots one mutating operation
+	// migrates while a grown table drains its predecessor.
+	memMigrateStep = 64
+)
+
+// hash maps a word address to its home slot with Fibonacci hashing
+// (2654435769 = floor(2^32/phi)); high bits select the slot, so nearby
+// addresses scatter.
+func (t *memTable) hash(key uint32) uint32 {
+	return (key * 2654435769) & t.mask
+}
+
+// find returns the slot holding key and whether it is present, probing
+// only the main table.
+func (t *memTable) find(key uint32) (uint32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	i := t.hash(key)
+	for t.used[i] {
+		if t.keys[i] == key {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+	return i, false
+}
+
+// get returns the record for key, consulting the in-migration predecessor
+// when one exists.
+func (t *memTable) get(key uint32) (value, bool) {
+	if i, ok := t.find(key); ok {
+		return t.vals[i], true
+	}
+	if t.old != nil {
+		if i, ok := t.old.find(key); ok {
+			return t.old.vals[i], true
+		}
+	}
+	return value{}, false
+}
+
+// put binds key to v, returning the previous record and whether one was
+// present (the live well's memPut contract).
+func (t *memTable) put(key uint32, v value) (value, bool) {
+	t.migrate()
+	if t.keys == nil {
+		t.init(memTableMinCap)
+	}
+	if i, ok := t.find(key); ok {
+		old := t.vals[i]
+		t.vals[i] = v
+		return old, true
+	}
+	// Not in the main table; an in-migration predecessor may still hold
+	// the key — move its record's slot here so there is exactly one copy.
+	var old value
+	var had bool
+	if t.old != nil {
+		if i, ok := t.old.find(key); ok {
+			old, had = t.old.vals[i], true
+			t.old.del(key)
+		}
+	}
+	t.insert(key, v)
+	return old, had
+}
+
+// del removes key if present, reporting whether it was, with
+// backward-shift compaction so no tombstone is left behind.
+func (t *memTable) del(key uint32) bool {
+	t.migrate()
+	if t.delMain(key) {
+		return true
+	}
+	return t.old != nil && t.old.delMain(key)
+}
+
+// delMain deletes from this table only (no predecessor lookup). Knuth's
+// backward-shift: the hole moves forward through the probe cluster,
+// pulling back every entry whose home position permits it, until the
+// cluster ends.
+func (t *memTable) delMain(key uint32) bool {
+	i, ok := t.find(key)
+	if !ok {
+		return false
+	}
+	j := i
+	for {
+		t.used[i] = false
+		for {
+			j = (j + 1) & t.mask
+			if !t.used[j] {
+				t.n--
+				return true
+			}
+			h := t.hash(t.keys[j])
+			// The entry at j may fill the hole at i only if its home h
+			// does not lie cyclically inside (i, j] — otherwise moving it
+			// would break its own probe chain.
+			if (j-h)&t.mask >= (j-i)&t.mask {
+				t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+				t.used[i] = true
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// insert places a key known to be absent, growing first when the write
+// would cross the 3/4 load ceiling.
+func (t *memTable) insert(key uint32, v value) {
+	if 4*(t.n+1) > 3*len(t.keys) {
+		t.grow()
+	}
+	i := t.hash(key)
+	for t.used[i] {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i], t.vals[i], t.used[i] = key, v, true
+	t.n++
+}
+
+// init allocates the slot arrays at capacity c (a power of two).
+func (t *memTable) init(c int) {
+	t.keys = make([]uint32, c)
+	t.vals = make([]value, c)
+	t.used = make([]bool, c)
+	t.mask = uint32(c - 1)
+}
+
+// grow starts (or, if one is already pending, completes) an incremental
+// migration into a table of twice the capacity. The successor is sized so
+// that it cannot itself need growing before the predecessor drains at
+// memMigrateStep slots per write.
+func (t *memTable) grow() {
+	if t.old != nil {
+		// Rare: the successor filled before the predecessor drained
+		// (possible only under adversarial delete/insert interleaving).
+		// Finish the pending migration before stacking another.
+		t.drain()
+	}
+	prev := *t
+	t.init(2 * len(prev.keys))
+	t.n = 0
+	t.old, t.oldScan = &prev, 0
+	t.old.old = nil
+	t.migrate()
+}
+
+// migrate advances a pending migration by up to memMigrateStep source
+// slots, releasing the predecessor once it is empty.
+func (t *memTable) migrate() {
+	if t.old == nil {
+		return
+	}
+	limit := t.oldScan + memMigrateStep
+	end := uint32(len(t.old.keys))
+	if limit > end {
+		limit = end
+	}
+	for ; t.oldScan < limit; t.oldScan++ {
+		if t.old.used[t.oldScan] {
+			t.insert(t.old.keys[t.oldScan], t.old.vals[t.oldScan])
+			t.old.used[t.oldScan] = false
+			t.old.n--
+		}
+	}
+	if t.oldScan >= end || t.old.n == 0 {
+		t.old = nil
+	}
+}
+
+// drain completes any pending migration in one go.
+func (t *memTable) drain() {
+	for t.old != nil {
+		t.migrate()
+	}
+}
+
+// len returns the number of live entries, including any still awaiting
+// migration.
+func (t *memTable) len() int {
+	n := t.n
+	if t.old != nil {
+		n += t.old.n
+	}
+	return n
+}
+
+// forEach visits every live entry, predecessor included. Visit order is
+// unspecified (as it was with the map); callers fold entries into
+// order-independent accumulators.
+func (t *memTable) forEach(fn func(key uint32, v value)) {
+	for i, u := range t.used {
+		if u {
+			fn(t.keys[i], t.vals[i])
+		}
+	}
+	if t.old != nil {
+		t.old.forEach(fn)
+	}
+}
+
+// clone deep-copies the table, pending migration and all.
+func (t *memTable) clone() *memTable {
+	c := *t
+	c.keys = append([]uint32(nil), t.keys...)
+	c.vals = append([]value(nil), t.vals...)
+	c.used = append([]bool(nil), t.used...)
+	if t.old != nil {
+		c.old = t.old.clone()
+	}
+	return &c
+}

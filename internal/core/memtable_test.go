@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tableOps drives a memTable and a map[uint32]value reference through the
+// same operation sequence and reports the first divergence. Keys are drawn
+// from a small space so puts, overwrites and deletes collide often, and the
+// table is forced through several incremental growths.
+func tableOps(t *testing.T, seed int64, ops int, keySpace uint32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var tab memTable
+	ref := make(map[uint32]value)
+	for i := 0; i < ops; i++ {
+		key := rng.Uint32() % keySpace
+		switch rng.Intn(10) {
+		case 0, 1: // delete
+			tab.del(key)
+			delete(ref, key)
+		case 2: // get
+			got, ok := tab.get(key)
+			want, wantOK := ref[key]
+			if ok != wantOK || got != want {
+				t.Fatalf("seed %d op %d: get(%d) = %v,%v want %v,%v", seed, i, key, got, ok, want, wantOK)
+			}
+		default: // put
+			v := value{level: int64(i), lastUse: int64(i), uses: uint32(i)}
+			old, had := tab.put(key, v)
+			wantOld, wantHad := ref[key]
+			ref[key] = v
+			if had != wantHad || old != wantOld {
+				t.Fatalf("seed %d op %d: put(%d) returned %v,%v want %v,%v", seed, i, key, old, had, wantOld, wantHad)
+			}
+		}
+		if tab.len() != len(ref) {
+			t.Fatalf("seed %d op %d: len = %d want %d", seed, i, tab.len(), len(ref))
+		}
+	}
+	// Full-content check, both directions.
+	seen := 0
+	tab.forEach(func(key uint32, v value) {
+		seen++
+		if want, ok := ref[key]; !ok || want != v {
+			t.Fatalf("seed %d: forEach visited (%d,%v), reference has %v,%v", seed, key, v, want, ok)
+		}
+	})
+	if seen != len(ref) {
+		t.Fatalf("seed %d: forEach visited %d entries, want %d", seed, seen, len(ref))
+	}
+	for key, want := range ref {
+		if got, ok := tab.get(key); !ok || got != want {
+			t.Fatalf("seed %d: get(%d) = %v,%v want %v,true", seed, key, got, ok, want)
+		}
+	}
+}
+
+// TestDifferentialMemTable proves the open-addressed table is
+// observation-equivalent to the map it replaced, across collision-heavy
+// random workloads that exercise backward-shift deletion and incremental
+// growth mid-migration.
+func TestDifferentialMemTable(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		tableOps(t, seed, 20000, 1<<10) // dense: constant collisions, many overwrites
+		tableOps(t, seed, 20000, 1<<20) // sparse: growth-dominated
+	}
+}
+
+// TestMemTableQuick drives the same equivalence through testing/quick with
+// arbitrary key sets, including key 0 (a valid word address — byte address
+// 0–3 — which an open-addressed table must not confuse with an empty slot).
+func TestMemTableQuick(t *testing.T) {
+	check := func(keys []uint32) bool {
+		var tab memTable
+		ref := make(map[uint32]value)
+		for i, k := range keys {
+			v := value{level: int64(i)}
+			tab.put(k, v)
+			ref[k] = v
+		}
+		// Delete every other inserted key (duplicates make some deletes
+		// no-ops in both structures).
+		for i, k := range keys {
+			if i%2 == 0 {
+				had := tab.del(k)
+				_, want := ref[k]
+				if had != want {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tab.len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if got, ok := tab.get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit key-zero case.
+	var tab memTable
+	if _, ok := tab.get(0); ok {
+		t.Fatal("empty table claims key 0 is present")
+	}
+	tab.put(0, value{level: 7})
+	if v, ok := tab.get(0); !ok || v.level != 7 {
+		t.Fatalf("get(0) = %v,%v want level 7", v, ok)
+	}
+	if !tab.del(0) {
+		t.Fatal("del(0) reported absent")
+	}
+	if tab.len() != 0 {
+		t.Fatalf("len = %d after deleting only entry", tab.len())
+	}
+}
+
+// TestMemTableClone verifies clone independence, including a clone taken
+// mid-migration.
+func TestMemTableClone(t *testing.T) {
+	var tab memTable
+	for i := uint32(0); i < 1000; i++ {
+		tab.put(i, value{level: int64(i)})
+	}
+	c := tab.clone()
+	for i := uint32(0); i < 1000; i += 2 {
+		tab.del(i)
+	}
+	tab.put(5000, value{level: -1})
+	if c.len() != 1000 {
+		t.Fatalf("clone len = %d want 1000 after mutating original", c.len())
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if v, ok := c.get(i); !ok || v.level != int64(i) {
+			t.Fatalf("clone get(%d) = %v,%v want level %d", i, v, ok, i)
+		}
+	}
+}

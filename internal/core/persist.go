@@ -154,15 +154,15 @@ func (cp *Checkpoint) state() *checkpointState {
 func wellStateOf(w *liveWell) wellState {
 	ws := wellState{
 		RegLive:  w.regLive,
-		Mem:      make(map[uint32]valueState, len(w.mem)),
+		Mem:      make(map[uint32]valueState, w.mem.len()),
 		PreLevel: w.preLevel,
 	}
 	for i, v := range w.regs {
 		ws.Regs[i] = valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}
 	}
-	for word, v := range w.mem {
+	w.mem.forEach(func(word uint32, v value) {
 		ws.Mem[word] = valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}
-	}
+	})
 	return ws
 }
 
@@ -224,7 +224,7 @@ func (st *checkpointState) restore() (*Checkpoint, error) {
 		a.well.regs[i] = value{level: v.Level, lastUse: v.LastUse, uses: v.Uses}
 	}
 	for word, v := range st.Well.Mem {
-		a.well.mem[word] = value{level: v.Level, lastUse: v.LastUse, uses: v.Uses}
+		a.well.mem.put(word, value{level: v.Level, lastUse: v.LastUse, uses: v.Uses})
 	}
 	return &Checkpoint{
 		EventOffset: st.EventOffset,

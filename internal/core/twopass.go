@@ -272,34 +272,42 @@ func discoverDeaths(ctx context.Context, rs io.ReadSeeker, opts TwoPassOptions) 
 	return ds, nil
 }
 
-// runAnalysisPass drives the analyzer over the remaining events of r,
-// taking checkpoints as configured. idx is the trace position of the next
-// event (non-zero when resuming). Cancellation is checked every
-// budget.CheckEvery events, the same amortized cadence the analyzer uses
-// for budget governance, so the per-event cost is one modulo.
+// runAnalysisPass drives the analyzer over the remaining events of r in
+// batches of trace.DefaultBatchEvents. idx is the trace position of the
+// next event (non-zero when resuming). The cancellation guard is hoisted
+// to batch granularity — one ctx.Err() per batch bounds cancellation
+// latency to the same budget.CheckEvery events the per-event cadence did —
+// and batches are trimmed to never straddle a checkpoint boundary, so
+// snapshots land at the exact positions the per-event loop produced.
 func runAnalysisPass(ctx context.Context, a *Analyzer, r *trace.Reader, idx uint64, opts TwoPassOptions) (*Result, error) {
-	var e trace.Event
+	batch := make([]trace.Event, trace.DefaultBatchEvents)
 	for {
-		if idx%budget.CheckEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("core: analysis canceled at event %d: %w", idx, err)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: analysis canceled at event %d: %w", idx, err)
+		}
+		want := len(batch)
+		if opts.CheckpointEvery > 0 {
+			if to := opts.CheckpointEvery - idx%opts.CheckpointEvery; uint64(want) > to {
+				want = int(to)
 			}
 		}
-		err := r.Next(&e)
-		if err == io.EOF {
+		n, rerr := r.ReadBatch(batch[:want])
+		if n > 0 {
+			if err := a.Events(batch[:n]); err != nil {
+				return nil, fmt.Errorf("core: analysis pass: %w", err)
+			}
+			idx += uint64(n)
+			if opts.CheckpointEvery > 0 && idx%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
+				if err := opts.OnCheckpoint(a.Snapshot()); err != nil {
+					return nil, fmt.Errorf("core: checkpoint at event %d: %w", idx, err)
+				}
+			}
+		}
+		if rerr == io.EOF {
 			break
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: analysis pass: %w", err)
-		}
-		if err := a.Event(&e); err != nil {
-			return nil, fmt.Errorf("core: analysis pass: %w", err)
-		}
-		idx++
-		if opts.CheckpointEvery > 0 && idx%opts.CheckpointEvery == 0 && opts.OnCheckpoint != nil {
-			if err := opts.OnCheckpoint(a.Snapshot()); err != nil {
-				return nil, fmt.Errorf("core: checkpoint at event %d: %w", idx, err)
-			}
+		if rerr != nil {
+			return nil, fmt.Errorf("core: analysis pass: %w", rerr)
 		}
 	}
 	if opts.Stats != nil {

@@ -55,7 +55,9 @@ func fanOut(ctx context.Context, buf *trace.EventBuffer, cfgs []core.Config, con
 			}
 		}()
 		a := core.NewAnalyzer(cfgs[i])
-		if err := buf.ReplayContext(ctx, a); err != nil {
+		// The analyzer is a trusted BatchSink: batch replay shares the
+		// recording read-only instead of copying every event.
+		if err := buf.ReplayBatches(ctx, a); err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				return fmt.Errorf("%w: %w", ErrWorkloadTimeout, err)
 			}

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"testing"
 
+	"paragraph/internal/budget"
 	"paragraph/internal/core"
 	"paragraph/internal/isa"
 	"paragraph/internal/trace"
@@ -183,6 +184,55 @@ func TestDifferentialSuiteDrivers(t *testing.T) {
 	}
 }
 
+// TestDifferentialBatchedVsPerEvent proves the batched delivery path is
+// observationally identical to per-event delivery: for recorded workloads,
+// an analyzer fed one event at a time (the exported copying Replay) and an
+// analyzer fed slices (ReplayBatches) produce deeply-equal Results —
+// including the governor accounting, whose check cadence must not shift
+// with batch boundaries.
+func TestDifferentialBatchedVsPerEvent(t *testing.T) {
+	cfgs := sweepConfigs()
+	gov := core.Dataflow(core.SyscallConservative)
+	gov.Profile = false
+	gov.WindowSize = 2048
+	gov.MemBudget = 64 << 10
+	gov.BudgetPolicy = budget.Degrade
+	cfgs = append(cfgs, gov)
+
+	for _, name := range []string{"xlispx", "matrixx", "espressox"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			buf := recordWorkload(t, w)
+			for i, cfg := range cfgs {
+				perEvent := core.NewAnalyzer(cfg)
+				if err := buf.Replay(perEvent); err != nil {
+					t.Fatalf("config %d: per-event replay: %v", i, err)
+				}
+				want, err := perEvent.Finish()
+				if err != nil {
+					t.Fatalf("config %d: per-event finish: %v", i, err)
+				}
+				batched := core.NewAnalyzer(cfg)
+				if err := buf.ReplayBatches(context.Background(), batched); err != nil {
+					t.Fatalf("config %d: batched replay: %v", i, err)
+				}
+				got, err := batched.Finish()
+				if err != nil {
+					t.Fatalf("config %d: batched finish: %v", i, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("config %d: batched and per-event results differ\nper-event: %v\nbatched:   %v",
+						i, want, got)
+				}
+			}
+		})
+	}
+}
+
 // FanOut error handling: the lowest-indexed failing configuration decides
 // the error, a panicking analyzer is contained, and a poisoned event is
 // reported with its replay position.
@@ -214,7 +264,7 @@ func TestFanOutErrorAggregation(t *testing.T) {
 	if !strings.Contains(err.Error(), "config 0:") {
 		t.Errorf("error does not name the lowest failing config: %v", err)
 	}
-	if !strings.Contains(err.Error(), "replay event 100") {
+	if !strings.Contains(err.Error(), "trace event 100") {
 		t.Errorf("error does not locate the poisoned event: %v", err)
 	}
 }

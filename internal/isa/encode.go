@@ -100,12 +100,21 @@ var specialFn = map[Op]uint32{
 	AND: fnAND, OR: fnOR, XOR: fnXOR, NOR: fnNOR, SLT: fnSLT, SLTU: fnSLTU,
 }
 
-var fnToOp = func() map[uint32]Op {
-	m := make(map[uint32]Op, len(specialFn))
+// opEntry is one slot of a dense decode table. Every decode selector —
+// SPECIAL function, major opcode, COP1.D function — is a 6-bit field, so
+// the per-event decode path indexes a 64-entry array instead of hashing a
+// map. The tables are inverted from the encode maps at init and cannot
+// drift from them.
+type opEntry struct {
+	op Op
+	ok bool
+}
+
+var fnToOp = func() (t [64]opEntry) {
 	for op, fn := range specialFn {
-		m[fn] = op
+		t[fn] = opEntry{op, true}
 	}
-	return m
+	return
 }()
 
 var iFormatOpc = map[Op]uint32{
@@ -116,15 +125,14 @@ var iFormatOpc = map[Op]uint32{
 	BEQ: opcBEQ, BNE: opcBNE, BLEZ: opcBLEZ, BGTZ: opcBGTZ,
 }
 
-var opcToIOp = func() map[uint32]Op {
-	m := make(map[uint32]Op, len(iFormatOpc))
+var opcToIOp = func() (t [64]opEntry) {
 	for op, opc := range iFormatOpc {
 		if op == BLTZ || op == BGEZ {
 			continue
 		}
-		m[opc] = op
+		t[opc] = opEntry{op, true}
 	}
-	return m
+	return
 }()
 
 var fpFn = map[Op]uint32{
@@ -133,12 +141,11 @@ var fpFn = map[Op]uint32{
 	CVTWD: fpCVTW, CEQD: fpCEQ, CLTD: fpCLT, CLED: fpCLE,
 }
 
-var fpFnToOp = func() map[uint32]Op {
-	m := make(map[uint32]Op, len(fpFn))
+var fpFnToOp = func() (t [64]opEntry) {
 	for op, fn := range fpFn {
-		m[fn] = op
+		t[fn] = opEntry{op, true}
 	}
-	return m
+	return
 }()
 
 func regField(r Reg) uint32 {
@@ -204,11 +211,11 @@ func Decode(word uint32) (Instruction, error) {
 		if word == 0 {
 			return Instruction{Op: NOP}, nil
 		}
-		op, ok := fnToOp[fn]
-		if !ok {
+		e := fnToOp[fn]
+		if !e.ok {
 			return Instruction{}, fmt.Errorf("isa: unknown SPECIAL function %#x", fn)
 		}
-		return Instruction{Op: op, Rd: rd, Rs: rs, Rt: rt, Shamt: shamt}, nil
+		return Instruction{Op: e.op, Rd: rd, Rs: rs, Rt: rt, Shamt: shamt}, nil
 	case opcRegimm:
 		switch rt {
 		case 0:
@@ -239,10 +246,11 @@ func Decode(word uint32) (Instruction, error) {
 			}
 			return Instruction{}, fmt.Errorf("isa: unknown COP1.W function %#x", fn)
 		case cop1FmtD:
-			op, ok := fpFnToOp[fn]
-			if !ok {
+			e := fpFnToOp[fn]
+			if !e.ok {
 				return Instruction{}, fmt.Errorf("isa: unknown COP1.D function %#x", fn)
 			}
+			op := e.op
 			ins := Instruction{Op: op, Rt: F0 + rt, Rs: F0 + rd, Rd: F0 + Reg(shamt)}
 			info := op.Info()
 			if !info.ReadsRt {
@@ -256,7 +264,8 @@ func Decode(word uint32) (Instruction, error) {
 		return Instruction{}, fmt.Errorf("isa: unknown COP1 selector %#x", sel)
 	}
 
-	if op, ok := opcToIOp[opc]; ok {
+	if e := opcToIOp[opc]; e.ok {
+		op := e.op
 		ins := Instruction{Op: op, Rs: rs, Rt: rt, Imm: imm}
 		if op == LDC1 {
 			ins.Rt = F0 + rt

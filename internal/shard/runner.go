@@ -17,7 +17,9 @@ import (
 // analyzers (different configs fan out over one decode). Decode honors ctx
 // with the usual CtxCheckEvery granularity.
 func DecodeShard(ctx context.Context, data []byte, sh Shard, degraded bool) (*trace.EventBuffer, error) {
-	r, err := trace.NewSectionReader(data, sh.Start, sh.End, trace.ReaderOptions{
+	// Zero-copy section reader: chunks are CRC-verified and decoded in
+	// place out of data, with no per-shard copy of the byte range.
+	r, err := trace.NewBytesSectionReader(data, sh.Start, sh.End, trace.ReaderOptions{
 		Degraded:      degraded,
 		StartSeq:      sh.PrevSeq,
 		StartSeqValid: sh.HavePrevSeq,
@@ -27,20 +29,24 @@ func DecodeShard(ctx context.Context, data []byte, sh Shard, degraded bool) (*tr
 	}
 	buf := &trace.EventBuffer{}
 	done := ctx.Done()
-	var e trace.Event
-	for i := 0; ; i++ {
-		if done != nil && i%trace.CtxCheckEvery == 0 {
+	batch := make([]trace.Event, trace.DefaultBatchEvents)
+	for i := 0; ; {
+		if done != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("shard %d: decode canceled at event %d: %w", sh.Index, i, err)
 			}
 		}
-		if err := r.Next(&e); err != nil {
-			if err == io.EOF {
-				break
-			}
+		n, err := r.ReadBatch(batch)
+		if n > 0 {
+			_ = buf.Events(batch[:n]) // EventBuffer.Events never fails
+			i += n
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", sh.Index, err)
 		}
-		_ = buf.Event(&e) // EventBuffer.Event never fails
 	}
 	buf.SetStats(r.Stats())
 	if got := uint64(buf.Len()); got != sh.Events {
@@ -61,7 +67,7 @@ func RunShard(ctx context.Context, a *core.Analyzer, buf *trace.EventBuffer, cfg
 	if err := a.BeginShard(); err != nil {
 		return nil, nil, fmt.Errorf("shard %d: %w", sh.Index, err)
 	}
-	if err := buf.ReplayContext(ctx, a); err != nil {
+	if err := buf.ReplayBatches(ctx, a); err != nil {
 		return nil, nil, fmt.Errorf("shard %d: %w", sh.Index, err)
 	}
 	res := &Result{

@@ -32,6 +32,13 @@ func (b *EventBuffer) Event(e *Event) error {
 	return nil
 }
 
+// Events implements BatchSink: it records a copy of the whole batch with
+// one bulk append.
+func (b *EventBuffer) Events(batch []Event) error {
+	b.events = append(b.events, batch...)
+	return nil
+}
+
 // Len returns the number of recorded events.
 func (b *EventBuffer) Len() int { return len(b.events) }
 
@@ -83,6 +90,31 @@ func (b *EventBuffer) ReplayContext(ctx context.Context, sink Sink) error {
 	return nil
 }
 
+// ReplayBatches delivers the recording to sink as slices of up to
+// CtxCheckEvery events, checking ctx between batches — the zero-copy fast
+// path of ReplayContext. The batches alias the recording itself, so the
+// BatchSink contract (read-only, no retention) is what keeps concurrent
+// replays safe; hand untrusted sinks to ReplayContext instead, or wrap
+// them with AsBatch to restore the per-event copy.
+func (b *EventBuffer) ReplayBatches(ctx context.Context, sink BatchSink) error {
+	done := ctx.Done()
+	for i := 0; i < len(b.events); i += CtxCheckEvery {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace: replay canceled at event %d: %w", i, err)
+			}
+		}
+		end := i + CtxCheckEvery
+		if end > len(b.events) {
+			end = len(b.events)
+		}
+		if err := sink.Events(b.events[i:end]); err != nil {
+			return fmt.Errorf("trace: replay batch at event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // eventBufferState mirrors EventBuffer with exported fields for gob.
 // Without it, gob-encoding a buffer fails outright (no exported fields),
 // which is how shard-result files would silently lose a degraded read's
@@ -118,7 +150,7 @@ func (b *EventBuffer) GobDecode(p []byte) error {
 // what was lost.
 func ReadAll(r *Reader) (*EventBuffer, error) {
 	b := &EventBuffer{}
-	if err := r.ForEach(b.Event); err != nil {
+	if err := r.ForEachBatch(b.Events); err != nil {
 		return nil, err
 	}
 	b.stats = r.Stats()

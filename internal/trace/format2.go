@@ -179,8 +179,13 @@ func (r *Reader) decodePayloadEvent(e *Event) error {
 
 // loadChunk positions the reader on the next valid chunk's payload. It
 // returns io.EOF at a clean end of trace, a *CorruptChunkError in fail-fast
-// mode, or skips and resyncs in degraded mode.
+// mode, or skips and resyncs in degraded mode. A zero-copy reader takes the
+// in-place path in zerocopy.go; both implementations make the identical
+// sequence of accept/skip/resync decisions for identical input bytes.
 func (r *Reader) loadChunk() error {
+	if r.data != nil {
+		return r.loadChunkBytes()
+	}
 	for {
 		hdr, err := r.br.Peek(chunkHdrLen)
 		if len(hdr) == 0 {
@@ -218,7 +223,7 @@ func (r *Reader) loadChunk() error {
 		// slide the bufio buffer, invalidating hdr.
 		claimed := headerEvents(hdr, r.aligned)
 		if plen > maxChunkPayload {
-			if cerr := r.corrupt(fmt.Errorf("implausible payload length %d", plen), headerEvents(hdr, r.aligned)); cerr != nil {
+			if cerr := r.rejectOversize(plen, hdr); cerr != nil {
 				return cerr
 			}
 			if err := r.resync(); err != nil {
@@ -282,6 +287,14 @@ func headerEvents(hdr []byte, aligned bool) uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(hdr[12:16])
+}
+
+// rejectOversize is the one accounting path for a chunk header claiming an
+// implausible payload length: both the streaming and zero-copy readers
+// funnel the rejection through here, so the skipped chunk and its claimed
+// events are counted identically in ReadStats whichever reader hit it.
+func (r *Reader) rejectOversize(plen int, hdr []byte) error {
+	return r.corrupt(fmt.Errorf("implausible payload length %d", plen), headerEvents(hdr, r.aligned))
 }
 
 // corrupt handles a damaged chunk: in fail-fast mode it returns the

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// errMmapUnavailable marks the cases where memory mapping cannot be used
+// (unsupported platform, empty file) and OpenMapped should silently fall
+// back to reading the file; real mmap syscall failures are reported.
+var errMmapUnavailable = errors.New("trace: mmap unavailable")
+
+// MappedTrace is a whole trace held in memory for zero-copy reading:
+// memory-mapped where the platform supports it, otherwise read in full
+// through a plain io.ReaderAt. Close releases the mapping (or the buffer);
+// no Reader or Event obtained from the trace may be used after Close.
+type MappedTrace struct {
+	data    []byte
+	mapped  bool
+	release func() error
+}
+
+// OpenMapped opens a trace file for zero-copy reading. The file is closed
+// before OpenMapped returns — a memory mapping survives its file
+// descriptor — so the only resource to manage is the MappedTrace itself.
+func OpenMapped(path string) (*MappedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, release, err := mapFile(f)
+	if err == nil {
+		return &MappedTrace{data: data, mapped: true, release: release}, nil
+	}
+	if !errors.Is(err, errMmapUnavailable) {
+		return nil, fmt.Errorf("trace: mmap %s: %w", path, err)
+	}
+	data, err = readAllAt(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read %s: %w", path, err)
+	}
+	return &MappedTrace{data: data}, nil
+}
+
+// readAllAt reads the whole file through its io.ReaderAt interface — the
+// fallback when mapping is unavailable.
+func readAllAt(f *os.File) ([]byte, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, fi.Size())
+	n, err := io.ReadFull(io.NewSectionReader(f, 0, fi.Size()), data)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return data[:n], nil
+}
+
+// Bytes returns the trace contents. Callers must treat the slice as
+// read-only and must not use it after Close.
+func (m *MappedTrace) Bytes() []byte { return m.data }
+
+// Mapped reports whether the contents are memory-mapped (true) or were
+// read into an ordinary buffer by the fallback path (false).
+func (m *MappedTrace) Mapped() bool { return m.mapped }
+
+// Reader returns a new zero-copy Reader over the trace. Any number of
+// independent readers may be created.
+func (m *MappedTrace) Reader(o ReaderOptions) (*Reader, error) {
+	return NewBytesReader(m.data, o)
+}
+
+// Close releases the mapping or buffer. It is safe to call more than once.
+func (m *MappedTrace) Close() error {
+	rel := m.release
+	m.data, m.release = nil, nil
+	if rel != nil {
+		return rel()
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mapFile reports that memory mapping is unavailable on this platform;
+// OpenMapped falls back to reading the file through io.ReaderAt.
+func mapFile(*os.File) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnavailable
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps f read-only. The returned release function unmaps;
+// the data must not be accessed after calling it. Mapping a zero-length
+// file is an error on most systems, so empty files report mmap as
+// unavailable and the caller falls back to a plain read.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, errMmapUnavailable
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

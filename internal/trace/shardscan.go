@@ -39,7 +39,9 @@ type ChunkSpan struct {
 // that deliver no events (empty flush markers, duplicates, damage) never
 // appear as spans — they belong to whatever shard contains their bytes.
 func ScanChunkSpans(data []byte, degraded bool) ([]ChunkSpan, ReadStats, error) {
-	r, err := NewReaderOpts(bytes.NewReader(data), ReaderOptions{Degraded: degraded})
+	// The scan drives the zero-copy reader: the trace is already in
+	// memory, so planning decodes it in place without a bufio pass.
+	r, err := NewBytesReader(data, ReaderOptions{Degraded: degraded})
 	if err != nil {
 		return nil, ReadStats{}, err
 	}

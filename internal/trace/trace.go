@@ -302,6 +302,13 @@ type Reader struct {
 	lastSeq  uint32
 	haveSeq  bool
 	stats    ReadStats
+
+	// Zero-copy mode (see zerocopy.go): when data is non-nil the whole v2
+	// trace is in memory, off doubles as the cursor into it, dataEnd bounds
+	// the readable region (a section reader stops short of len(data)), and
+	// payload aliases data instead of being copied.
+	data    []byte
+	dataEnd int64
 }
 
 // ReaderOptions configures NewReaderOpts.

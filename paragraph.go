@@ -185,7 +185,7 @@ func AnalyzeTraceFileOpts(r io.Reader, cfg Config, opts AnalyzeOptions) (*Result
 		return nil, err
 	}
 	a := core.NewAnalyzer(cfg)
-	if err := tr.ForEach(a.Event); err != nil {
+	if err := tr.ForEachBatch(a.Events); err != nil {
 		return nil, err
 	}
 	if opts.Stats != nil {
