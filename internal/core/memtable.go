@@ -192,27 +192,59 @@ func (t *memTable) grow() {
 	t.migrate()
 }
 
-// migrate advances a pending migration by up to memMigrateStep source
-// slots, releasing the predecessor once it is empty.
+// migrate advances a pending migration by at least memMigrateStep source
+// slots, releasing the predecessor once it is empty. The frontier only ever
+// rests on an empty old slot: stopping mid-cluster would break the probe
+// chain of any key stored past the frontier whose home slot precedes it
+// (old.find would die at the cleared home slot and report the key absent),
+// so after the bounded sweep the scan continues until it clears a whole
+// number of probe clusters. The wrap-around cluster at the array end needs
+// no special casing — its tail (slots [0,e)) is cleared whole by the first
+// sweep, and every key remaining in its head has home and storage both in
+// the head (a forward probe cannot cross the empty slot that bounds it).
 func (t *memTable) migrate() {
 	if t.old == nil {
 		return
 	}
-	limit := t.oldScan + memMigrateStep
 	end := uint32(len(t.old.keys))
+	limit := t.oldScan + memMigrateStep
 	if limit > end {
 		limit = end
 	}
-	for ; t.oldScan < limit; t.oldScan++ {
-		if t.old.used[t.oldScan] {
-			t.insert(t.old.keys[t.oldScan], t.old.vals[t.oldScan])
-			t.old.used[t.oldScan] = false
-			t.old.n--
-		}
+	for t.oldScan < limit {
+		t.migrateSlot()
 	}
-	if t.oldScan >= end || t.old.n == 0 {
+	for t.oldScan < end && t.old.used[t.oldScan] {
+		t.migrateSlot()
+	}
+	if t.old.n == 0 {
+		t.old = nil
+		return
+	}
+	if t.oldScan >= end {
+		// Invariant violation: the scan cleared every slot yet the entry
+		// count says records remain (backward-shift deletes cannot move an
+		// entry across the empty slot the frontier rests on). Rescue with a
+		// full sweep rather than dropping live records, then release.
+		for i := range t.old.used {
+			if t.old.used[i] {
+				t.insert(t.old.keys[i], t.old.vals[i])
+				t.old.used[i] = false
+			}
+		}
 		t.old = nil
 	}
+}
+
+// migrateSlot moves one predecessor slot into the main table and advances
+// the frontier past it.
+func (t *memTable) migrateSlot() {
+	if t.old.used[t.oldScan] {
+		t.insert(t.old.keys[t.oldScan], t.old.vals[t.oldScan])
+		t.old.used[t.oldScan] = false
+		t.old.n--
+	}
+	t.oldScan++
 }
 
 // drain completes any pending migration in one go.

@@ -123,6 +123,108 @@ func TestMemTableQuick(t *testing.T) {
 	}
 }
 
+// homedKeys returns n distinct non-zero keys whose home slot under mask is
+// home (brute-forced; the Fibonacci multiplier spreads hits evenly so the
+// search stays tiny).
+func homedKeys(home, mask uint32, n int) []uint32 {
+	keys := make([]uint32, 0, n)
+	for k := uint32(1); len(keys) < n; k++ {
+		if (k*2654435769)&mask == home {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// TestMemTableMigrationClusterStraddle is the regression test for the
+// incremental-migration probe-chain bug: clusters of colliding keys are
+// packed so they straddle every memMigrateStep multiple of the initial
+// table, plus the wrap-around cluster at the array end, the table is pushed
+// through the 256->512 growth, and full get/put/del equivalence against a
+// reference map is asserted at every step while the migration is pending.
+// With a frontier that stops mid-cluster, a key stored past the frontier
+// whose home slot precedes it vanishes from get (old.find dies at its
+// cleared home slot), which this test observes immediately after growth.
+func TestMemTableMigrationClusterStraddle(t *testing.T) {
+	const mask = memTableMinCap - 1
+	var keys []uint32
+	// Clusters [b-6, b+5] straddling each migration-step boundary b.
+	for b := uint32(memMigrateStep); b < memTableMinCap; b += memMigrateStep {
+		keys = append(keys, homedKeys(b-6, mask, 12)...)
+	}
+	// Wrap-around cluster spanning the array end: slots [252..255, 0..5].
+	keys = append(keys, homedKeys(memTableMinCap-4, mask, 10)...)
+	// Filler homed clear of the crafted clusters, enough that the next
+	// insert crosses the 3/4 load ceiling and starts a migration.
+	for h := uint32(8); len(keys) < 3*memTableMinCap/4 && h < memTableMinCap; h += 2 {
+		if h%memMigrateStep < 8 || h%memMigrateStep > 48 {
+			continue
+		}
+		keys = append(keys, homedKeys(h, mask, 2)...)
+	}
+	var tab memTable
+	ref := make(map[uint32]value)
+	for i, k := range keys {
+		v := value{level: int64(i + 1), lastUse: int64(i), uses: uint32(i)}
+		tab.put(k, v)
+		ref[k] = v
+	}
+	if tab.old != nil {
+		t.Fatal("migration started before the load ceiling was crossed")
+	}
+	// Crafted keys are brute-forced from 1 upward, so anything >= 1<<20 is
+	// guaranteed fresh.
+	next := uint32(1 << 20)
+	tab.put(next, value{level: -1})
+	ref[next] = value{level: -1}
+	next++
+	if tab.old == nil {
+		t.Fatal("growth did not leave a migration pending")
+	}
+	checkAll := func(step int) {
+		t.Helper()
+		if tab.len() != len(ref) {
+			t.Fatalf("step %d: len = %d want %d", step, tab.len(), len(ref))
+		}
+		for k, want := range ref {
+			if got, ok := tab.get(k); !ok || got != want {
+				t.Fatalf("step %d (migration pending: %v): get(%d) = %v,%v want %v,true",
+					step, tab.old != nil, k, got, ok, want)
+			}
+		}
+	}
+	checkAll(0)
+	for step := 1; tab.old != nil; step++ {
+		// Delete a crafted key (often still unmigrated, past the frontier)
+		// and insert a fresh one; each mutating call advances the frontier.
+		k := keys[len(keys)-1]
+		keys = keys[:len(keys)-1]
+		if !tab.del(k) {
+			t.Fatalf("step %d: del(%d) reported absent", step, k)
+		}
+		delete(ref, k)
+		v := value{level: int64(1000 + step)}
+		tab.put(next, v)
+		ref[next] = v
+		next++
+		checkAll(step)
+	}
+	checkAll(-1)
+	// The drain must leave exactly one copy of every key: the original bug
+	// made memRead fabricate a fresh record for an invisible key, and the
+	// later migration re-inserted the stale copy as a duplicate.
+	seen := make(map[uint32]bool, len(ref))
+	tab.forEach(func(key uint32, v value) {
+		if seen[key] {
+			t.Fatalf("forEach visited key %d twice after drain", key)
+		}
+		seen[key] = true
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("forEach visited %d keys, want %d", len(seen), len(ref))
+	}
+}
+
 // TestMemTableClone verifies clone independence, including a clone taken
 // mid-migration.
 func TestMemTableClone(t *testing.T) {
