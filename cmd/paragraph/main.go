@@ -34,6 +34,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +51,7 @@ import (
 	"paragraph/internal/cpu"
 	"paragraph/internal/harness"
 	"paragraph/internal/minic"
+	"paragraph/internal/remote"
 	"paragraph/internal/shard"
 	"paragraph/internal/stats"
 	"paragraph/internal/trace"
@@ -58,7 +60,7 @@ import (
 
 func main() {
 	var (
-		traceFile = flag.String("trace", "", "stored trace file to analyze")
+		traceFile = flag.String("trace", "", "stored trace file to analyze (local path or http(s) URL; remote traces are fetched with resumable ranged retries)")
 		workload  = flag.String("workload", "", "built-in workload to trace and analyze")
 		srcFile   = flag.String("src", "", "MiniC source to trace and analyze")
 		asmFile   = flag.String("asm", "", "assembly source to trace and analyze")
@@ -94,6 +96,7 @@ func main() {
 		autosave      = flag.String("autosave", "", "with -trace: periodically save a resumable checkpoint to this file")
 		autosaveEvery = flag.Uint64("autosave-every", 1_000_000, "events between autosaved checkpoints")
 		resume        = flag.Bool("resume", false, "with -trace and -autosave: resume from the saved checkpoint instead of starting over")
+		retryReads    = flag.Bool("retry-reads", false, "with -trace: retry transient read errors with jittered backoff instead of failing fast")
 	)
 	flag.Parse()
 
@@ -102,6 +105,20 @@ func main() {
 	// with -autosave the last checkpoint survives for -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// A remote -trace URL is fetched once up front — with resumable Range
+	// requests and retried transient faults — into a temp file every
+	// downstream path (streaming, mmap, shards, sweeps) reads like a local
+	// trace. The fetch accounting goes to stderr so flaky-network runs are
+	// visible.
+	if *traceFile != "" && remote.IsURL(*traceFile) {
+		local, cleanup, err := fetchRemoteTrace(ctx, *traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer cleanup()
+		*traceFile = local
+	}
 
 	cfg := core.Config{
 		WindowSize:      *window,
@@ -214,6 +231,9 @@ func main() {
 			opts.OnCheckpoint = func(cp *core.Checkpoint) error {
 				return core.SaveCheckpoint(*autosave, cp)
 			}
+			// An interrupt (Ctrl-C, SIGTERM) flushes one final checkpoint
+			// at the interruption point, so -resume loses no progress.
+			opts.FinalOnCancel = true
 		}
 		var res *core.Result
 		if *resume {
@@ -225,7 +245,7 @@ func main() {
 				*autosave, stats.FormatInt(int64(cp.EventOffset)))
 			res, err = core.ResumeTwoPass(ctx, rs, cp, opts)
 			if err != nil {
-				fatal(err)
+				failAnalysis(err, *autosave)
 			}
 		} else {
 			run := core.AnalyzeTraceOpts
@@ -234,7 +254,7 @@ func main() {
 			}
 			r, err := run(ctx, rs, cfg, opts)
 			if err != nil {
-				fatal(err)
+				failAnalysis(err, *autosave)
 			}
 			res = r
 		}
@@ -251,7 +271,7 @@ func main() {
 
 	switch {
 	case *traceFile != "":
-		tr, closeTrace, err := openTrace(*traceFile, *useMmap, *degraded)
+		tr, retryStats, closeTrace, err := openTrace(*traceFile, *useMmap, *degraded, *retryReads)
 		if err != nil {
 			fatal(err)
 		}
@@ -273,6 +293,7 @@ func main() {
 			fatal(err)
 		}
 		reportSkips(tr.Stats())
+		reportRetries(retryStats)
 	default:
 		prog, err := buildProgram(*workload, *srcFile, *asmFile, *scale)
 		if err != nil {
@@ -311,7 +332,7 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 
 	var buf *trace.EventBuffer
 	if traceFile != "" {
-		tr, closeTrace, err := openTrace(traceFile, useMmap, degraded)
+		tr, _, closeTrace, err := openTrace(traceFile, useMmap, degraded, false)
 		if err != nil {
 			fatal(err)
 		}
@@ -423,31 +444,108 @@ func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, wo
 
 // openTrace opens a stored trace for reading, memory-mapped and zero-copy
 // when useMmap is set (with a transparent buffered-read fallback on
-// platforms without mmap), streaming through bufio otherwise. The returned
-// closure releases the file or mapping once reading is done.
-func openTrace(path string, useMmap, degraded bool) (*trace.Reader, func(), error) {
+// platforms without mmap), streaming through bufio otherwise. With retry,
+// the streaming read path absorbs transient I/O errors with jittered
+// backoff; the returned stats closure (nil when no retry layer is active)
+// reports what was absorbed. The close closure releases the file or
+// mapping once reading is done.
+func openTrace(path string, useMmap, degraded, retry bool) (*trace.Reader, func() trace.RetryStats, func(), error) {
 	if useMmap {
+		// A mapping has no read syscalls left to retry.
 		m, err := trace.OpenMapped(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		r, err := m.Reader(trace.ReaderOptions{Degraded: degraded})
 		if err != nil {
 			m.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return r, func() { m.Close() }, nil
+		return r, nil, func() { m.Close() }, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	r, err := trace.NewReaderOpts(f, trace.ReaderOptions{Degraded: degraded})
+	var src io.Reader = f
+	var statsFn func() trace.RetryStats
+	if retry {
+		rr := trace.NewRetryReader(f, trace.RetryOptions{})
+		src = rr
+		statsFn = rr.Stats
+	}
+	r, err := trace.NewReaderOpts(src, trace.ReaderOptions{Degraded: degraded})
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return r, func() { f.Close() }, nil
+	return r, statsFn, func() { f.Close() }, nil
+}
+
+// reportRetries surfaces the streaming read path's retry accounting when a
+// -retry-reads run actually absorbed faults; quiet runs stay quiet.
+func reportRetries(statsFn func() trace.RetryStats) {
+	if statsFn == nil {
+		return
+	}
+	st := statsFn()
+	if st.Retries == 0 && st.GaveUp == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"paragraph: retried %d transient read error(s) over %d extra attempt(s), %v backing off\n",
+		st.Retries, st.Attempts, st.Slept.Round(time.Millisecond))
+	if st.GaveUp > 0 {
+		fmt.Fprintf(os.Stderr, "paragraph: warning: %d read(s) still failed after all retries\n", st.GaveUp)
+	}
+}
+
+// fetchRemoteTrace downloads a remote trace into a temp file using the
+// resumable ranged reader, reporting the transfer and its fault accounting
+// on stderr. The cleanup closure removes the temp file.
+func fetchRemoteTrace(ctx context.Context, url string) (string, func(), error) {
+	src, err := remote.Open(ctx, url, remote.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	data, err := src.FetchAll(ctx)
+	st := src.Stats()
+	if st.Retries > 0 || st.Resumes > 0 {
+		fmt.Fprintf(os.Stderr, "paragraph: remote fetch: %d request(s), %d retried, %d resumed mid-body, %d throttled\n",
+			st.Requests, st.Retries, st.Resumes, st.Throttled)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	f, err := os.CreateTemp("", "paragraph-remote-*.pgt")
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", nil, err
+	}
+	fmt.Fprintf(os.Stderr, "paragraph: fetched %s trace bytes from %s\n",
+		stats.FormatInt(int64(len(data))), url)
+	return f.Name(), func() { os.Remove(f.Name()) }, nil
+}
+
+// failAnalysis reports an analysis failure and exits. For an interrupted
+// run that left a resumable checkpoint behind, it names the checkpoint and
+// the flag that continues from it instead of printing a bare error.
+func failAnalysis(err error, autosave string) {
+	if autosave != "" && errors.Is(err, context.Canceled) {
+		if _, serr := os.Stat(autosave); serr == nil {
+			fmt.Fprintf(os.Stderr, "paragraph: interrupted; checkpoint saved to %s — rerun with -resume to continue\n", autosave)
+			os.Exit(1)
+		}
+	}
+	fatal(err)
 }
 
 // reportSkips warns on stderr when a degraded-mode read lost events; the

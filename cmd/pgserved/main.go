@@ -1,0 +1,94 @@
+// Command pgserved is the paragraph analysis daemon: an HTTP/JSON service
+// that registers traces (local paths or remote URLs), queues sharded
+// analysis jobs, and runs them on a supervised worker pool with per-shard
+// retry, panic containment and crash-safe persistence. Kill it at any
+// instant and a restart over the same state directory resumes every
+// in-flight job from its last completed shard.
+//
+// Endpoints:
+//
+//	POST /v1/traces            register a trace {"location": <path or URL>}
+//	GET  /v1/traces            list registered traces
+//	POST /v1/jobs              submit {"trace": id, "config": {...}, "shards": n}
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status with per-shard progress and retry stats
+//	GET  /v1/jobs/{id}/result  merged result (JSON summary, ?format=gob for exact)
+//	GET  /healthz, /readyz     liveness; readiness goes false while draining
+//
+// SIGINT/SIGTERM drains cleanly: running jobs stop at the next shard
+// boundary with their state persisted, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paragraph/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8321", "listen address")
+		stateDir      = flag.String("state", "", "state directory (required; created if missing)")
+		workers       = flag.Int("workers", 2, "concurrent analysis jobs")
+		shardAttempts = flag.Int("shard-attempts", 3, "per-shard retry budget")
+		shardTimeout  = flag.Duration("shard-timeout", 0, "deadline per shard attempt (0 = none)")
+		retryBase     = flag.Duration("retry-base", 50*time.Millisecond, "supervisor backoff base")
+		seed          = flag.Int64("seed", 0, "backoff jitter seed")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for running shards on shutdown")
+	)
+	flag.Parse()
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "pgserved: -state is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Options{
+		StateDir:      *stateDir,
+		Workers:       *workers,
+		ShardAttempts: *shardAttempts,
+		ShardTimeout:  *shardTimeout,
+		RetryBase:     *retryBase,
+		Seed:          *seed,
+	})
+	if err != nil {
+		log.Fatalf("pgserved: %v", err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("pgserved: serving on %s (state %s)", *addr, *stateDir)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("pgserved: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("pgserved: draining (up to %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("pgserved: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("pgserved: http shutdown: %v", err)
+	}
+	log.Printf("pgserved: stopped")
+}

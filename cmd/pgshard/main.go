@@ -27,6 +27,7 @@ import (
 
 	"paragraph/internal/budget"
 	"paragraph/internal/core"
+	"paragraph/internal/remote"
 	"paragraph/internal/shard"
 	"paragraph/internal/stats"
 	"paragraph/internal/trace"
@@ -40,7 +41,7 @@ func main() {
 	defer stop()
 	switch os.Args[1] {
 	case "split":
-		runSplit(os.Args[2:])
+		runSplit(ctx, os.Args[2:])
 	case "analyze":
 		runAnalyze(ctx, os.Args[2:])
 	case "merge":
@@ -64,9 +65,9 @@ Run 'pgshard analyze -h' for the analysis flags (they mirror paragraph).
 	os.Exit(2)
 }
 
-func runSplit(args []string) {
+func runSplit(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("pgshard split", flag.ExitOnError)
-	traceFile := fs.String("trace", "", "stored v2 trace file to split")
+	traceFile := fs.String("trace", "", "stored v2 trace to split (local path or http(s) URL)")
 	shards := fs.Int("shards", 0, "number of shards to plan")
 	degraded := fs.Bool("degraded", false, "tolerate corrupt chunks; shards skip them exactly as a monolithic degraded read would")
 	useMmap := fs.Bool("mmap", false, "memory-map the trace instead of reading it into the heap")
@@ -75,7 +76,7 @@ func runSplit(args []string) {
 	if *traceFile == "" || *shards < 1 {
 		fatal(fmt.Errorf("split needs -trace and -shards >= 1"))
 	}
-	data, closeTrace, err := readTrace(*traceFile, *useMmap)
+	data, closeTrace, err := readTrace(ctx, *traceFile, *useMmap)
 	if err != nil {
 		fatal(err)
 	}
@@ -181,7 +182,7 @@ func runAnalyze(ctx context.Context, args []string) {
 	if *shardIdx >= len(plan.Shards) {
 		fatal(fmt.Errorf("plan has %d shard(s); no shard %d", len(plan.Shards), *shardIdx))
 	}
-	data, closeTrace, err := readTrace(*traceFile, *useMmap)
+	data, closeTrace, err := readTrace(ctx, *traceFile, *useMmap)
 	if err != nil {
 		fatal(err)
 	}
@@ -236,13 +237,9 @@ func runMerge(args []string) {
 	if len(files) == 0 {
 		fatal(fmt.Errorf("merge needs the shard result files as arguments"))
 	}
-	parts := make([]*shard.Result, len(files))
-	for i, f := range files {
-		var err error
-		parts[i], _, err = shard.LoadResult(f)
-		if err != nil {
-			fatal(err)
-		}
+	parts, err := loadParts(files)
+	if err != nil {
+		fatal(err)
 	}
 	res, rs, err := shard.Merge(parts)
 	if err != nil {
@@ -253,11 +250,44 @@ func runMerge(args []string) {
 	}
 }
 
-// readTrace loads the trace bytes, either by mapping the file (zero-copy,
-// shared page cache across concurrent shard processes) or by reading it
-// whole. The closure releases the mapping; it must outlive every use of
-// the returned bytes.
-func readTrace(path string, useMmap bool) ([]byte, func(), error) {
+// loadParts loads every shard-result file for a merge. A file that is
+// missing, truncated, or from a different format version fails the whole
+// merge with an error naming that file — a bad shard in a long argument
+// list must be identifiable, and a partial merge would silently misreport
+// the trace.
+func loadParts(files []string) ([]*shard.Result, error) {
+	parts := make([]*shard.Result, len(files))
+	for i, f := range files {
+		res, _, err := shard.LoadResult(f)
+		if err != nil {
+			return nil, fmt.Errorf("merge: %s: %w", f, err)
+		}
+		parts[i] = res
+	}
+	return parts, nil
+}
+
+// readTrace loads the trace bytes: a remote URL is fetched whole through
+// the resumable ranged reader (with its fault accounting reported on
+// stderr), a local file is either mapped (zero-copy, shared page cache
+// across concurrent shard processes) or read whole. The closure releases
+// the mapping; it must outlive every use of the returned bytes.
+func readTrace(ctx context.Context, path string, useMmap bool) ([]byte, func(), error) {
+	if remote.IsURL(path) {
+		src, err := remote.Open(ctx, path, remote.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := src.FetchAll(ctx)
+		if st := src.Stats(); st.Retries > 0 || st.Resumes > 0 {
+			fmt.Fprintf(os.Stderr, "pgshard: remote fetch: %d request(s), %d retried, %d resumed mid-body, %d throttled\n",
+				st.Requests, st.Retries, st.Resumes, st.Throttled)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return data, func() {}, nil
+	}
 	if useMmap {
 		m, err := trace.OpenMapped(path)
 		if err != nil {

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"paragraph/internal/core"
+	"paragraph/internal/isa"
+	"paragraph/internal/shard"
+	"paragraph/internal/trace"
+)
+
+// synthTrace builds a deterministic mixed-instruction trace with small
+// chunks, so a few thousand events split cleanly into multiple shards.
+func synthTrace(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriterOpts(&buf, trace.WriterOptions{ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pc := uint32(0x400000)
+	for i := 0; i < n; i++ {
+		var e trace.Event
+		switch rng.Intn(4) {
+		case 0:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.ADDI, Rt: isa.T0, Rs: isa.T1, Imm: int32(rng.Intn(32))}}
+		case 1:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.LW, Rt: isa.T2, Rs: isa.GP},
+				MemAddr: 0x10000000 + uint32(rng.Intn(1<<10))*4, MemSize: 4, Seg: trace.SegData}
+		case 2:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.SW, Rt: isa.T0, Rs: isa.GP},
+				MemAddr: 0x10000000 + uint32(rng.Intn(1<<10))*4, MemSize: 4, Seg: trace.SegData}
+		default:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.BNE, Rs: isa.T0, Rt: isa.Zero, Imm: -8},
+				Taken: rng.Intn(2) == 0}
+		}
+		if err := w.Event(&e); err != nil {
+			t.Fatal(err)
+		}
+		pc += 4
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// writeShardResults runs the full split/analyze pipeline over a synthetic
+// trace and writes one valid result file per shard into dir, exactly as
+// `pgshard analyze` invocations would.
+func writeShardResults(t *testing.T, dir string, shards int) ([]string, []byte, core.Config) {
+	t.Helper()
+	data := synthTrace(t, 4000, 3)
+	cfg := core.Config{RenameRegisters: true, RenameStack: true, RenameData: true}
+	plan, err := shard.Split(data, shards, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var prev *core.Checkpoint
+	var files []string
+	for i, sh := range plan.Shards {
+		buf, err := shard.DecodeShard(ctx, data, sh, false)
+		if err != nil {
+			t.Fatalf("shard %d: decode: %v", i, err)
+		}
+		var a *core.Analyzer
+		if prev == nil {
+			a = core.NewAnalyzer(cfg)
+		} else {
+			a = prev.Restore()
+		}
+		res, cp, err := shard.RunShard(ctx, a, buf, cfg, sh, len(plan.Shards), i < len(plan.Shards)-1)
+		if err != nil {
+			t.Fatalf("shard %d: run: %v", i, err)
+		}
+		f := filepath.Join(dir, fmt.Sprintf("shard-%d.pgsr", i))
+		if err := shard.SaveResult(f, res, cp); err != nil {
+			t.Fatalf("shard %d: save: %v", i, err)
+		}
+		prev = cp
+		files = append(files, f)
+	}
+	return files, data, cfg
+}
+
+func TestLoadPartsMergeMatchesMonolithic(t *testing.T) {
+	dir := t.TempDir()
+	files, data, cfg := writeShardResults(t, dir, 3)
+	parts, err := loadParts(files)
+	if err != nil {
+		t.Fatalf("loadParts: %v", err)
+	}
+	merged, _, err := shard.Merge(parts)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	want, _, err := shard.Analyze(context.Background(), data, cfg, 1, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Errorf("merged result differs from monolithic run:\n got %+v\nwant %+v", merged, want)
+	}
+}
+
+func TestLoadPartsMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	files, _, _ := writeShardResults(t, dir, 2)
+	bad := filepath.Join(dir, "shard-9.pgsr")
+	files[1] = bad
+	parts, err := loadParts(files)
+	if err == nil {
+		t.Fatal("loadParts accepted a missing shard file")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the missing file %s", err, bad)
+	}
+	if parts != nil {
+		t.Error("loadParts returned partial results alongside an error")
+	}
+}
+
+func TestLoadPartsTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	files, _, _ := writeShardResults(t, dir, 2)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := loadParts(files)
+	if err == nil {
+		t.Fatal("loadParts accepted a truncated shard file")
+	}
+	if !strings.Contains(err.Error(), files[0]) {
+		t.Errorf("error %q does not name the truncated file %s", err, files[0])
+	}
+	if parts != nil {
+		t.Error("loadParts returned partial results alongside an error")
+	}
+}
+
+func TestLoadPartsVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	files, _, _ := writeShardResults(t, dir, 2)
+	skewed := filepath.Join(dir, "old-format.pgsr")
+	if err := os.WriteFile(skewed, []byte("pgshard-result-v0\nnot-our-gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files[0] = skewed
+	parts, err := loadParts(files)
+	if err == nil {
+		t.Fatal("loadParts accepted a version-skewed shard file")
+	}
+	if !strings.Contains(err.Error(), skewed) {
+		t.Errorf("error %q does not name the skewed file %s", err, skewed)
+	}
+	if !strings.Contains(err.Error(), "magic") {
+		t.Errorf("error %q does not explain the format mismatch", err)
+	}
+	if parts != nil {
+		t.Error("loadParts returned partial results alongside an error")
+	}
+}

@@ -113,8 +113,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var st *store
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "specrun:", err)
+		// An interrupt mid-run is not lost work when autosave is on: every
+		// finished row was already flushed atomically. Say so, and name the
+		// flag that picks the run back up.
+		if st != nil && errors.Is(err, context.Canceled) {
+			fmt.Fprintf(stderr, "specrun: interrupted; %d finished row(s) saved to %s — rerun with -resume to continue\n",
+				len(st.rows), *autosave)
+		}
 		return 1
 	}
 
@@ -154,7 +162,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *resume && *autosave == "" {
 		return fail(fmt.Errorf("-resume needs -autosave to name the row store"))
 	}
-	var st *store
 	if *autosave != "" {
 		var err error
 		st, err = openStore(*autosave, *resume)

@@ -159,6 +159,11 @@ type TwoPassOptions struct {
 	// accounting on successful return — the exact number of events lost
 	// to corrupt chunks in degraded mode.
 	Stats *trace.ReadStats
+	// FinalOnCancel flushes one last snapshot through OnCheckpoint when
+	// the analysis pass observes cancellation, so an interrupted run
+	// (Ctrl-C, SIGTERM) resumes from the interruption point instead of the
+	// last periodic checkpoint. Ignored when OnCheckpoint is nil.
+	FinalOnCancel bool
 }
 
 // AnalyzeTwoPass runs the paper's Method-1 pipeline over a stored trace:
@@ -283,6 +288,11 @@ func runAnalysisPass(ctx context.Context, a *Analyzer, r *trace.Reader, idx uint
 	batch := make([]trace.Event, trace.DefaultBatchEvents)
 	for {
 		if err := ctx.Err(); err != nil {
+			if opts.FinalOnCancel && opts.OnCheckpoint != nil && idx > 0 {
+				if serr := opts.OnCheckpoint(a.Snapshot()); serr != nil {
+					return nil, fmt.Errorf("core: final checkpoint at event %d: %w", idx, serr)
+				}
+			}
 			return nil, fmt.Errorf("core: analysis canceled at event %d: %w", idx, err)
 		}
 		want := len(batch)

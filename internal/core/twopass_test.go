@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"io"
+	"reflect"
 	"testing"
 
 	"paragraph/internal/isa"
@@ -212,5 +215,94 @@ func TestStorageProfileWithEviction(t *testing.T) {
 	}
 	if peak > 8 {
 		t.Errorf("evicted occupancy peak %.1f, want small", peak)
+	}
+}
+
+// cancelAfter is a ReadSeeker that fires cancel once cumulative bytes read
+// cross a threshold — a deterministic stand-in for a signal arriving while
+// the analysis pass is mid-trace.
+type cancelAfter struct {
+	rs        io.ReadSeeker
+	threshold int64
+	read      int64
+	cancel    context.CancelFunc
+}
+
+func (c *cancelAfter) Read(p []byte) (int, error) {
+	n, err := c.rs.Read(p)
+	c.read += int64(n)
+	if c.read >= c.threshold && c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	return n, err
+}
+
+func (c *cancelAfter) Seek(offset int64, whence int) (int64, error) {
+	return c.rs.Seek(offset, whence)
+}
+
+// TestFinalCheckpointOnCancel: with FinalOnCancel set, a pass that observes
+// cancellation flushes one last snapshot through OnCheckpoint — even when no
+// periodic checkpoint ever fired — and resuming from it reproduces the
+// uninterrupted result exactly.
+func TestFinalCheckpointOnCancel(t *testing.T) {
+	events := sweepTrace(256, 40) // ~30k events: many read batches
+	rd := storeTrace(t, events)
+
+	cfg := Dataflow(SyscallConservative)
+	cfg.Lifetimes = true
+
+	want, err := AnalyzeTraceOpts(context.Background(), rd, cfg, TwoPassOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cr := &cancelAfter{rs: rd, threshold: rd.Size() / 2, cancel: cancel}
+	var final *Checkpoint
+	var flushes int
+	_, err = AnalyzeTraceOpts(ctx, cr, cfg, TwoPassOptions{
+		CheckpointEvery: 1 << 30, // periodic checkpoints never fire
+		OnCheckpoint: func(cp *Checkpoint) error {
+			final = cp
+			flushes++
+			return nil
+		},
+		FinalOnCancel: true,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if flushes != 1 || final == nil {
+		t.Fatalf("OnCheckpoint fired %d times, want exactly the final flush", flushes)
+	}
+	if final.EventOffset == 0 || final.EventOffset >= uint64(len(events)) {
+		t.Fatalf("final checkpoint at event %d of %d: not mid-trace", final.EventOffset, len(events))
+	}
+
+	got, err := ResumeTwoPass(context.Background(), rd, final, TwoPassOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed result differs from uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Without FinalOnCancel the same interruption saves nothing.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	cr2 := &cancelAfter{rs: rd, threshold: rd.Size() / 2, cancel: cancel2}
+	flushes = 0
+	_, err = AnalyzeTraceOpts(ctx2, cr2, cfg, TwoPassOptions{
+		CheckpointEvery: 1 << 30,
+		OnCheckpoint:    func(*Checkpoint) error { flushes++; return nil },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if flushes != 0 {
+		t.Errorf("OnCheckpoint fired %d times without FinalOnCancel, want 0", flushes)
 	}
 }

@@ -1,0 +1,239 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"math/rand"
+)
+
+// ChaosOptions configures a ChaosTransport. Probabilities are per request
+// and evaluated in the order throttle, cut, truncate; at most one fault
+// fires per request. All randomness is seeded, so a failing test reproduces
+// from its seed alone.
+type ChaosOptions struct {
+	// Seed seeds the fault PRNG.
+	Seed int64
+	// ThrottleP is the probability a request is answered with a synthetic
+	// 429 or 503 (alternating by the PRNG) instead of being forwarded.
+	ThrottleP float64
+	// CutP is the probability the response body disconnects mid-stream:
+	// after a seeded fraction of the body, reads fail with a *CutError
+	// (the classic "connection reset" mid-download).
+	CutP float64
+	// TruncateP is the probability the response body ends early with a
+	// clean io.EOF before the announced length — a truncated download the
+	// client can only detect by counting bytes.
+	TruncateP float64
+	// Delay, when non-zero, adds a seeded latency in [0, Delay) to every
+	// request before it is answered (slow-server simulation).
+	Delay time.Duration
+	// MaxFaults stops injecting after this many faults; 0 is unlimited.
+	MaxFaults int
+}
+
+// ChaosStats counts what a ChaosTransport injected.
+type ChaosStats struct {
+	// Requests is the number of requests that passed through.
+	Requests int
+	// Throttled counts synthetic 429/503 responses.
+	Throttled int
+	// Cut counts bodies that were disconnected mid-stream.
+	Cut int
+	// Truncated counts bodies that ended early with a clean EOF.
+	Truncated int
+	// Delayed is the total injected latency.
+	Delayed time.Duration
+}
+
+// CutError is the body-read failure injected by a mid-stream disconnect.
+// It advertises itself retryable via the Temporary() convention, exactly
+// like a real connection reset surfaces through the net package.
+type CutError struct {
+	// After is the number of body bytes delivered before the cut.
+	After int64
+}
+
+func (e *CutError) Error() string {
+	return fmt.Sprintf("faultinject: connection cut after %d body bytes", e.After)
+}
+
+// Temporary marks the error retryable.
+func (e *CutError) Temporary() bool { return true }
+
+// ChaosTransport is a fault-injecting http.RoundTripper: it forwards
+// requests to an inner transport while injecting seeded throttling
+// responses, mid-body disconnects, truncated bodies and latency. It is the
+// network-layer sibling of CorruptReader/TransientReader — the tool for
+// proving that a remote trace consumer survives a hostile network, not
+// just clean loopback.
+//
+// The transport is safe for concurrent use; the PRNG draws are serialized.
+// Each request consumes a fixed number of draws, so the fault sequence for
+// the Nth request depends only on the seed and N, not on timing.
+type ChaosTransport struct {
+	// Inner is the transport requests are forwarded to; nil selects
+	// http.DefaultTransport.
+	Inner http.RoundTripper
+
+	opts ChaosOptions
+	mu   sync.Mutex
+	rng  *rand.Rand
+	st   ChaosStats
+}
+
+// NewChaosTransport builds a ChaosTransport over inner with the given
+// options.
+func NewChaosTransport(inner http.RoundTripper, opts ChaosOptions) *ChaosTransport {
+	return &ChaosTransport{Inner: inner, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Stats returns the faults injected so far.
+func (t *ChaosTransport) Stats() ChaosStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st
+}
+
+// plan is one request's pre-drawn randomness: drawing a fixed vector per
+// request keeps the PRNG stream aligned whatever branches fire.
+type chaosPlan struct {
+	delayFrac float64
+	faultP    float64
+	cutFrac   float64
+	alt       bool // alternates 429 vs 503
+	inject    bool // fault budget still open
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	p := chaosPlan{
+		delayFrac: t.rng.Float64(),
+		faultP:    t.rng.Float64(),
+		cutFrac:   t.rng.Float64(),
+		alt:       t.rng.Intn(2) == 0,
+		inject:    t.opts.MaxFaults == 0 || t.st.Throttled+t.st.Cut+t.st.Truncated < t.opts.MaxFaults,
+	}
+	t.st.Requests++
+	var delay time.Duration
+	if t.opts.Delay > 0 {
+		delay = time.Duration(p.delayFrac * float64(t.opts.Delay))
+		t.st.Delayed += delay
+	}
+	t.mu.Unlock()
+
+	if delay > 0 {
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+
+	if p.inject && p.faultP < t.opts.ThrottleP {
+		t.count(func(st *ChaosStats) { st.Throttled++ })
+		code := http.StatusTooManyRequests
+		if p.alt {
+			code = http.StatusServiceUnavailable
+		}
+		return throttleResponse(req, code), nil
+	}
+
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil || resp.Body == nil || resp.Body == http.NoBody {
+		return resp, err
+	}
+
+	switch {
+	case p.inject && p.faultP < t.opts.ThrottleP+t.opts.CutP:
+		t.count(func(st *ChaosStats) { st.Cut++ })
+		resp.Body = &faultBody{inner: resp.Body, limit: bodyLimit(p.cutFrac, resp.ContentLength), cut: true}
+	case p.inject && p.faultP < t.opts.ThrottleP+t.opts.CutP+t.opts.TruncateP:
+		t.count(func(st *ChaosStats) { st.Truncated++ })
+		resp.Body = &faultBody{inner: resp.Body, limit: bodyLimit(p.cutFrac, resp.ContentLength)}
+	}
+	return resp, nil
+}
+
+func (t *ChaosTransport) count(f func(*ChaosStats)) {
+	t.mu.Lock()
+	f(&t.st)
+	t.mu.Unlock()
+}
+
+// bodyLimit picks how many body bytes survive before the fault: a seeded
+// fraction of the announced length, at least 1 so the fault is always
+// mid-body, never before the first byte (that case is the throttle path).
+// Unknown lengths get a fixed small window.
+func bodyLimit(frac float64, contentLength int64) int64 {
+	if contentLength <= 1 {
+		return 1 + int64(frac*4096)
+	}
+	n := int64(frac * float64(contentLength))
+	if n < 1 {
+		n = 1
+	}
+	if n >= contentLength {
+		n = contentLength - 1
+	}
+	return n
+}
+
+// faultBody delivers the first limit bytes of the inner body, then either
+// cuts the connection (returns *CutError) or truncates cleanly (io.EOF).
+type faultBody struct {
+	inner io.ReadCloser
+	limit int64
+	got   int64
+	cut   bool
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	rem := b.limit - b.got
+	if rem <= 0 {
+		if b.cut {
+			return 0, &CutError{After: b.got}
+		}
+		return 0, io.EOF
+	}
+	if int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := b.inner.Read(p)
+	b.got += int64(n)
+	if err == nil && b.got >= b.limit && b.cut {
+		// Deliver the final bytes with the cut, like a reset that raced
+		// the last ack.
+		return n, &CutError{After: b.got}
+	}
+	return n, err
+}
+
+func (b *faultBody) Close() error { return b.inner.Close() }
+
+// throttleResponse synthesizes a complete 429/503 response.
+func throttleResponse(req *http.Request, code int) *http.Response {
+	body := fmt.Sprintf("faultinject: throttled (%d)\n", code)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Retry-After": []string{"0"}},
+		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosServer serves a fixed payload with full range support (ServeContent),
+// the same shape a trace store presents to remote shard workers.
+func chaosServer(t *testing.T, payload []byte) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "trace.pgt", time.Unix(0, 0), strings.NewReader(string(payload)))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, client *http.Client, url string) ([]byte, error) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("round trip failed entirely: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, errors.New(resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func TestChaosThrottle(t *testing.T) {
+	payload := []byte(strings.Repeat("x", 8192))
+	srv := chaosServer(t, payload)
+	tr := NewChaosTransport(srv.Client().Transport, ChaosOptions{Seed: 1, ThrottleP: 1})
+	client := &http.Client{Transport: tr}
+
+	saw429, saw503 := false, false
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			saw429 = true
+		case http.StatusServiceUnavailable:
+			saw503 = true
+		default:
+			t.Fatalf("request %d: got status %d, want a throttle", i, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("request %d: throttle response has no body", i)
+		}
+	}
+	if !saw429 || !saw503 {
+		t.Errorf("want both throttle codes over 8 requests, got 429=%v 503=%v", saw429, saw503)
+	}
+	if st := tr.Stats(); st.Throttled != 8 || st.Requests != 8 {
+		t.Errorf("stats = %+v, want 8 requests, 8 throttled", st)
+	}
+}
+
+func TestChaosCutMidBody(t *testing.T) {
+	payload := []byte(strings.Repeat("y", 1<<16))
+	srv := chaosServer(t, payload)
+	tr := NewChaosTransport(srv.Client().Transport, ChaosOptions{Seed: 2, CutP: 1})
+	client := &http.Client{Transport: tr}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read %d bytes with no error, want a mid-body cut", len(body))
+	}
+	var cut *CutError
+	if !errors.As(err, &cut) {
+		t.Fatalf("read error = %v, want *CutError", err)
+	}
+	if !cut.Temporary() {
+		t.Error("CutError must advertise Temporary() == true")
+	}
+	if len(body) == 0 || len(body) >= len(payload) {
+		t.Errorf("cut after %d of %d bytes, want strictly mid-body", len(body), len(payload))
+	}
+	if st := tr.Stats(); st.Cut != 1 {
+		t.Errorf("stats = %+v, want 1 cut", st)
+	}
+}
+
+func TestChaosTruncateCleanEOF(t *testing.T) {
+	payload := []byte(strings.Repeat("z", 1<<16))
+	srv := chaosServer(t, payload)
+	tr := NewChaosTransport(srv.Client().Transport, ChaosOptions{Seed: 3, TruncateP: 1})
+	client := &http.Client{Transport: tr}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("truncation must end with a clean EOF, got %v", err)
+	}
+	if len(body) == 0 || len(body) >= len(payload) {
+		t.Errorf("truncated to %d of %d bytes, want strictly short", len(body), len(payload))
+	}
+	if st := tr.Stats(); st.Truncated != 1 {
+		t.Errorf("stats = %+v, want 1 truncation", st)
+	}
+}
+
+// TestChaosFaultBudget proves MaxFaults stops injection: once the budget is
+// spent every further request completes cleanly.
+func TestChaosFaultBudget(t *testing.T) {
+	payload := []byte(strings.Repeat("b", 4096))
+	srv := chaosServer(t, payload)
+	tr := NewChaosTransport(srv.Client().Transport, ChaosOptions{Seed: 4, ThrottleP: 1, MaxFaults: 2})
+	client := &http.Client{Transport: tr}
+
+	for i := 0; i < 6; i++ {
+		body, err := get(t, client, srv.URL)
+		if i < 2 {
+			if err == nil {
+				t.Fatalf("request %d: want throttle while budget open", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d: budget spent, want clean response, got %v", i, err)
+		}
+		if string(body) != string(payload) {
+			t.Fatalf("request %d: body mismatch after budget spent", i)
+		}
+	}
+	if st := tr.Stats(); st.Throttled != 2 {
+		t.Errorf("stats = %+v, want exactly 2 throttles", st)
+	}
+}
+
+// TestChaosDeterminism pins the seeded reproducibility contract: the same
+// seed over the same request sequence injects the same faults.
+func TestChaosDeterminism(t *testing.T) {
+	payload := []byte(strings.Repeat("d", 1<<15))
+	srv := chaosServer(t, payload)
+	opts := ChaosOptions{Seed: 99, ThrottleP: 0.3, CutP: 0.3, TruncateP: 0.3}
+
+	run := func() (ChaosStats, []int) {
+		tr := NewChaosTransport(srv.Client().Transport, opts)
+		client := &http.Client{Transport: tr}
+		var lens []int
+		for i := 0; i < 20; i++ {
+			resp, err := client.Get(srv.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			lens = append(lens, len(body))
+		}
+		return tr.Stats(), lens
+	}
+	st1, lens1 := run()
+	st2, lens2 := run()
+	if st1 != st2 {
+		t.Errorf("stats diverged across identical runs: %+v vs %+v", st1, st2)
+	}
+	for i := range lens1 {
+		if lens1[i] != lens2[i] {
+			t.Errorf("request %d: delivered %d then %d bytes; fault positions must be seeded", i, lens1[i], lens2[i])
+		}
+	}
+	if st1.Throttled == 0 || st1.Cut == 0 || st1.Truncated == 0 {
+		t.Errorf("20 requests at 30%% each should hit every fault class, got %+v", st1)
+	}
+}
+
+func TestChaosDelay(t *testing.T) {
+	payload := []byte("small")
+	srv := chaosServer(t, payload)
+	tr := NewChaosTransport(srv.Client().Transport, ChaosOptions{Seed: 5, Delay: 2 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+	for i := 0; i < 4; i++ {
+		if _, err := get(t, client, srv.URL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := tr.Stats(); st.Delayed <= 0 {
+		t.Errorf("stats = %+v, want accumulated delay", st)
+	}
+}

@@ -1,0 +1,462 @@
+// Package remote fetches stored traces over HTTP for multi-machine
+// sharding: a shard worker pulls exactly its byte range from a trace store
+// with a Range request instead of copying the whole file. The package
+// extends trace.RetryReader's transient-error model to the network — every
+// fetch retries transient failures (429/5xx responses, connection errors,
+// torn or truncated bodies) with seeded-jitter exponential backoff, and a
+// download that dies mid-body restarts from the last good offset with a
+// fresh Range request rather than from byte zero. Permanent failures (any
+// other 4xx) fail immediately; there is no point hammering a 404.
+//
+// Integrity is not this package's job: the chunk CRCs in the trace format
+// still decide what is valid, so a server that lies about bytes is caught
+// downstream exactly like a corrupt local file.
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"paragraph/internal/trace"
+)
+
+// Options configures a Source. The zero value selects the defaults noted
+// on each field.
+type Options struct {
+	// Client issues the requests; nil selects http.DefaultClient. Tests
+	// inject a fault-injecting transport here.
+	Client *http.Client
+	// MaxAttempts bounds consecutive fetch attempts that make no byte of
+	// progress; an attempt that delivers data resets the count, so a long
+	// download survives any number of scattered faults while a dead server
+	// still fails promptly. 0 selects 8.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// consecutive failure. 0 selects 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 selects 2s.
+	MaxDelay time.Duration
+	// Seed seeds the jitter PRNG, keeping retry timing reproducible.
+	Seed int64
+	// Sleep replaces the backoff sleep; tests inject a recorder. nil
+	// selects a context-aware sleep.
+	Sleep func(time.Duration)
+}
+
+// Stats accounts for what a Source absorbed. It is the network-level
+// sibling of trace.RetryStats, surfaced so degraded inputs are observable
+// instead of silently retried (CLI summaries and the pgserved job status
+// both report it).
+type Stats struct {
+	// Requests counts HTTP requests issued.
+	Requests int
+	// Retries counts attempts that followed a transient failure.
+	Retries int
+	// Resumes counts mid-body restarts that re-Ranged from the last good
+	// offset instead of byte zero.
+	Resumes int
+	// Throttled counts 429/503 responses absorbed.
+	Throttled int
+	// BytesFetched is the total payload bytes delivered to callers.
+	BytesFetched int64
+	// Slept is the total backoff waited.
+	Slept time.Duration
+}
+
+// PermanentError is a failure that retrying cannot fix: the server
+// answered conclusively (a 4xx other than 429) or inconsistently (a range
+// reply for the wrong offset).
+type PermanentError struct {
+	URL    string
+	Status string // HTTP status line, when the failure was a response
+	Reason string
+}
+
+func (e *PermanentError) Error() string {
+	if e.Status != "" {
+		return fmt.Sprintf("remote: %s: server answered %s (permanent)", e.URL, e.Status)
+	}
+	return fmt.Sprintf("remote: %s: %s (permanent)", e.URL, e.Reason)
+}
+
+// IsPermanent reports whether err (or anything it wraps) is a
+// PermanentError — a failure no retry budget should be spent on.
+func IsPermanent(err error) bool {
+	var p *PermanentError
+	return errors.As(err, &p)
+}
+
+// Source is one remote trace: a URL plus the retry machinery and
+// accounting shared by every range fetched from it. A Source is safe for
+// concurrent use; fetches running in parallel share the stats and the
+// jitter PRNG but nothing else.
+type Source struct {
+	url  string
+	opts Options
+	size int64
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	st     Stats
+	header []byte // cached trace file header for Section stitching
+}
+
+// Open probes the trace at url (a HEAD request, falling back to a 1-byte
+// ranged GET for servers that reject HEAD) and returns a Source that knows
+// its size. The probe retries transient failures like any other fetch.
+func Open(ctx context.Context, url string, opts Options) (*Source, error) {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 8
+	}
+	if opts.BaseDelay <= 0 {
+		opts.BaseDelay = 25 * time.Millisecond
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 2 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	s := &Source{url: url, opts: opts, rng: rand.New(rand.NewSource(opts.Seed)), size: -1}
+	size, err := s.probeSize(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.size = size
+	return s, nil
+}
+
+// URL returns the trace's URL.
+func (s *Source) URL() string { return s.url }
+
+// Size returns the trace's length in bytes.
+func (s *Source) Size() int64 { return s.size }
+
+// Stats returns a snapshot of the retry accounting so far.
+func (s *Source) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+// IsURL reports whether the trace location is a remote URL this package
+// can fetch (CLIs use it to route -trace values).
+func IsURL(loc string) bool {
+	return strings.HasPrefix(loc, "http://") || strings.HasPrefix(loc, "https://")
+}
+
+// FetchAll downloads the whole trace — what a planning scan needs. Like
+// every fetch it is resumable: faults restart from the last good offset.
+func (s *Source) FetchAll(ctx context.Context) ([]byte, error) {
+	return s.ReadRange(ctx, 0, s.size)
+}
+
+// ReadRange fetches the byte range [start, end) of the trace, retrying
+// transient failures and resuming partial bodies until the range is whole
+// or the attempt budget is spent.
+func (s *Source) ReadRange(ctx context.Context, start, end int64) ([]byte, error) {
+	if start < 0 || end < start || (s.size >= 0 && end > s.size) {
+		return nil, &PermanentError{URL: s.url,
+			Reason: fmt.Sprintf("bad range [%d, %d) of %d-byte trace", start, end, s.size)}
+	}
+	buf := make([]byte, end-start)
+	var got int64
+	var lastErr error
+	for fails := 0; got < int64(len(buf)); {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("remote: %s: canceled at offset %d: %w", s.url, start+got, err)
+		}
+		if got > 0 {
+			// Re-Range from the last good offset: the bytes already
+			// delivered are kept, not refetched.
+			s.count(func(st *Stats) { st.Resumes++ })
+		}
+		n, err := s.fetchOnce(ctx, start+got, end, buf[got:])
+		got += int64(n)
+		if got == int64(len(buf)) {
+			break
+		}
+		if err == nil {
+			// A clean EOF short of the range is a truncated body; the
+			// missing tail is fetched like any other transient fault.
+			err = fmt.Errorf("remote: %s: body ended %d bytes short of range [%d, %d)",
+				s.url, int64(len(buf))-got, start, end)
+		}
+		if IsPermanent(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		lastErr = err
+		if n > 0 {
+			fails = 0 // progress: the server is alive, reset the budget
+		} else {
+			fails++
+			if fails >= s.opts.MaxAttempts {
+				return nil, fmt.Errorf("remote: %s: giving up after %d attempts without progress at offset %d: %w",
+					s.url, fails, start+got, lastErr)
+			}
+		}
+		s.count(func(st *Stats) { st.Retries++ })
+		// After progress fails is 0; back off one base step rather than
+		// hammering a server that keeps cutting mid-body.
+		if err := s.backoff(ctx, max(fails, 1)); err != nil {
+			return nil, err
+		}
+	}
+	s.count(func(st *Stats) { st.BytesFetched += int64(len(buf)) })
+	return buf, nil
+}
+
+// Section fetches the shard byte range [start, end) stitched behind the
+// trace file header, ready for a zero-copy section reader: the returned
+// offsets delimit the range inside the returned data. This is how a shard
+// worker decodes its slice of a remote trace without downloading the rest.
+func (s *Source) Section(ctx context.Context, start, end int64) (data []byte, newStart, newEnd int64, err error) {
+	hdr, err := s.Header(ctx)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	body, err := s.ReadRange(ctx, start, end)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data = make([]byte, 0, int64(len(hdr))+int64(len(body)))
+	data = append(data, hdr...)
+	data = append(data, body...)
+	return data, trace.HeaderBytes, int64(len(data)), nil
+}
+
+// Header fetches (once) and caches the trace file header.
+func (s *Source) Header(ctx context.Context) ([]byte, error) {
+	s.mu.Lock()
+	hdr := s.header
+	s.mu.Unlock()
+	if hdr != nil {
+		return hdr, nil
+	}
+	hdr, err := s.ReadRange(ctx, 0, trace.HeaderBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.header = hdr
+	s.mu.Unlock()
+	return hdr, nil
+}
+
+// fetchOnce issues one ranged GET for [off, end) and copies as much of the
+// body as arrives into dst. Transient failures return the bytes delivered
+// so far with the error; the caller decides whether to resume.
+func (s *Source) fetchOnce(ctx context.Context, off, end int64, dst []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url, nil)
+	if err != nil {
+		return 0, &PermanentError{URL: s.url, Reason: err.Error()}
+	}
+	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, end-1))
+	s.count(func(st *Stats) { st.Requests++ })
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, fmt.Errorf("remote: %s: %w", s.url, cerr)
+		}
+		return 0, fmt.Errorf("remote: %s: %w", s.url, err) // network errors are transient
+	}
+	defer resp.Body.Close()
+
+	discard := int64(0)
+	switch {
+	case resp.StatusCode == http.StatusPartialContent:
+		if cr := resp.Header.Get("Content-Range"); cr != "" {
+			if rs, ok := parseContentRangeStart(cr); ok && rs != off {
+				return 0, &PermanentError{URL: s.url,
+					Reason: fmt.Sprintf("asked for offset %d, server answered Content-Range %q", off, cr)}
+			}
+		}
+	case resp.StatusCode == http.StatusOK:
+		// The server ignored the Range header; skip to the offset and
+		// read the slice out of the full body.
+		discard = off
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			s.count(func(st *Stats) { st.Throttled++ })
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("remote: %s: server answered %s (transient)", s.url, resp.Status)
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, &PermanentError{URL: s.url, Status: resp.Status}
+	}
+
+	if discard > 0 {
+		if _, err := io.CopyN(io.Discard, resp.Body, discard); err != nil {
+			return 0, fmt.Errorf("remote: %s: skipping to offset %d of un-ranged body: %w", s.url, off, err)
+		}
+	}
+	var got int
+	for got < len(dst) {
+		n, err := resp.Body.Read(dst[got:])
+		got += n
+		if err == io.EOF {
+			return got, nil
+		}
+		if err != nil {
+			return got, fmt.Errorf("remote: %s: body failed at offset %d: %w", s.url, off+int64(got), err)
+		}
+	}
+	return got, nil
+}
+
+// probeSize learns the trace's length: HEAD first, then a 1-byte ranged
+// GET whose Content-Range carries the total for servers without HEAD.
+func (s *Source) probeSize(ctx context.Context) (int64, error) {
+	var lastErr error
+	for fails := 0; fails < s.opts.MaxAttempts; fails++ {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("remote: %s: canceled probing size: %w", s.url, err)
+		}
+		if fails > 0 {
+			s.count(func(st *Stats) { st.Retries++ })
+			if err := s.backoff(ctx, fails); err != nil {
+				return 0, err
+			}
+		}
+		size, err := s.probeOnce(ctx)
+		if err == nil {
+			return size, nil
+		}
+		if IsPermanent(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, err
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("remote: %s: giving up probing size after %d attempts: %w", s.url, s.opts.MaxAttempts, lastErr)
+}
+
+func (s *Source) probeOnce(ctx context.Context) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, s.url, nil)
+	if err != nil {
+		return 0, &PermanentError{URL: s.url, Reason: err.Error()}
+	}
+	s.count(func(st *Stats) { st.Requests++ })
+	resp, err := s.opts.Client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK && resp.ContentLength >= 0:
+			return resp.ContentLength, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				s.count(func(st *Stats) { st.Throttled++ })
+			}
+			return 0, fmt.Errorf("remote: %s: server answered %s (transient)", s.url, resp.Status)
+		case resp.StatusCode >= 400 && resp.StatusCode != http.StatusMethodNotAllowed:
+			return 0, &PermanentError{URL: s.url, Status: resp.Status}
+		}
+		// HEAD unsupported or length unknown: fall through to ranged GET.
+	}
+
+	req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, s.url, nil)
+	if rerr != nil {
+		return 0, &PermanentError{URL: s.url, Reason: rerr.Error()}
+	}
+	req.Header.Set("Range", "bytes=0-0")
+	s.count(func(st *Stats) { st.Requests++ })
+	resp, err = s.opts.Client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("remote: %s: %w", s.url, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	switch {
+	case resp.StatusCode == http.StatusPartialContent:
+		if total, ok := parseContentRangeTotal(resp.Header.Get("Content-Range")); ok {
+			return total, nil
+		}
+		return 0, &PermanentError{URL: s.url,
+			Reason: fmt.Sprintf("unparseable Content-Range %q", resp.Header.Get("Content-Range"))}
+	case resp.StatusCode == http.StatusOK && resp.ContentLength >= 0:
+		return resp.ContentLength, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			s.count(func(st *Stats) { st.Throttled++ })
+		}
+		return 0, fmt.Errorf("remote: %s: server answered %s (transient)", s.url, resp.Status)
+	case resp.StatusCode >= 400:
+		return 0, &PermanentError{URL: s.url, Status: resp.Status}
+	}
+	return 0, fmt.Errorf("remote: %s: cannot determine size (status %s, no length)", s.url, resp.Status)
+}
+
+// parseContentRangeStart extracts the first-byte offset of a
+// "bytes X-Y/Z" Content-Range value.
+func parseContentRangeStart(cr string) (int64, bool) {
+	rest, ok := strings.CutPrefix(cr, "bytes ")
+	if !ok {
+		return 0, false
+	}
+	dash := strings.IndexByte(rest, '-')
+	if dash < 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(rest[:dash], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// parseContentRangeTotal extracts the total length of a "bytes X-Y/Z"
+// Content-Range value.
+func parseContentRangeTotal(cr string) (int64, bool) {
+	slash := strings.LastIndexByte(cr, '/')
+	if slash < 0 || slash+1 >= len(cr) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(cr[slash+1:], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// backoff sleeps the jittered exponential delay for the given consecutive
+// failure count (1-based), honoring cancellation. Same curve and jitter
+// band as trace.RetryReader: d in [base<<(n-1)/2, 3*base<<(n-1)/2), capped.
+func (s *Source) backoff(ctx context.Context, fails int) error {
+	d := s.opts.BaseDelay << uint(fails-1)
+	if d > s.opts.MaxDelay || d <= 0 {
+		d = s.opts.MaxDelay
+	}
+	s.mu.Lock()
+	d = d/2 + time.Duration(s.rng.Int63n(int64(d)))
+	s.st.Slept += d
+	s.mu.Unlock()
+	if s.opts.Sleep != nil {
+		s.opts.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("remote: %s: canceled during backoff: %w", s.url, ctx.Err())
+	}
+}
+
+func (s *Source) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.st)
+	s.mu.Unlock()
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"paragraph/internal/core"
+	"paragraph/internal/remote"
+	"paragraph/internal/shard"
+)
+
+// Job states. A job is terminal in done, degraded or failed; queued and
+// running jobs are resumable — a daemon restart re-queues them and they
+// continue from the last completed shard.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateDegraded = "degraded"
+	StateFailed   = "failed"
+)
+
+// shardProgress is one shard's live status inside a job view.
+type shardProgress struct {
+	State    string `json:"state"` // pending, running, done, failed
+	Attempts int    `json:"attempts"`
+	Events   uint64 `json:"events"`
+}
+
+// job is the in-memory runtime of one analysis job. Everything a handler
+// reads is behind mu; the worker goroutine running the job is the only
+// writer.
+type job struct {
+	spec JobSpec
+
+	mu       sync.Mutex
+	state    string
+	shards   []shardProgress
+	retry    remote.Stats
+	degraded *DegradedMark
+	errMsg   string
+}
+
+// errInterrupted marks a job stopped by drain or shutdown rather than
+// failed: it stays resumable and is never marked degraded.
+var errInterrupted = errors.New("serve: interrupted")
+
+// runJob is the worker entry point: it drives the job to a terminal state
+// or leaves it queued when interrupted.
+func (s *Server) runJob(j *job) {
+	err := s.runJobChain(j)
+	switch {
+	case err == nil:
+		// terminal state already set (done or degraded)
+	case errors.Is(err, errInterrupted):
+		j.setState(StateQueued) // resumable: a restart picks it up from disk
+	default:
+		j.fail(err)
+	}
+}
+
+// runJobChain runs one job's shard chain: acquire the trace, plan (or load
+// the persisted plan), then walk the shards in order, resuming from
+// persisted shard results and supervising each remaining shard through its
+// attempt budget. Completion and degradation both return nil — the job
+// state carries the distinction.
+func (s *Server) runJobChain(j *job) error {
+	spec := j.spec
+	ti, ok := s.traceInfo(spec.TraceID)
+	if !ok {
+		return fmt.Errorf("job %s: unknown trace %q", spec.ID, spec.TraceID)
+	}
+	j.setState(StateRunning)
+
+	// Acquire the input. Local traces are read whole; remote traces are
+	// probed now and fetched per shard range later.
+	var data []byte
+	var src *remote.Source
+	if ti.Remote {
+		var err error
+		src, err = remote.Open(s.ctx, ti.Location, s.remoteOpts(spec.ID))
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return errInterrupted
+			}
+			return fmt.Errorf("job %s: opening remote trace: %w", spec.ID, err)
+		}
+		j.setRetry(src.Stats())
+	} else {
+		var err error
+		data, err = os.ReadFile(ti.Location)
+		if err != nil {
+			return fmt.Errorf("job %s: reading trace: %w", spec.ID, err)
+		}
+	}
+
+	plan, err := s.jobPlan(j, src, data)
+	if err != nil {
+		if s.ctx.Err() != nil {
+			return errInterrupted
+		}
+		return fmt.Errorf("job %s: %w", spec.ID, err)
+	}
+	j.initShards(len(plan.Shards))
+
+	ns := len(plan.Shards)
+	parts := make([]*shard.Result, ns)
+	var prevCP *core.Checkpoint
+	for i := 0; i < ns; i++ {
+		if s.interrupted() {
+			return errInterrupted
+		}
+		// Resume: a persisted shard result is complete (atomic rename), so
+		// its checkpoint seeds the next shard exactly as a live run would.
+		if part, cp, err := shard.LoadResult(s.st.shardPath(spec.ID, i)); err == nil {
+			parts[i], prevCP = part, cp
+			j.shardDone(i, part.Events)
+			continue
+		}
+		part, cp, err := s.superviseShard(j, src, data, plan, i, prevCP)
+		if err != nil {
+			if errors.Is(err, errInterrupted) {
+				return errInterrupted
+			}
+			// Retries exhausted or a permanent fault: the checkpoint chain
+			// is broken at shard i, so later shards cannot run. Keep the
+			// completed partials and mark the job degraded — the
+			// shard-level mirror of the trace format's degraded reads.
+			mark := DegradedMark{Shard: i, Attempts: j.shardAttempts(i), Reason: err.Error()}
+			if serr := s.st.saveDegraded(spec.ID, mark); serr != nil {
+				return fmt.Errorf("job %s: persisting degradation: %w", spec.ID, serr)
+			}
+			j.setDegraded(&mark, i)
+			return nil
+		}
+		if err := shard.SaveResult(s.st.shardPath(spec.ID, i), part, cp); err != nil {
+			return fmt.Errorf("job %s: persisting shard %d: %w", spec.ID, i, err)
+		}
+		parts[i], prevCP = part, cp
+		j.shardDone(i, part.Events)
+		if s.afterShard != nil {
+			s.afterShard(spec.ID, i)
+		}
+	}
+
+	res, rs, err := shard.Merge(parts)
+	if err != nil {
+		return fmt.Errorf("job %s: merging shard results: %w", spec.ID, err)
+	}
+	if err := s.st.saveResult(spec.ID, &JobResult{Result: res, ReadStats: rs}); err != nil {
+		return fmt.Errorf("job %s: persisting result: %w", spec.ID, err)
+	}
+	j.setState(StateDone)
+	return nil
+}
+
+// jobPlan loads the persisted shard plan or computes and persists it. The
+// plan is written before the first shard runs, so a resumed job always
+// re-uses the original cut points — a replan over the same bytes would be
+// identical, but trusting the persisted plan also catches a trace that
+// changed under a job.
+func (s *Server) jobPlan(j *job, src *remote.Source, data []byte) (*shard.Plan, error) {
+	spec := j.spec
+	if plan, err := s.st.loadPlan(spec.ID); err == nil {
+		size := int64(len(data))
+		if src != nil {
+			size = src.Size()
+		}
+		if plan.TraceBytes != size {
+			return nil, fmt.Errorf("plan is for a %d-byte trace, input is %d bytes (trace changed?)", plan.TraceBytes, size)
+		}
+		if plan.Degraded != spec.Degraded {
+			return nil, fmt.Errorf("plan read mode (degraded=%v) does not match spec (degraded=%v)", plan.Degraded, spec.Degraded)
+		}
+		return plan, nil
+	}
+	// Planning needs the whole trace once; remote jobs release the buffer
+	// afterwards and refetch only per-shard ranges (which is also why a
+	// resumed remote job never downloads completed shards again).
+	full := data
+	if full == nil {
+		var err error
+		full, err = src.FetchAll(s.ctx)
+		j.setRetry(src.Stats())
+		if err != nil {
+			return nil, fmt.Errorf("fetching trace for planning: %w", err)
+		}
+	}
+	plan, err := shard.Split(full, spec.Shards, shard.Options{Degraded: spec.Degraded})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.st.savePlan(spec.ID, plan); err != nil {
+		return nil, fmt.Errorf("persisting plan: %w", err)
+	}
+	return plan, nil
+}
+
+// superviseShard runs one shard through its attempt budget: each attempt
+// gets a deadline and panic containment; transient failures back off with
+// seeded jitter and retry, permanent ones (and an exhausted budget) fail
+// the shard.
+func (s *Server) superviseShard(j *job, src *remote.Source, data []byte, plan *shard.Plan, i int, prevCP *core.Checkpoint) (*shard.Result, *core.Checkpoint, error) {
+	var lastErr error
+	for attempt := 1; attempt <= s.shardAttempts; attempt++ {
+		if s.interrupted() {
+			return nil, nil, errInterrupted
+		}
+		j.noteAttempt(i, attempt)
+		part, cp, err := s.runShardAttempt(j, src, data, plan, i, prevCP)
+		if err == nil {
+			return part, cp, nil
+		}
+		if s.ctx.Err() != nil {
+			// Root cancellation surfaces through the attempt context; it is
+			// shutdown, not a shard failure.
+			return nil, nil, errInterrupted
+		}
+		if remote.IsPermanent(err) {
+			return nil, nil, fmt.Errorf("shard %d attempt %d: %w", i, attempt, err)
+		}
+		lastErr = err
+		if attempt < s.shardAttempts {
+			s.backoff(attempt)
+		}
+	}
+	j.shardFailed(i)
+	return nil, nil, fmt.Errorf("shard %d: retry budget exhausted after %d attempts: %w", i, s.shardAttempts, lastErr)
+}
+
+// runShardAttempt is one contained attempt: fetch (remote) or slice
+// (local) the shard's bytes, decode, and replay through an analyzer seeded
+// from the previous shard's checkpoint. A panic anywhere inside — decode,
+// analysis, or a fetch bug — converts to an error and counts as a failed
+// attempt instead of killing the worker.
+func (s *Server) runShardAttempt(j *job, src *remote.Source, data []byte, plan *shard.Plan, i int, prevCP *core.Checkpoint) (part *shard.Result, cp *core.Checkpoint, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			part, cp = nil, nil
+			err = fmt.Errorf("shard %d: panic contained: %v", i, v)
+		}
+	}()
+	ctx := s.ctx
+	if s.shardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.ctx, s.shardTimeout)
+		defer cancel()
+	}
+	if s.beforeAttempt != nil {
+		s.beforeAttempt(j.spec.ID, i)
+	}
+
+	sh := plan.Shards[i]
+	buf := data
+	if buf == nil {
+		// Remote: fetch exactly this shard's byte range, stitched behind
+		// the trace header so the section reader sees a well-formed file.
+		sect, start, end, ferr := src.Section(ctx, sh.Start, sh.End)
+		j.setRetry(src.Stats())
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		sh.Start, sh.End = start, end
+		buf = sect
+	}
+	evbuf, err := shard.DecodeShard(ctx, buf, sh, plan.Degraded)
+	if err != nil {
+		return nil, nil, err
+	}
+	var a *core.Analyzer
+	if prevCP != nil {
+		// Restore clones per call, so a retried attempt starts from the
+		// same pristine state every time.
+		a = prevCP.Restore()
+	} else {
+		a = core.NewAnalyzer(j.spec.Config)
+	}
+	want := i < len(plan.Shards)-1
+	return shard.RunShard(ctx, a, evbuf, j.spec.Config, plan.Shards[i], len(plan.Shards), want)
+}
+
+// backoff sleeps the supervisor's jittered exponential delay for the given
+// attempt number, same curve as the remote reader: d in [base<<(n-1)/2,
+// 3*base<<(n-1)/2), capped at retryMax.
+func (s *Server) backoff(attempt int) {
+	d := s.retryBase << uint(attempt-1)
+	if d > s.retryMax || d <= 0 {
+		d = s.retryMax
+	}
+	s.rngMu.Lock()
+	d = d/2 + time.Duration(s.rng.Int63n(int64(d)))
+	s.rngMu.Unlock()
+	if s.sleep != nil {
+		s.sleep(d)
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.ctx.Done():
+	}
+}
+
+// interrupted reports whether the daemon is draining or shutting down.
+func (s *Server) interrupted() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+	}
+	return s.ctx.Err() != nil
+}
+
+func (j *job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+func (j *job) setDegraded(mark *DegradedMark, i int) {
+	j.mu.Lock()
+	j.state = StateDegraded
+	j.degraded = mark
+	if i < len(j.shards) {
+		j.shards[i].State = "failed"
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) setRetry(st remote.Stats) {
+	j.mu.Lock()
+	j.retry = st
+	j.mu.Unlock()
+}
+
+func (j *job) initShards(n int) {
+	j.mu.Lock()
+	if len(j.shards) != n {
+		j.shards = make([]shardProgress, n)
+	}
+	for i := range j.shards {
+		if j.shards[i].State == "" {
+			j.shards[i].State = "pending"
+		}
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) noteAttempt(i, attempt int) {
+	j.mu.Lock()
+	if i < len(j.shards) {
+		j.shards[i].State = "running"
+		j.shards[i].Attempts = attempt
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) shardDone(i int, events uint64) {
+	j.mu.Lock()
+	if i < len(j.shards) {
+		j.shards[i].State = "done"
+		j.shards[i].Events = events
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) shardFailed(i int) {
+	j.mu.Lock()
+	if i < len(j.shards) {
+		j.shards[i].State = "failed"
+	}
+	j.mu.Unlock()
+}
+
+func (j *job) shardAttempts(i int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.shards) {
+		return j.shards[i].Attempts
+	}
+	return 0
+}
