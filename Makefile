@@ -29,15 +29,17 @@ race:
 differential:
 	$(GO) test -race -run Differential ./...
 
-# Short coverage-guided runs of the trace-reader, reader-equivalence and
-# trace-splitter fuzzers on top of their seed corpora. Minimization is
-# bounded so the budget is spent fuzzing.
+# Short coverage-guided runs of the trace-reader, reader-equivalence,
+# trace-splitter and speculative-equivalence fuzzers on top of their seed
+# corpora. Minimization is bounded so the budget is spent fuzzing.
 fuzz:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceReader \
 		-fuzztime 10s -fuzzminimizetime 20x
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzReaderEquivalence \
 		-fuzztime 10s -fuzzminimizetime 20x
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzSplitter \
+		-fuzztime 10s -fuzzminimizetime 20x
+	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzSpeculativeEquivalence \
 		-fuzztime 10s -fuzzminimizetime 20x
 
 # Serial-vs-parallel engine and sharded-analysis benchmarks, captured as
@@ -47,6 +49,8 @@ bench:
 		| tee BENCH_parallel.json
 	$(GO) test -run '^$$' -bench 'HotPath|AnalyzerThroughput' -benchmem -json . \
 		| tee BENCH_hotpath.json
+	$(GO) test -run '^$$' -bench 'SpeculativeShards' -benchmem -json . \
+		| tee BENCH_speculate.json
 
 # The full verification gate: static checks, build, race-detector test run,
 # the serial-vs-parallel differential battery, and a short fuzz of the

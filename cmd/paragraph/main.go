@@ -90,6 +90,7 @@ func main() {
 		sweepWindows = flag.String("sweep-windows", "", "comma-separated window sizes (0 = whole trace): decode the trace once and analyze every size, e.g. -sweep-windows 1,128,8192,0")
 		jobs         = flag.Int("j", 0, "with -sweep-windows or -shards: concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 		shards       = flag.Int("shards", 0, "analyze the trace in N chunk-aligned shards with pipelined decode and a deterministic merge (0 = monolithic)")
+		speculate    = flag.Bool("speculate", false, "with -shards: analyze all shards concurrently (speculative per-shard compilation + sequential seam splice); results are identical to the chained run")
 
 		memBudget     = flag.String("mem-budget", "", "memory budget for the analyzer working set, e.g. 64M or 1G (empty = unlimited)")
 		budgetPolicy  = flag.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
@@ -169,6 +170,9 @@ func main() {
 		cfg.BudgetPolicy = pol
 	}
 
+	if *speculate && *shards == 0 {
+		fatal(fmt.Errorf("-speculate only applies with -shards"))
+	}
 	if *sweepWindows != "" {
 		if *shards != 0 {
 			fatal(fmt.Errorf("-shards is incompatible with -sweep-windows"))
@@ -188,7 +192,7 @@ func main() {
 			fatal(fmt.Errorf("-shards analyzes a stored trace whole; -max only applies when simulating"))
 		}
 		runSharded(ctx, cfg, *shards, *jobs, *traceFile, *workload, *srcFile, *asmFile, *scale, *maxInst, *degraded, *useMmap,
-			*plot, *profileOut, *lifetimes, *sharing, *storageOut)
+			*speculate, *plot, *profileOut, *lifetimes, *sharing, *storageOut)
 		return
 	}
 
@@ -387,8 +391,10 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 // file or encoded from one simulation) are split at chunk boundaries,
 // decoded by a bounded pool with decode of shard i+1 overlapping analysis
 // of shard i, and the per-shard results merged into a Result deep-equal to
-// a monolithic run (see internal/shard).
-func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded, useMmap bool, plot bool, profileOut string, lifetimes, sharing bool, storageOut string) {
+// a monolithic run (see internal/shard). With speculate, the shard chain is
+// broken entirely: all shards analyze concurrently and a sequential splice
+// fixes up the seams (see internal/shard/speculate.go).
+func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded, useMmap, speculate bool, plot bool, profileOut string, lifetimes, sharing bool, storageOut string) {
 	var data []byte
 	if traceFile != "" {
 		if useMmap {
@@ -431,12 +437,16 @@ func runSharded(ctx context.Context, cfg core.Config, n, jobs int, traceFile, wo
 	}
 
 	start := time.Now()
-	res, rs, err := shard.Analyze(ctx, data, cfg, n, shard.Options{Degraded: degraded, Concurrency: jobs})
+	res, rs, err := shard.Analyze(ctx, data, cfg, n, shard.Options{Degraded: degraded, Concurrency: jobs, Speculate: speculate})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "paragraph: analyzed %s events in %d shard(s) in %v\n",
-		stats.FormatInt(int64(res.Instructions)), n, time.Since(start).Round(time.Millisecond))
+	mode := "chained"
+	if speculate {
+		mode = "speculative"
+	}
+	fmt.Fprintf(os.Stderr, "paragraph: analyzed %s events in %d %s shard(s) in %v\n",
+		stats.FormatInt(int64(res.Instructions)), n, mode, time.Since(start).Round(time.Millisecond))
 	reportSkips(rs)
 	report(res, plot, profileOut, lifetimes, sharing)
 	writeStorage(res, storageOut)

@@ -12,9 +12,20 @@
 //	pgshard analyze -trace huge.pgt -plan plan.json -shard 2 -prev shard-1.pgsr -out shard-2.pgsr
 //	pgshard merge shard-0.pgsr shard-1.pgsr shard-2.pgsr
 //
+// With -speculate the chain disappears: every shard compiles independently
+// (no -prev, so all N processes can run at the same time) into a
+// relocatable delta file, and merge splices the deltas — the output is
+// byte-identical to the chained workflow's:
+//
+//	pgshard analyze -trace huge.pgt -plan plan.json -shard 0 -speculate -out shard-0.pgsd &
+//	pgshard analyze -trace huge.pgt -plan plan.json -shard 1 -speculate -out shard-1.pgsd &
+//	pgshard analyze -trace huge.pgt -plan plan.json -shard 2 -speculate -out shard-2.pgsd &
+//	wait
+//	pgshard merge shard-0.pgsd shard-1.pgsd shard-2.pgsd
+//
 // The analysis switches of the analyze subcommand mirror the paragraph CLI
 // and must be identical for every shard of one trace; merge rejects
-// mismatched configurations.
+// mismatched configurations and mixed result/delta arguments.
 package main
 
 import (
@@ -58,7 +69,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   pgshard split   -trace FILE -shards N [-degraded] -plan PLAN
   pgshard analyze -trace FILE -plan PLAN -shard I [-prev PREV.pgsr] -out OUT.pgsr [analysis flags]
-  pgshard merge   SHARD-0.pgsr SHARD-1.pgsr ...
+  pgshard analyze -trace FILE -plan PLAN -shard I -speculate -out OUT.pgsd [analysis flags]
+  pgshard merge   SHARD-0.pgsr SHARD-1.pgsr ...   (or SHARD-*.pgsd from -speculate runs)
 
 Run 'pgshard analyze -h' for the analysis flags (they mirror paragraph).
 `)
@@ -104,6 +116,7 @@ func runAnalyze(ctx context.Context, args []string) {
 	shardIdx := fs.Int("shard", -1, "index of the shard to analyze")
 	prevFile := fs.String("prev", "", "previous shard's result file (required for every shard but the first)")
 	outFile := fs.String("out", "", "write this shard's result file here")
+	speculate := fs.Bool("speculate", false, "compile this shard speculatively (no -prev, so all shards can run concurrently) into a delta file; merge splices the deltas")
 
 	syscalls := fs.String("syscalls", "conservative", "system-call policy: conservative or optimistic")
 	renameRegs := fs.Bool("rename-regs", false, "remove register storage dependencies")
@@ -188,6 +201,31 @@ func runAnalyze(ctx context.Context, args []string) {
 	}
 	defer closeTrace()
 
+	if *speculate {
+		if *prevFile != "" {
+			fatal(fmt.Errorf("-prev is meaningless with -speculate: speculative shards build with no predecessor"))
+		}
+		sh := plan.Shards[*shardIdx]
+		buf, err := shard.DecodeShard(ctx, data, sh, plan.Degraded)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := shard.BuildShardDelta(ctx, buf, cfg, sh)
+		if err != nil {
+			fatal(err)
+		}
+		err = shard.SaveDelta(*outFile, &shard.Delta{
+			Index: sh.Index, Shards: len(plan.Shards),
+			Config: cfg, ReadStats: buf.Stats(), D: d,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shard %d/%d: %s events compiled speculatively -> %s\n", sh.Index, len(plan.Shards),
+			stats.FormatInt(int64(d.Events)), *outFile)
+		return
+	}
+
 	// Shard 0 starts a fresh analyzer; every later shard resumes the
 	// analyzer state the previous shard's process saved alongside its
 	// result. This handoff is what makes N processes equal one.
@@ -237,6 +275,18 @@ func runMerge(args []string) {
 	if len(files) == 0 {
 		fatal(fmt.Errorf("merge needs the shard result files as arguments"))
 	}
+	if deltas, ok, err := loadDeltas(files); err != nil {
+		fatal(err)
+	} else if ok {
+		parts, res, rs, err := shard.Splice(deltas)
+		if err != nil {
+			fatal(err)
+		}
+		if err := shard.RenderMerge(os.Stdout, res, rs, parts); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	parts, err := loadParts(files)
 	if err != nil {
 		fatal(err)
@@ -248,6 +298,28 @@ func runMerge(args []string) {
 	if err := shard.RenderMerge(os.Stdout, res, rs, parts); err != nil {
 		fatal(err)
 	}
+}
+
+// loadDeltas sniffs whether the merge was handed speculative delta files
+// (their magic distinguishes them from result files). The first file
+// decides; a mix of deltas and results fails with an error naming the
+// odd file out — splicing half a chain against finished results would
+// misreport the trace.
+func loadDeltas(files []string) ([]*shard.Delta, bool, error) {
+	first, err := shard.LoadDelta(files[0])
+	if err != nil {
+		return nil, false, nil // not a delta chain; let loadParts report
+	}
+	deltas := make([]*shard.Delta, len(files))
+	deltas[0] = first
+	for i, f := range files[1:] {
+		d, err := shard.LoadDelta(f)
+		if err != nil {
+			return nil, false, fmt.Errorf("merge: %s: %w (mixing delta and result files?)", f, err)
+		}
+		deltas[i+1] = d
+	}
+	return deltas, true, nil
 }
 
 // loadParts loads every shard-result file for a merge. A file that is

@@ -113,6 +113,120 @@ func TestLoadPartsMergeMatchesMonolithic(t *testing.T) {
 	}
 }
 
+// writeShardDeltas runs the speculative pipeline over the same synthetic
+// trace: every shard compiled with no predecessor, one delta file each,
+// exactly as concurrent `pgshard analyze -speculate` invocations would.
+func writeShardDeltas(t *testing.T, dir string, shards int) ([]string, []byte, core.Config) {
+	t.Helper()
+	data := synthTrace(t, 4000, 3)
+	cfg := core.Config{RenameRegisters: true, RenameStack: true, RenameData: true}
+	plan, err := shard.Split(data, shards, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var files []string
+	for i, sh := range plan.Shards {
+		buf, err := shard.DecodeShard(ctx, data, sh, false)
+		if err != nil {
+			t.Fatalf("shard %d: decode: %v", i, err)
+		}
+		d, err := shard.BuildShardDelta(ctx, buf, cfg, sh)
+		if err != nil {
+			t.Fatalf("shard %d: build: %v", i, err)
+		}
+		f := filepath.Join(dir, fmt.Sprintf("shard-%d.pgsd", i))
+		err = shard.SaveDelta(f, &shard.Delta{
+			Index: sh.Index, Shards: len(plan.Shards),
+			Config: cfg, ReadStats: buf.Stats(), D: d,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: save: %v", i, err)
+		}
+		files = append(files, f)
+	}
+	return files, data, cfg
+}
+
+// TestLoadDeltasSpliceMatchesChainedMerge: the speculative file workflow
+// ends in the same merged Result — and the same per-shard Results, so the
+// merge report is byte-identical — as the chained workflow over the same
+// trace and config.
+func TestLoadDeltasSpliceMatchesChainedMerge(t *testing.T) {
+	dir := t.TempDir()
+	resultFiles, data, cfg := writeShardResults(t, dir, 3)
+	deltaFiles, _, _ := writeShardDeltas(t, dir, 3)
+
+	chainedParts, err := loadParts(resultFiles)
+	if err != nil {
+		t.Fatalf("loadParts: %v", err)
+	}
+	chainedRes, chainedRS, err := shard.Merge(chainedParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deltas, ok, err := loadDeltas(deltaFiles)
+	if err != nil {
+		t.Fatalf("loadDeltas: %v", err)
+	}
+	if !ok {
+		t.Fatal("loadDeltas did not recognize delta files")
+	}
+	specParts, specRes, specRS, err := shard.Splice(deltas)
+	if err != nil {
+		t.Fatalf("Splice: %v", err)
+	}
+	if !reflect.DeepEqual(specRes, chainedRes) {
+		t.Error("spliced merge differs from chained merge")
+	}
+	if specRS != chainedRS {
+		t.Errorf("ReadStats: spliced %+v, chained %+v", specRS, chainedRS)
+	}
+	var chainedOut, specOut bytes.Buffer
+	if err := shard.RenderMerge(&chainedOut, chainedRes, chainedRS, chainedParts); err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.RenderMerge(&specOut, specRes, specRS, specParts); err != nil {
+		t.Fatal(err)
+	}
+	if specOut.String() != chainedOut.String() {
+		t.Errorf("merge reports differ:\n--- chained ---\n%s--- speculative ---\n%s", chainedOut.String(), specOut.String())
+	}
+
+	want, _, err := shard.Analyze(context.Background(), data, cfg, 1, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(specRes, want) {
+		t.Error("spliced merge differs from monolithic run")
+	}
+}
+
+// TestLoadDeltasRejectsMixedFiles: handing merge a delta chain with a
+// result file mixed in fails with an error naming the odd file.
+func TestLoadDeltasRejectsMixedFiles(t *testing.T) {
+	dir := t.TempDir()
+	resultFiles, _, _ := writeShardResults(t, dir, 2)
+	deltaFiles, _, _ := writeShardDeltas(t, dir, 2)
+
+	mixed := []string{deltaFiles[0], resultFiles[1]}
+	if _, _, err := loadDeltas(mixed); err == nil {
+		t.Fatal("loadDeltas accepted a delta chain with a result file mixed in")
+	} else if !strings.Contains(err.Error(), resultFiles[1]) {
+		t.Errorf("error %q does not name the odd file %s", err, resultFiles[1])
+	}
+
+	// Result file first: not a delta chain; the sniff defers to loadParts,
+	// which then rejects the delta file by magic.
+	if _, ok, err := loadDeltas([]string{resultFiles[0], deltaFiles[1]}); ok || err != nil {
+		t.Fatalf("result-first sniff: ok=%v err=%v, want a clean decline", ok, err)
+	}
+	if _, err := loadParts([]string{resultFiles[0], deltaFiles[1]}); err == nil {
+		t.Fatal("loadParts accepted a result chain with a delta file mixed in")
+	}
+}
+
 func TestLoadPartsMissingFile(t *testing.T) {
 	dir := t.TempDir()
 	files, _, _ := writeShardResults(t, dir, 2)

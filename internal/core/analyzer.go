@@ -167,8 +167,16 @@ const regFileBytes = int64(isa.NumRegs) * 24
 // Result.Config.WindowSize); under fail-fast it returns the structured
 // budget error that aborts the analysis.
 func (a *Analyzer) governBudget() error {
+	return a.governBudgetAt(a.well.memLen())
+}
+
+// governBudgetAt is governBudget with the live-memory count supplied by the
+// caller: during a speculative splice (ApplyDelta) the live well is stale —
+// touched locations live in the slot array until write-back — so the splice
+// meters its own running count instead.
+func (a *Analyzer) governBudgetAt(memLen int) error {
 	u := budget.Usage{
-		LiveWellBytes: int64(a.well.memLen())*budget.LiveWellEntryBytes + regFileBytes,
+		LiveWellBytes: int64(memLen)*budget.LiveWellEntryBytes + regFileBytes,
 		WindowBytes:   int64(len(a.window.seqs)-a.window.head) * budget.WindowEntryBytes,
 	}
 	if a.fu != nil {
@@ -249,7 +257,7 @@ func (a *Analyzer) event(e *trace.Event, seq uint64) error {
 		// imperfect branch model a misprediction firewalls the DDG at
 		// the branch's resolution level: nothing later may be placed
 		// above it.
-		if a.pred != nil && a.pred.mispredicted(e) {
+		if a.pred != nil && a.pred.mispredicted(e.PC, e.Ins.Imm < 0, e.Taken) {
 			a.raiseFloor(a.branchResolution(e) + 1)
 		}
 		return nil

@@ -77,9 +77,13 @@ func newPredictor(policy BranchPolicy, bits int) *predictor {
 	return p
 }
 
-// mispredicted consumes one conditional-branch event and reports whether
-// the modelled predictor got it wrong.
-func (p *predictor) mispredicted(e *trace.Event) bool {
+// mispredicted consumes one conditional branch — its PC, the sign of its
+// displacement, and whether it was taken — and reports whether the modelled
+// predictor got it wrong. The event is passed as fields rather than a
+// *trace.Event so the speculative splice (ApplyDelta), which replays
+// compiled branch records instead of events, drives the same predictor
+// state machine.
+func (p *predictor) mispredicted(pc uint32, immNeg, taken bool) bool {
 	p.branches++
 	var predictTaken bool
 	switch p.policy {
@@ -87,11 +91,11 @@ func (p *predictor) mispredicted(e *trace.Event) bool {
 		p.mispredicts++
 		return true
 	case BranchStatic:
-		predictTaken = e.Ins.Imm < 0 // backward-taken, forward-not-taken
+		predictTaken = immNeg // backward-taken, forward-not-taken
 	case BranchTwoBit:
-		idx := (e.PC >> 2) & p.mask
+		idx := (pc >> 2) & p.mask
 		predictTaken = p.counters[idx] >= 2
-		if e.Taken {
+		if taken {
 			if p.counters[idx] < 3 {
 				p.counters[idx]++
 			}
@@ -101,7 +105,7 @@ func (p *predictor) mispredicted(e *trace.Event) bool {
 	default:
 		return false
 	}
-	if predictTaken != e.Taken {
+	if predictTaken != taken {
 		p.mispredicts++
 		return true
 	}

@@ -746,21 +746,6 @@ func TestMaxLiveMemoryTracking(t *testing.T) {
 	}
 }
 
-// BenchmarkAnalyzerThroughput measures raw analysis speed on a synthetic
-// mixed trace; useful when sizing the SPEC-analogue runs.
-func BenchmarkAnalyzerThroughput(b *testing.B) {
-	events := randomTrace(rand.New(rand.NewSource(23)), 10000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := NewAnalyzer(Dataflow(SyscallConservative))
-		for j := range events {
-			_ = a.Event(&events[j])
-		}
-		a.MustFinish()
-	}
-	b.SetBytes(int64(len(events)))
-}
-
 // TestLatencyOverride: replacing a class's operation time reshapes the
 // critical path accordingly (the "changes in operation latencies" parameter
 // of the limit studies the paper surveys).

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+)
+
+// richTrace extends randomTrace's mix with the event kinds the speculative
+// record stream must encode structurally: conditional branches (predictor
+// state and source materialization cross shard seams), calls binding
+// return-address constants, syscalls and NOPs.
+func richTrace(rng *rand.Rand, n int) []trace.Event {
+	regs := []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.S0, isa.S1}
+	var events []trace.Event
+	for len(events) < n {
+		r1 := regs[rng.Intn(len(regs))]
+		r2 := regs[rng.Intn(len(regs))]
+		switch rng.Intn(12) {
+		case 0, 1, 2:
+			events = append(events, evAdd(r1, r2, regs[rng.Intn(len(regs))]))
+		case 3:
+			events = append(events, evAddi(r1, r2, int32(rng.Intn(64))))
+		case 4:
+			events = append(events, evLoad(r1, 0x10000000+4*uint32(rng.Intn(32)), trace.SegData))
+		case 5:
+			events = append(events, evStore(r1, 0x10000000+4*uint32(rng.Intn(32)), trace.SegData))
+		case 6:
+			events = append(events, evStore(r1, 0x7fff0000+4*uint32(rng.Intn(8)), trace.SegStack))
+		case 7:
+			imm := int32(rng.Intn(200) - 100)
+			events = append(events, trace.Event{
+				PC:    0x400000 + 4*uint32(rng.Intn(64)),
+				Ins:   isa.Instruction{Op: isa.BEQ, Rs: r1, Rt: r2, Imm: imm},
+				Taken: rng.Intn(2) == 0,
+			})
+		case 8:
+			events = append(events, trace.Event{Ins: isa.Instruction{Op: isa.JALR, Rd: isa.RA, Rs: r1}})
+		case 9:
+			events = append(events, trace.Event{Ins: isa.Instruction{Op: isa.JR, Rs: isa.RA}})
+		case 10:
+			if rng.Intn(4) == 0 {
+				events = append(events, evSyscall())
+			} else {
+				events = append(events, trace.Event{Ins: isa.Instruction{Op: isa.NOP}})
+			}
+		case 11:
+			events = append(events, trace.Event{Ins: isa.Instruction{Op: isa.MULT, Rs: r1, Rt: r2}})
+			events = append(events, trace.Event{Ins: isa.Instruction{Op: isa.MFLO, Rd: regs[rng.Intn(len(regs))]}})
+		}
+	}
+	return events[:n]
+}
+
+// deltaConfigs is the configuration matrix the delta differential sweeps:
+// every switch that changes what the builder compiles (syscall policy,
+// renaming, branch policies) or what the splice maintains (window,
+// functional units, profiles, distributions, budgets, latencies).
+func deltaConfigs() []Config {
+	zero := Config{}
+	df := Dataflow(SyscallConservative)
+	windowed := Dataflow(SyscallOptimistic)
+	windowed.WindowSize = 24
+	windowed.Lifetimes = true
+	windowed.Sharing = true
+	fu := Config{Syscalls: SyscallOptimistic, FunctionalUnits: 2, StorageProfile: true}
+	branchy := Dataflow(SyscallConservative)
+	branchy.Branches = BranchTwoBit
+	branchy.PredictorBits = 4
+	branchy.Lifetimes = true
+	branchy.Sharing = true
+	stall := Config{Branches: BranchStall, Lifetimes: true, Sharing: true}
+	static := Config{Branches: BranchStatic, RenameStack: true, UnitLatency: true}
+	slow := Config{LatencyOverride: map[isa.OpClass]int{isa.ClassIntMul: 9}}
+	governed := Dataflow(SyscallConservative)
+	governed.WindowSize = 64
+	governed.MemBudget = 8 << 10
+	governed.BudgetPolicy = budget.Degrade
+	warn := Config{MemBudget: 4 << 10, BudgetPolicy: budget.WarnOnly, StorageProfile: true}
+	return []Config{zero, df, windowed, fu, branchy, stall, static, slow, governed, warn}
+}
+
+// buildDelta compiles events[lo:hi] speculatively.
+func buildDelta(t *testing.T, cfg Config, events []trace.Event, lo, hi int) *ShardDelta {
+	t.Helper()
+	b := NewDeltaBuilder(cfg, uint64(lo))
+	if err := b.Events(events[lo:hi]); err != nil {
+		t.Fatalf("build [%d:%d): %v", lo, hi, err)
+	}
+	return b.Delta()
+}
+
+// cuts picks 0-3 random cut points splitting n events into segments.
+func cuts(rng *rand.Rand, n int) []int {
+	pts := []int{0}
+	for k := rng.Intn(4); k > 0; k-- {
+		pts = append(pts, rng.Intn(n+1))
+	}
+	pts = append(pts, n)
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j] < pts[j-1]; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return pts
+}
+
+// TestDeltaDifferentialMonolithic is the core equivalence pin: compiling a
+// trace into per-segment deltas with no entry state and splicing them in
+// order onto a fresh analyzer produces a Result deep-equal to feeding every
+// event through Analyzer.Event, across the whole configuration matrix.
+func TestDeltaDifferentialMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for ci, cfg := range deltaConfigs() {
+		for trial := 0; trial < 8; trial++ {
+			events := richTrace(rng, 150+rng.Intn(400))
+			want := analyze(t, cfg, events)
+
+			a := NewAnalyzer(cfg)
+			pts := cuts(rng, len(events))
+			for i := 1; i < len(pts); i++ {
+				d := buildDelta(t, cfg, events, pts[i-1], pts[i])
+				if err := a.ApplyDelta(d); err != nil {
+					t.Fatalf("config %d trial %d: apply [%d:%d): %v", ci, trial, pts[i-1], pts[i], err)
+				}
+			}
+			got, err := a.Finish()
+			if err != nil {
+				t.Fatalf("config %d trial %d: finish: %v", ci, trial, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("config %d trial %d cuts %v: speculative splice differs from monolithic:\n got %+v\nwant %+v",
+					ci, trial, pts, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaSpliceEquivalenceQuick pins the satellite's equivalence property:
+// splicing shard i+1's delta onto shard i's exit checkpoint is
+// indistinguishable from chaining the events through the restored analyzer.
+func TestDeltaSpliceEquivalenceQuick(t *testing.T) {
+	cfgs := deltaConfigs()
+	f := func(seed int64, rawCut uint16, rawCfg uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := cfgs[int(rawCfg)%len(cfgs)]
+		events := richTrace(rng, 120)
+		cut := int(rawCut) % (len(events) + 1)
+
+		warm := NewAnalyzer(cfg)
+		for i := range events[:cut] {
+			if err := warm.Event(&events[i]); err != nil {
+				return false
+			}
+		}
+		cp := warm.Snapshot()
+
+		chained := cp.Restore()
+		for i := cut; i < len(events); i++ {
+			if err := chained.Event(&events[i]); err != nil {
+				return false
+			}
+		}
+		want, err := chained.Finish()
+		if err != nil {
+			return false
+		}
+
+		spliced := cp.Restore()
+		b := NewDeltaBuilder(cfg, uint64(cut))
+		if b.Events(events[cut:]) != nil {
+			return false
+		}
+		if spliced.ApplyDelta(b.Delta()) != nil {
+			return false
+		}
+		got, err := spliced.Finish()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaIdentityQuick: an empty delta is a no-op splice — applying it
+// anywhere in a run changes nothing.
+func TestDeltaIdentityQuick(t *testing.T) {
+	cfgs := deltaConfigs()
+	f := func(seed int64, rawCut uint16, rawCfg uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := cfgs[int(rawCfg)%len(cfgs)]
+		events := richTrace(rng, 100)
+		cut := int(rawCut) % (len(events) + 1)
+
+		plain := NewAnalyzer(cfg)
+		withZero := NewAnalyzer(cfg)
+		for i := range events {
+			if i == cut {
+				zero := NewDeltaBuilder(cfg, uint64(i)).Delta()
+				if withZero.ApplyDelta(zero) != nil {
+					return false
+				}
+			}
+			if plain.Event(&events[i]) != nil || withZero.Event(&events[i]) != nil {
+				return false
+			}
+		}
+		a, err1 := plain.Finish()
+		b, err2 := withZero.Finish()
+		return err1 == nil && err2 == nil && reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaConcatQuick: splicing is compositional and associative. For
+// consecutive deltas a, b, c: Concat(a, b) applied once equals applying a
+// then b, and Concat(Concat(a,b),c) is structurally identical (deep-equal,
+// not just behaviorally equal) to Concat(a,Concat(b,c)).
+func TestDeltaConcatQuick(t *testing.T) {
+	cfgs := deltaConfigs()
+	f := func(seed int64, rawCfg uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := cfgs[int(rawCfg)%len(cfgs)]
+		events := richTrace(rng, 180)
+		pts := []int{0, 60, 120, len(events)}
+
+		var ds []*ShardDelta
+		for i := 1; i < len(pts); i++ {
+			b := NewDeltaBuilder(cfg, uint64(pts[i-1]))
+			if b.Events(events[pts[i-1]:pts[i]]) != nil {
+				return false
+			}
+			ds = append(ds, b.Delta())
+		}
+
+		ab, err := ds[0].Concat(ds[1])
+		if err != nil {
+			return false
+		}
+		abc1, err := ab.Concat(ds[2])
+		if err != nil {
+			return false
+		}
+		bc, err := ds[1].Concat(ds[2])
+		if err != nil {
+			return false
+		}
+		abc2, err := ds[0].Concat(bc)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(abc1, abc2) {
+			return false
+		}
+
+		// Behavioral: one concatenated splice == three chained splices.
+		split := NewAnalyzer(cfg)
+		for _, d := range ds {
+			if split.ApplyDelta(d) != nil {
+				return false
+			}
+		}
+		whole := NewAnalyzer(cfg)
+		if whole.ApplyDelta(abc1) != nil {
+			return false
+		}
+		a, err1 := split.Finish()
+		b, err2 := whole.Finish()
+		return err1 == nil && err2 == nil && reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaBudgetFailFastParity: under a fail-fast budget the splice fails
+// with exactly the error — same event index, same message — the sequential
+// analyzer reports.
+func TestDeltaBudgetFailFastParity(t *testing.T) {
+	cfg := Dataflow(SyscallConservative)
+	cfg.MemBudget = 1 << 10
+	cfg.BudgetPolicy = budget.FailFast
+
+	rng := rand.New(rand.NewSource(99))
+	var events []trace.Event
+	for i := 0; i < 4096; i++ {
+		events = append(events, evStore(isa.T0, 0x10000000+4*uint32(rng.Intn(4096)), trace.SegData))
+	}
+
+	mono := NewAnalyzer(cfg)
+	var wantErr error
+	for i := range events {
+		if wantErr = mono.Event(&events[i]); wantErr != nil {
+			break
+		}
+	}
+	if wantErr == nil {
+		t.Fatal("monolithic run stayed under a 1KB budget")
+	}
+
+	b := NewDeltaBuilder(cfg, 0)
+	if err := b.Events(events); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	spec := NewAnalyzer(cfg)
+	gotErr := spec.ApplyDelta(b.Delta())
+	if gotErr == nil {
+		t.Fatal("splice stayed under a 1KB budget")
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Errorf("splice error %q, want %q", gotErr, wantErr)
+	}
+}
+
+// TestDeltaValidationParity: the builder rejects malformed events with the
+// same absolute-index error the analyzer reports, and keeps the prefix
+// before the failure so the driver can order errors like a chained run.
+func TestDeltaValidationParity(t *testing.T) {
+	events := richTrace(rand.New(rand.NewSource(7)), 40)
+	bad := trace.Event{Ins: isa.Instruction{Op: isa.ADD}, MemSize: 4, Seg: trace.SegData}
+	events = append(events[:25], append([]trace.Event{bad}, events[25:]...)...)
+
+	cfg := Dataflow(SyscallConservative)
+	const start = 1000
+	mono := NewAnalyzer(cfg)
+	mono.instructions = start // position the oracle at the same offset
+	var wantErr error
+	for i := range events {
+		if wantErr = mono.Event(&events[i]); wantErr != nil {
+			break
+		}
+	}
+	if wantErr == nil {
+		t.Fatal("monolithic analyzer accepted the malformed event")
+	}
+
+	b := NewDeltaBuilder(cfg, start)
+	gotErr := b.Events(events)
+	if gotErr == nil {
+		t.Fatal("builder accepted the malformed event")
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Errorf("builder error %q, want %q", gotErr, wantErr)
+	}
+	if !strings.Contains(gotErr.Error(), "1025") {
+		t.Errorf("builder error %q does not carry the absolute event index", gotErr)
+	}
+	if got := b.Delta().Events; got != 25 {
+		t.Errorf("prefix delta has %d events, want 25", got)
+	}
+}
+
+// TestDeltaGuards: the splice refuses deltas that cannot line up — wrong
+// position, mismatched build config, finished analyzer.
+func TestDeltaGuards(t *testing.T) {
+	cfg := Config{}
+	d := NewDeltaBuilder(cfg, 5).Delta()
+	a := NewAnalyzer(cfg)
+	if err := a.ApplyDelta(d); err == nil || !strings.Contains(err.Error(), "starts at event 5") {
+		t.Errorf("offset guard: %v", err)
+	}
+
+	other := Config{RenameRegisters: true}
+	d2 := NewDeltaBuilder(other, 0).Delta()
+	if err := a.ApplyDelta(d2); err == nil || !strings.Contains(err.Error(), "built for config") {
+		t.Errorf("sig guard: %v", err)
+	}
+
+	if _, err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ApplyDelta(NewDeltaBuilder(cfg, 0).Delta()); err == nil {
+		t.Error("finished analyzer accepted a delta")
+	}
+
+	// Concat guards: seam mismatch and config mismatch.
+	if _, err := NewDeltaBuilder(cfg, 0).Delta().Concat(NewDeltaBuilder(cfg, 3).Delta()); err == nil {
+		t.Error("Concat accepted a seam gap")
+	}
+	if _, err := NewDeltaBuilder(cfg, 0).Delta().Concat(NewDeltaBuilder(other, 0).Delta()); err == nil {
+		t.Error("Concat accepted mismatched configs")
+	}
+}

@@ -173,6 +173,93 @@ func TestDifferentialShardedDegraded(t *testing.T) {
 	}
 }
 
+// TestDifferentialSpeculative is the speculative-equals-monolithic proof on
+// real recorded workloads: the speculative driver (parallel entry-state-free
+// shard compilation + sequential seam splice) must match the monolithic
+// reference exactly, for every config × every shard count. Under -race this
+// also audits the build/splice pipeline's concurrency.
+func TestDifferentialSpeculative(t *testing.T) {
+	cfgs := shardConfigs()
+	for _, name := range []string{"xlispx", "spicex"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data := recordTrace(t, name, 200_000)
+			want := make([]*core.Result, len(cfgs))
+			var wantStats trace.ReadStats
+			for i, cfg := range cfgs {
+				want[i], wantStats = monolithicRef(t, data, cfg, false)
+			}
+			for _, n := range shardCounts() {
+				results, rs, err := shard.AnalyzeMulti(context.Background(), data, cfgs, n, shard.Options{Speculate: true})
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				for i := range cfgs {
+					if !reflect.DeepEqual(results[i], want[i]) {
+						t.Errorf("n=%d config %d: speculative Result differs from monolithic", n, i)
+					}
+				}
+				if rs != wantStats {
+					t.Errorf("n=%d: ReadStats = %+v, want %+v", n, rs, wantStats)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSpeculativeDegraded repeats the speculative proof on a
+// damaged trace read in degraded mode, and cross-checks the chained driver
+// on the same bytes so all three engines (monolithic, chained, speculative)
+// are pinned to each other in one place.
+func TestDifferentialSpeculativeDegraded(t *testing.T) {
+	cfgs := []core.Config{shardConfigs()[len(shardConfigs())-2]} // the full collection config
+	cfgs = append(cfgs, core.Config{Branches: core.BranchTwoBit, PredictorBits: 8, RenameRegisters: true})
+	data := recordTrace(t, "matrixx", 150_000)
+	var err error
+	for _, i := range []int{3, 11} {
+		data, err = faultinject.CorruptChunk(data, i, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err = faultinject.DuplicateChunk(data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = faultinject.Truncate(data, 9)
+
+	want := make([]*core.Result, len(cfgs))
+	var wantStats trace.ReadStats
+	for i, cfg := range cfgs {
+		want[i], wantStats = monolithicRef(t, data, cfg, true)
+	}
+	if wantStats.SkippedChunks == 0 || wantStats.DuplicateChunks == 0 {
+		t.Fatalf("damage fixture too mild: %+v", wantStats)
+	}
+	for _, n := range shardCounts() {
+		spec, srs, err := shard.AnalyzeMulti(context.Background(), data, cfgs, n, shard.Options{Degraded: true, Speculate: true})
+		if err != nil {
+			t.Fatalf("speculative n=%d: %v", n, err)
+		}
+		chained, crs, err := shard.AnalyzeMulti(context.Background(), data, cfgs, n, shard.Options{Degraded: true})
+		if err != nil {
+			t.Fatalf("chained n=%d: %v", n, err)
+		}
+		for i := range cfgs {
+			if !reflect.DeepEqual(spec[i], want[i]) {
+				t.Errorf("n=%d config %d: degraded speculative Result differs from monolithic", n, i)
+			}
+			if !reflect.DeepEqual(spec[i], chained[i]) {
+				t.Errorf("n=%d config %d: speculative Result differs from chained", n, i)
+			}
+		}
+		if srs != wantStats || crs != wantStats {
+			t.Errorf("n=%d: ReadStats speculative %+v chained %+v, want %+v", n, srs, crs, wantStats)
+		}
+	}
+}
+
 // TestGoldenShardMerge pins the pgshard merge report byte-for-byte: the
 // per-shard table and combined metrics for a deterministic workload split
 // three ways. Regenerate with -update after intended analyzer or renderer

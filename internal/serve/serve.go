@@ -351,16 +351,17 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Trace    string          `json:"trace"`
-		Config   json.RawMessage `json:"config"`
-		Shards   int             `json:"shards"`
-		Degraded bool            `json:"degraded"`
+		Trace     string          `json:"trace"`
+		Config    json.RawMessage `json:"config"`
+		Shards    int             `json:"shards"`
+		Degraded  bool            `json:"degraded"`
+		Speculate bool            `json:"speculate"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing job: %v", err))
 		return
 	}
-	spec := JobSpec{TraceID: req.Trace, Shards: req.Shards, Degraded: req.Degraded}
+	spec := JobSpec{TraceID: req.Trace, Shards: req.Shards, Degraded: req.Degraded, Speculate: req.Speculate}
 	if len(req.Config) > 0 {
 		if err := json.Unmarshal(req.Config, &spec.Config); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing config: %v", err))

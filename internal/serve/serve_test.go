@@ -287,6 +287,131 @@ func TestDifferentialDaemonChaos(t *testing.T) {
 	}
 }
 
+// submitSpeculativeJob queues a job with the speculative engine selected.
+func submitSpeculativeJob(t *testing.T, api, traceID string, cfg core.Config, shards int) string {
+	t.Helper()
+	var resp map[string]string
+	code, raw := postJSON(t, api+"/v1/jobs", map[string]any{
+		"trace": traceID, "config": cfg, "shards": shards, "speculate": true,
+	}, &resp)
+	if code != http.StatusAccepted {
+		t.Fatalf("submitting speculative job: status %d: %s", code, raw)
+	}
+	return resp["id"]
+}
+
+// TestDifferentialDaemonSpeculative: a speculative job produces exactly the
+// chained job's output — same merged result, same read stats — and leaves
+// both the delta files (the parallel build artifacts) and the same
+// shard-N.pgsr result files the chained path persists.
+func TestDifferentialDaemonSpeculative(t *testing.T) {
+	data := synthTrace(t, 20000, 7)
+	path := writeTraceFile(t, data)
+	stateDir := t.TempDir()
+	_, api := testServer(t, stateDir, nil)
+
+	tid := registerTrace(t, api, path)
+	chainedID := submitJob(t, api, tid, testConfig, 5)
+	specID := submitSpeculativeJob(t, api, tid, testConfig, 5)
+	if v := waitJob(t, api, chainedID); v.State != StateDone {
+		t.Fatalf("chained job finished %q, want done: %+v", v.State, v)
+	}
+	if v := waitJob(t, api, specID); v.State != StateDone {
+		t.Fatalf("speculative job finished %q, want done: %+v", v.State, v)
+	}
+
+	chained := fetchGobResult(t, api, chainedID)
+	spec := fetchGobResult(t, api, specID)
+	if !reflect.DeepEqual(spec.Result, chained.Result) {
+		t.Error("speculative job result differs from chained job result")
+	}
+	if spec.ReadStats != chained.ReadStats {
+		t.Errorf("read stats: speculative %+v, chained %+v", spec.ReadStats, chained.ReadStats)
+	}
+
+	// Same per-shard result files, and the speculative job's deltas on top.
+	for i := 0; i < 5; i++ {
+		specPart, _, err := shard.LoadResult(filepath.Join(stateDir, "jobs", specID, "shard-"+strconv.Itoa(i)+".pgsr"))
+		if err != nil {
+			t.Fatalf("speculative job shard %d result: %v", i, err)
+		}
+		chainedPart, _, err := shard.LoadResult(filepath.Join(stateDir, "jobs", chainedID, "shard-"+strconv.Itoa(i)+".pgsr"))
+		if err != nil {
+			t.Fatalf("chained job shard %d result: %v", i, err)
+		}
+		if !reflect.DeepEqual(specPart, chainedPart) {
+			t.Errorf("shard %d: speculative persisted result differs from chained", i)
+		}
+		if _, err := shard.LoadDelta(filepath.Join(stateDir, "jobs", specID, "shard-"+strconv.Itoa(i)+".pgsd")); err != nil {
+			t.Errorf("speculative job shard %d delta not persisted: %v", i, err)
+		}
+	}
+}
+
+// TestDifferentialDaemonSpeculativeChaosResume combines the hostile paths:
+// a speculative job fetching its shards through the chaos transport is
+// crash-killed right after the first spliced shard persists; a fresh
+// daemon resumes it (reusing the persisted deltas and the finished shard)
+// and the merged result is deep-equal to a clean local run.
+func TestDifferentialDaemonSpeculativeChaosResume(t *testing.T) {
+	data := synthTrace(t, 20000, 8)
+	store := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.ServeContent(w, r, "trace.pgt", time.Unix(0, 0), bytes.NewReader(data))
+	}))
+	defer store.Close()
+	newChaos := func(seed int64) *http.Client {
+		return &http.Client{Transport: faultinject.NewChaosTransport(store.Client().Transport, faultinject.ChaosOptions{
+			Seed: seed, ThrottleP: 0.15, CutP: 0.15, TruncateP: 0.1,
+		})}
+	}
+	stateDir := t.TempDir()
+
+	s1, api1 := testServer(t, stateDir, func(o *Options) { o.Client = newChaos(31) })
+	crashed := make(chan struct{})
+	var once sync.Once
+	s1.afterShard = func(jobID string, i int) {
+		if i == 0 {
+			once.Do(func() {
+				s1.cancel()
+				close(crashed)
+			})
+		}
+	}
+	tid := registerTrace(t, api1, store.URL)
+	jid := submitSpeculativeJob(t, api1, tid, testConfig, 4)
+	select {
+	case <-crashed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("speculative job never spliced its first shard")
+	}
+	s1.kill()
+
+	if _, err := os.Stat(filepath.Join(stateDir, "jobs", jid, "result.pgr")); err == nil {
+		t.Fatal("crashed daemon left a merged result; the job had not finished")
+	}
+	if _, _, err := shard.LoadResult(filepath.Join(stateDir, "jobs", jid, "shard-0.pgsr")); err != nil {
+		t.Fatalf("crashed daemon lost shard 0's persisted result: %v", err)
+	}
+
+	_, api2 := testServer(t, stateDir, func(o *Options) { o.Client = newChaos(32) })
+	v := waitJob(t, api2, jid)
+	if v.State != StateDone {
+		t.Fatalf("resumed speculative job finished %q, want done: %+v", v.State, v)
+	}
+
+	got := fetchGobResult(t, api2, jid)
+	wantRes, wantRS, err := shard.Analyze(context.Background(), data, testConfig, 4, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result, wantRes) {
+		t.Error("resumed speculative result differs from clean local analysis")
+	}
+	if got.ReadStats != wantRS {
+		t.Errorf("resumed speculative read stats %+v, want %+v", got.ReadStats, wantRS)
+	}
+}
+
 // TestDifferentialDaemonCrashResume is the crash differential: the daemon
 // dies (hard cancel, nothing flushed beyond what atomic writes already
 // persisted) right after the first shard lands; a fresh daemon over the

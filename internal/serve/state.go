@@ -43,6 +43,12 @@ type JobSpec struct {
 	Config   core.Config `json:"config"`
 	Shards   int         `json:"shards"`
 	Degraded bool        `json:"degraded"` // degraded trace read mode
+	// Speculate runs the shards concurrently: supervised parallel delta
+	// builds (each with the usual attempt budget and panic containment)
+	// followed by a sequential splice that persists the same per-shard
+	// result files the chained path writes, so resume and degradation
+	// behave identically.
+	Speculate bool `json:"speculate,omitempty"`
 }
 
 // DegradedMark is the persisted terminal marker of a job whose shard chain
@@ -72,6 +78,7 @@ const resultMagic = "pgserved-result-v1\n"
 //	jobs/<id>/spec.json          job definition
 //	jobs/<id>/plan.json          shard plan (written once, reused on resume)
 //	jobs/<id>/shard-N.pgsr       shard result + outgoing checkpoint
+//	jobs/<id>/shard-N.pgsd       speculative shard delta (Speculate jobs only)
 //	jobs/<id>/result.pgr         merged result; its existence marks the job done
 //	jobs/<id>/degraded.json      terminal degradation marker
 type state struct {
@@ -94,6 +101,9 @@ func (st *state) specPath(id string) string { return filepath.Join(st.jobDir(id)
 func (st *state) planPath(id string) string { return filepath.Join(st.jobDir(id), "plan.json") }
 func (st *state) shardPath(id string, i int) string {
 	return filepath.Join(st.jobDir(id), fmt.Sprintf("shard-%d.pgsr", i))
+}
+func (st *state) deltaPath(id string, i int) string {
+	return filepath.Join(st.jobDir(id), fmt.Sprintf("shard-%d.pgsd", i))
 }
 func (st *state) resultPath(id string) string   { return filepath.Join(st.jobDir(id), "result.pgr") }
 func (st *state) degradedPath(id string) string { return filepath.Join(st.jobDir(id), "degraded.json") }

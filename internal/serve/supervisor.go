@@ -107,6 +107,10 @@ func (s *Server) runJobChain(j *job) error {
 	}
 	j.initShards(len(plan.Shards))
 
+	if spec.Speculate {
+		return s.runJobSplice(j, src, data, plan)
+	}
+
 	ns := len(plan.Shards)
 	parts := make([]*shard.Result, ns)
 	var prevCP *core.Checkpoint
@@ -156,6 +160,189 @@ func (s *Server) runJobChain(j *job) error {
 	}
 	j.setState(StateDone)
 	return nil
+}
+
+// runJobSplice is the speculative job engine: every unfinished shard's
+// delta builds concurrently under the same supervision as a chained shard
+// (attempt budget, panic containment, remote Section fetch per attempt,
+// persisted atomically), then one sequential splice applies the deltas in
+// order, persisting the same shard-N.pgsr files — result plus outgoing
+// checkpoint — the chained path writes. A restarted job therefore resumes
+// from whichever artifacts exist (finished shard results are skipped,
+// persisted deltas are reused, the rest rebuild), and a shard that cannot
+// be built or spliced degrades the job at that shard exactly as a broken
+// chain would.
+func (s *Server) runJobSplice(j *job, src *remote.Source, data []byte, plan *shard.Plan) error {
+	spec := j.spec
+	ns := len(plan.Shards)
+	parts := make([]*shard.Result, ns)
+	cps := make([]*core.Checkpoint, ns)
+	resumed := make([]bool, ns)
+	for i := 0; i < ns; i++ {
+		if part, cp, err := shard.LoadResult(s.st.shardPath(spec.ID, i)); err == nil {
+			parts[i], cps[i], resumed[i] = part, cp, true
+			j.shardDone(i, part.Events)
+		}
+	}
+
+	deltas := make([]*shard.Delta, ns)
+	buildErrs := make([]error, ns)
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < ns; i++ {
+		if resumed[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			deltas[i], buildErrs[i] = s.superviseDelta(j, src, data, plan, i)
+		}(i)
+	}
+	wg.Wait()
+
+	degrade := func(i int, reason string) error {
+		mark := DegradedMark{Shard: i, Attempts: j.shardAttempts(i), Reason: reason}
+		if serr := s.st.saveDegraded(spec.ID, mark); serr != nil {
+			return fmt.Errorf("job %s: persisting degradation: %w", spec.ID, serr)
+		}
+		j.setDegraded(&mark, i)
+		return nil
+	}
+
+	var a *core.Analyzer
+	for i := 0; i < ns; i++ {
+		if s.interrupted() {
+			return errInterrupted
+		}
+		if resumed[i] {
+			if cps[i] != nil {
+				a = cps[i].Restore()
+			}
+			continue
+		}
+		if err := buildErrs[i]; err != nil {
+			if errors.Is(err, errInterrupted) {
+				return errInterrupted
+			}
+			// The splice cannot pass shard i; shards before it keep their
+			// persisted results, exactly like a broken checkpoint chain.
+			return degrade(i, err.Error())
+		}
+		if a == nil {
+			// Only reachable at shard 0: every persisted non-final shard
+			// result carries its outgoing checkpoint.
+			a = core.NewAnalyzer(spec.Config)
+		}
+		d := deltas[i]
+		part, cp, err := shard.RunShardDelta(a, d.D, spec.Config, d.ReadStats, i, ns, i < ns-1)
+		if err != nil {
+			j.shardFailed(i)
+			return degrade(i, err.Error())
+		}
+		if err := shard.SaveResult(s.st.shardPath(spec.ID, i), part, cp); err != nil {
+			return fmt.Errorf("job %s: persisting shard %d: %w", spec.ID, i, err)
+		}
+		parts[i] = part
+		j.shardDone(i, part.Events)
+		if s.afterShard != nil {
+			s.afterShard(spec.ID, i)
+		}
+	}
+
+	res, rs, err := shard.Merge(parts)
+	if err != nil {
+		return fmt.Errorf("job %s: merging shard results: %w", spec.ID, err)
+	}
+	if err := s.st.saveResult(spec.ID, &JobResult{Result: res, ReadStats: rs}); err != nil {
+		return fmt.Errorf("job %s: persisting result: %w", spec.ID, err)
+	}
+	j.setState(StateDone)
+	return nil
+}
+
+// superviseDelta builds one shard's speculative delta through the attempt
+// budget, reusing a delta persisted by an earlier (killed) run of the job.
+// It is safe to call concurrently for different shards: remote Section
+// fetches, progress notes and backoff draws are all internally locked.
+func (s *Server) superviseDelta(j *job, src *remote.Source, data []byte, plan *shard.Plan, i int) (*shard.Delta, error) {
+	if d, err := shard.LoadDelta(s.st.deltaPath(j.spec.ID, i)); err == nil &&
+		d.Index == i && d.Shards == len(plan.Shards) && d.D.StartEvent == plan.Shards[i].StartEvent {
+		return d, nil
+	}
+	var lastErr error
+	for attempt := 1; attempt <= s.shardAttempts; attempt++ {
+		if s.interrupted() {
+			return nil, errInterrupted
+		}
+		j.noteAttempt(i, attempt)
+		d, err := s.buildDeltaAttempt(j, src, data, plan, i)
+		if err == nil {
+			if serr := shard.SaveDelta(s.st.deltaPath(j.spec.ID, i), d); serr != nil {
+				return nil, fmt.Errorf("shard %d: persisting delta: %w", i, serr)
+			}
+			return d, nil
+		}
+		if s.ctx.Err() != nil {
+			return nil, errInterrupted
+		}
+		if remote.IsPermanent(err) {
+			return nil, fmt.Errorf("shard %d attempt %d: %w", i, attempt, err)
+		}
+		lastErr = err
+		if attempt < s.shardAttempts {
+			s.backoff(attempt)
+		}
+	}
+	j.shardFailed(i)
+	return nil, fmt.Errorf("shard %d: retry budget exhausted after %d attempts: %w", i, s.shardAttempts, lastErr)
+}
+
+// buildDeltaAttempt is one contained speculative build: fetch or slice the
+// shard's bytes, decode, and compile with no entry state. Panics convert
+// to a failed attempt, like runShardAttempt.
+func (s *Server) buildDeltaAttempt(j *job, src *remote.Source, data []byte, plan *shard.Plan, i int) (d *shard.Delta, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			d = nil
+			err = fmt.Errorf("shard %d: panic contained: %v", i, v)
+		}
+	}()
+	ctx := s.ctx
+	if s.shardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(s.ctx, s.shardTimeout)
+		defer cancel()
+	}
+	if s.beforeAttempt != nil {
+		s.beforeAttempt(j.spec.ID, i)
+	}
+
+	sh := plan.Shards[i]
+	buf := data
+	if buf == nil {
+		sect, start, end, ferr := src.Section(ctx, sh.Start, sh.End)
+		j.setRetry(src.Stats())
+		if ferr != nil {
+			return nil, ferr
+		}
+		sh.Start, sh.End = start, end
+		buf = sect
+	}
+	evbuf, err := shard.DecodeShard(ctx, buf, sh, plan.Degraded)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := shard.BuildShardDelta(ctx, evbuf, j.spec.Config, sh)
+	if err != nil {
+		return nil, err
+	}
+	return &shard.Delta{
+		Index: sh.Index, Shards: len(plan.Shards),
+		Config: j.spec.Config, ReadStats: evbuf.Stats(), D: cd,
+	}, nil
 }
 
 // jobPlan loads the persisted shard plan or computes and persists it. The

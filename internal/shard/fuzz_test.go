@@ -3,8 +3,10 @@ package shard
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"testing"
 
+	"paragraph/internal/core"
 	"paragraph/internal/faultinject"
 	"paragraph/internal/trace"
 )
@@ -123,6 +125,74 @@ func FuzzSplitter(f *testing.F) {
 		}
 		if sum != plan.Stats {
 			t.Fatalf("summed shard ReadStats %+v != monolithic %+v", sum, plan.Stats)
+		}
+	})
+}
+
+// FuzzSpeculativeEquivalence feeds arbitrary bytes and shard counts through
+// the chained and speculative drivers and asserts they are observationally
+// equivalent: both succeed with deep-equal Results and identical ReadStats,
+// or both fail. The speculative pass compiles every shard with no entry
+// state, so any divergence here means a record was mis-encoded or the seam
+// splice dropped state — exactly the bugs a hand-written differential can
+// miss on traces it didn't think of.
+func FuzzSpeculativeEquivalence(f *testing.F) {
+	valid := func(n int, seed int64, chunk int) []byte {
+		var buf bytes.Buffer
+		w, err := trace.NewWriterOpts(&buf, trace.WriterOptions{ChunkBytes: chunk})
+		if err != nil {
+			f.Fatal(err)
+		}
+		events := synthEvents(n, seed)
+		for i := range events {
+			if err := w.Event(&events[i]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	small := valid(400, 21, 128)
+	f.Add(small, uint8(3), true)
+	f.Add(small, uint8(1), false)
+	f.Add(valid(60, 22, 64), uint8(7), false)
+	f.Add(small[:len(small)/2], uint8(2), true) // torn tail
+	if c, err := faultinject.CorruptChunk(small, 2, 99); err == nil {
+		f.Add(c, uint8(4), true)
+	}
+	if d, err := faultinject.DuplicateChunk(small, 1); err == nil {
+		f.Add(d, uint8(3), true)
+	}
+	f.Add([]byte("PGTRACE2"), uint8(2), true)
+	f.Add([]byte{}, uint8(1), false)
+	f.Add(bytes.Repeat([]byte{0xD7, 'P', 'G', 0xC5}, 50), uint8(5), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, degraded bool) {
+		n := int(nRaw%8) + 1
+		// Two configs with different build signatures (branch modeling on
+		// and off) so signature-dependent record paths both run.
+		cfgs := []core.Config{
+			fullConfig(),
+			{Branches: core.BranchTwoBit, PredictorBits: 4, WindowSize: 128},
+		}
+		ctx := context.Background()
+		chained, crs, cerr := AnalyzeMulti(ctx, data, cfgs, n, Options{Degraded: degraded})
+		spec, srs, serr := AnalyzeMulti(ctx, data, cfgs, n, Options{Degraded: degraded, Speculate: true})
+		if (cerr == nil) != (serr == nil) {
+			t.Fatalf("drivers disagree on failure: chained err %v, speculative err %v", cerr, serr)
+		}
+		if cerr != nil {
+			return
+		}
+		if crs != srs {
+			t.Fatalf("ReadStats: chained %+v, speculative %+v", crs, srs)
+		}
+		for i := range cfgs {
+			if !reflect.DeepEqual(chained[i], spec[i]) {
+				t.Fatalf("config %d: speculative Result differs from chained (n=%d, degraded=%v)", i, n, degraded)
+			}
 		}
 	})
 }

@@ -144,3 +144,70 @@ func LoadResult(path string) (*Result, *core.Checkpoint, error) {
 	defer f.Close()
 	return ReadResult(f)
 }
+
+// deltaMagic versions the speculative shard-delta file format. It is
+// distinct from resultMagic so pgshard merge can sniff which kind of
+// per-shard file it was handed.
+const deltaMagic = "pgshard-delta-v1\n"
+
+// WriteDelta writes one shard's speculative delta to w.
+func WriteDelta(w io.Writer, d *Delta) error {
+	if _, err := io.WriteString(w, deltaMagic); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("shard %d: encoding delta: %w", d.Index, err)
+	}
+	return nil
+}
+
+// ReadDelta reads a shard-delta stream written by WriteDelta.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	magic := make([]byte, len(deltaMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("shard: reading delta magic: %w", err)
+	}
+	if string(magic) != deltaMagic {
+		return nil, fmt.Errorf("shard: not a shard-delta file (magic %q)", magic)
+	}
+	var d Delta
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("shard: decoding delta: %w", err)
+	}
+	if d.D == nil {
+		return nil, fmt.Errorf("shard: delta file carries no record stream")
+	}
+	return &d, nil
+}
+
+// SaveDelta writes a shard-delta file atomically (temp, sync, rename),
+// like SaveResult.
+func SaveDelta(path string, d *Delta) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".pgshard-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteDelta(tmp, d); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadDelta reads a shard-delta file written by SaveDelta.
+func LoadDelta(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDelta(f)
+}

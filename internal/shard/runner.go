@@ -28,6 +28,7 @@ func DecodeShard(ctx context.Context, data []byte, sh Shard, degraded bool) (*tr
 		return nil, fmt.Errorf("shard %d: %w", sh.Index, err)
 	}
 	buf := &trace.EventBuffer{}
+	buf.Grow(int(sh.Events)) // the plan counted this shard's events at Split time
 	done := ctx.Done()
 	batch := make([]trace.Event, trace.DefaultBatchEvents)
 	for i := 0; ; {
@@ -134,27 +135,12 @@ func AnalyzePlan(ctx context.Context, data []byte, cfgs []core.Config, plan *Pla
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.Speculate {
+		return analyzePlanSpeculative(ctx, data, cfgs, plan, workers)
+	}
 	ns := len(plan.Shards)
 
-	// Decode stage: a bounded pool fills shard buffers; each buffer's
-	// channel closes when it is ready, so analysis chains start on shard i
-	// while shard i+1 is still decoding.
-	bufs := make([]*trace.EventBuffer, ns)
-	decErrs := make([]error, ns)
-	ready := make([]chan struct{}, ns)
-	for i := range ready {
-		ready[i] = make(chan struct{})
-	}
-	decSem := make(chan struct{}, workers)
-	go func() {
-		for i := range plan.Shards {
-			decSem <- struct{}{}
-			go func(i int) {
-				defer func() { <-decSem; close(ready[i]) }()
-				bufs[i], decErrs[i] = DecodeShard(ctx, data, plan.Shards[i], plan.Degraded)
-			}(i)
-		}
-	}()
+	bufs, decErrs, ready := startDecode(ctx, data, plan, workers)
 
 	// Analysis stage: one serial checkpoint-handoff chain per config, the
 	// chains themselves running in parallel (bounded separately from the
@@ -200,4 +186,29 @@ func AnalyzePlan(ctx context.Context, data []byte, cfgs []core.Config, plan *Pla
 		}
 	}
 	return results, readStats[0], nil
+}
+
+// startDecode launches the decode stage shared by the chained and
+// speculative drivers: a bounded pool fills shard buffers; each buffer's
+// ready channel closes when it is decoded, so downstream stages start on
+// shard i while shard i+1 is still decoding.
+func startDecode(ctx context.Context, data []byte, plan *Plan, workers int) (bufs []*trace.EventBuffer, decErrs []error, ready []chan struct{}) {
+	ns := len(plan.Shards)
+	bufs = make([]*trace.EventBuffer, ns)
+	decErrs = make([]error, ns)
+	ready = make([]chan struct{}, ns)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	decSem := make(chan struct{}, workers)
+	go func() {
+		for i := range plan.Shards {
+			decSem <- struct{}{}
+			go func(i int) {
+				defer func() { <-decSem; close(ready[i]) }()
+				bufs[i], decErrs[i] = DecodeShard(ctx, data, plan.Shards[i], plan.Degraded)
+			}(i)
+		}
+	}()
+	return bufs, decErrs, ready
 }

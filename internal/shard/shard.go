@@ -36,6 +36,12 @@ type Options struct {
 	// Concurrency bounds the worker pools (decode and per-config
 	// analysis); <= 0 selects GOMAXPROCS.
 	Concurrency int
+	// Speculate analyzes all shards concurrently: each shard is compiled
+	// against an unknown entry live-well into a relocatable
+	// core.ShardDelta by a parallel speculative pass, and a cheap
+	// sequential fix-up splices the deltas at shard seams. Results are
+	// deep-equal to the chained (and monolithic) run; see speculate.go.
+	Speculate bool
 }
 
 // Shard is one partition of a trace: a byte range that starts at an

@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/core"
+)
+
+// speculativeConfigs is the matrix the speculative differentials sweep: the
+// full-collection config, the zero config (storage dependencies
+// everywhere), branchy and governed variants.
+func speculativeConfigs() []core.Config {
+	full := fullConfig()
+	branchy := core.Config{Branches: core.BranchTwoBit, PredictorBits: 6, Lifetimes: true, Sharing: true}
+	windowed := core.Dataflow(core.SyscallOptimistic)
+	windowed.WindowSize = 256
+	governed := fullConfig()
+	governed.WindowSize = 4096
+	governed.MemBudget = 96 << 10
+	governed.BudgetPolicy = budget.Degrade
+	return []core.Config{full, {}, branchy, windowed, governed}
+}
+
+// TestSpeculativeEqualsMonolithic: speculative N-shard analysis of a clean
+// trace is deep-equal to the monolithic run for every config in the matrix,
+// including a budget-governed one whose window degrades mid-trace.
+func TestSpeculativeEqualsMonolithic(t *testing.T) {
+	data := synthTrace(t, 30000, 11, 1024)
+	for ci, cfg := range speculativeConfigs() {
+		wantRes, wantStats := monolithic(t, data, cfg, false)
+		for _, n := range []int{1, 2, 5, 13} {
+			res, rs, err := Analyze(context.Background(), data, cfg, n, Options{Speculate: true})
+			if err != nil {
+				t.Fatalf("config %d n=%d: %v", ci, n, err)
+			}
+			if !reflect.DeepEqual(res, wantRes) {
+				t.Errorf("config %d n=%d: speculative Result differs from monolithic", ci, n)
+			}
+			if rs != wantStats {
+				t.Errorf("config %d n=%d: ReadStats = %+v, want %+v", ci, n, rs, wantStats)
+			}
+		}
+	}
+}
+
+// TestSpeculativeEqualsMonolithicDegraded: same pin over a damaged trace
+// read in degraded mode — skipped, duplicated and truncated chunks land in
+// specific shards, and the splice must still be exact.
+func TestSpeculativeEqualsMonolithicDegraded(t *testing.T) {
+	data := damage(t, synthTrace(t, 30000, 12, 1024))
+	cfg := fullConfig()
+	wantRes, wantStats := monolithic(t, data, cfg, true)
+	if wantStats.SkippedChunks == 0 || wantStats.DuplicateChunks == 0 {
+		t.Fatalf("damage fixture too mild: %+v", wantStats)
+	}
+	for _, n := range []int{1, 3, 8} {
+		res, rs, err := Analyze(context.Background(), data, cfg, n, Options{Degraded: true, Speculate: true})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !reflect.DeepEqual(res, wantRes) {
+			t.Errorf("n=%d: degraded speculative Result differs from monolithic", n)
+		}
+		if rs != wantStats {
+			t.Errorf("n=%d: ReadStats = %+v, want %+v", n, rs, wantStats)
+		}
+	}
+}
+
+// TestSpeculativeEqualsChained: the speculative and chained drivers agree
+// on a multi-config fan-out — same Results, same ReadStats — so Speculate
+// is a pure engine switch.
+func TestSpeculativeEqualsChained(t *testing.T) {
+	data := synthTrace(t, 25000, 13, 1024)
+	cfgs := speculativeConfigs()
+	chained, crs, err := AnalyzeMulti(context.Background(), data, cfgs, 6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, srs, err := AnalyzeMulti(context.Background(), data, cfgs, 6, Options{Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crs != srs {
+		t.Errorf("ReadStats: chained %+v, speculative %+v", crs, srs)
+	}
+	for i := range cfgs {
+		if !reflect.DeepEqual(chained[i], spec[i]) {
+			t.Errorf("config %d: speculative Result differs from chained", i)
+		}
+	}
+}
+
+// TestSpeculativeBudgetErrorParity: when a fail-fast budget trips, the
+// speculative driver reports the same failure the chained driver reports —
+// same config index, same shard, same analyzer error (event and cause).
+// Only the delivery wrapper differs: the chained engine surfaces errors
+// through batch replay ("trace: replay batch at event N"), the splice
+// applies records directly, so parity is pinned on the prefix and the
+// "core: ..." suffix rather than the full string.
+func TestSpeculativeBudgetErrorParity(t *testing.T) {
+	data := synthTrace(t, 30000, 14, 1024)
+	cfg := core.Config{MemBudget: 16 << 10, BudgetPolicy: budget.FailFast}
+	_, _, cerr := Analyze(context.Background(), data, cfg, 4, Options{})
+	if cerr == nil {
+		t.Fatal("chained run stayed under a 16KB budget")
+	}
+	_, _, serr := Analyze(context.Background(), data, cfg, 4, Options{Speculate: true})
+	if serr == nil {
+		t.Fatal("speculative run stayed under a 16KB budget")
+	}
+	coreOf := func(err error) string {
+		s := err.Error()
+		i := strings.Index(s, "core:")
+		if i < 0 {
+			t.Fatalf("error %q carries no analyzer error", s)
+		}
+		return s[i:]
+	}
+	if coreOf(serr) != coreOf(cerr) {
+		t.Errorf("speculative analyzer error %q, want chained's %q", coreOf(serr), coreOf(cerr))
+	}
+	const at = "config 0: shard 0:"
+	if !strings.HasPrefix(serr.Error(), at) || !strings.HasPrefix(cerr.Error(), at) {
+		t.Errorf("errors disagree on the failing config/shard:\n  chained:     %v\n  speculative: %v", cerr, serr)
+	}
+	if !strings.Contains(serr.Error(), "budget") {
+		t.Errorf("error %q does not mention the budget", serr)
+	}
+}
+
+// TestSpliceThroughFiles simulates the distributed speculative workflow:
+// every shard's delta is built independently (no predecessor, so the
+// per-shard processes could run concurrently on different machines),
+// persisted, reloaded, and spliced. The merged Result must equal the
+// monolithic run and the per-shard Results must equal what the chained
+// file workflow persists.
+func TestSpliceThroughFiles(t *testing.T) {
+	data := damage(t, synthTrace(t, 20000, 15, 1024))
+	cfg := fullConfig()
+	wantRes, wantStats := monolithic(t, data, cfg, true)
+
+	plan, err := Split(data, 3, Options{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Chained per-shard results, for the part-by-part comparison.
+	chainedParts := make([]*Result, len(plan.Shards))
+	a := core.NewAnalyzer(cfg)
+	for i, sh := range plan.Shards {
+		buf, err := DecodeShard(ctx, data, sh, plan.Degraded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chainedParts[i], _, err = RunShard(ctx, a, buf, cfg, sh, len(plan.Shards), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	paths := make([]string, len(plan.Shards))
+	for i, sh := range plan.Shards {
+		buf, err := DecodeShard(ctx, data, sh, plan.Degraded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := BuildShardDelta(ctx, buf, cfg, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, "shard-"+string(rune('0'+i))+".pgsd")
+		err = SaveDelta(paths[i], &Delta{
+			Index: sh.Index, Shards: len(plan.Shards),
+			Config: cfg, ReadStats: buf.Stats(), D: d,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	loaded := make([]*Delta, len(paths))
+	for i, p := range paths {
+		if loaded[i], err = LoadDelta(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Splice sorts by index itself; hand the deltas over shuffled.
+	loaded[0], loaded[len(loaded)-1] = loaded[len(loaded)-1], loaded[0]
+
+	parts, res, rs, err := Splice(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, wantRes) {
+		t.Error("spliced Result differs from monolithic")
+	}
+	if rs != wantStats {
+		t.Errorf("spliced ReadStats = %+v, want %+v", rs, wantStats)
+	}
+	for i := range parts {
+		if !reflect.DeepEqual(parts[i], chainedParts[i]) {
+			t.Errorf("shard %d: spliced per-shard Result differs from chained", i)
+		}
+	}
+}
+
+// TestSpliceValidation: incomplete or inconsistent delta chains are
+// refused with errors naming the offending shard.
+func TestSpliceValidation(t *testing.T) {
+	data := synthTrace(t, 4000, 16, 512)
+	cfg := core.Config{}
+	plan, err := Split(data, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 2 {
+		t.Skipf("trace split into %d shards, want 2", len(plan.Shards))
+	}
+	ctx := context.Background()
+	ds := make([]*Delta, 2)
+	for i, sh := range plan.Shards {
+		buf, err := DecodeShard(ctx, data, sh, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := BuildShardDelta(ctx, buf, cfg, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds[i] = &Delta{Index: sh.Index, Shards: 2, Config: cfg, ReadStats: buf.Stats(), D: d}
+	}
+
+	if _, _, _, err := Splice(nil); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, _, _, err := Splice(ds[:1]); err == nil {
+		t.Error("incomplete chain accepted")
+	}
+	if _, _, _, err := Splice([]*Delta{ds[0], ds[0]}); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	other := *ds[1]
+	other.Config = core.Dataflow(core.SyscallOptimistic)
+	if _, _, _, err := Splice([]*Delta{ds[0], &other}); err == nil {
+		t.Error("mismatched configs accepted")
+	}
+}
+
+// TestDeltaFileFormat: the delta file magic is validated and result files
+// are not mistaken for delta files.
+func TestDeltaFileFormat(t *testing.T) {
+	if _, err := ReadDelta(bytes.NewReader([]byte("pgshard-result-v1\nxx"))); err == nil ||
+		!strings.Contains(err.Error(), "not a shard-delta file") {
+		t.Errorf("result magic accepted as delta: %v", err)
+	}
+	if _, err := ReadDelta(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+}

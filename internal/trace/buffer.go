@@ -42,6 +42,19 @@ func (b *EventBuffer) Events(batch []Event) error {
 // Len returns the number of recorded events.
 func (b *EventBuffer) Len() int { return len(b.events) }
 
+// Grow ensures capacity for at least n more events without another
+// allocation. Callers that know the recording's length up front (a shard
+// plan records per-shard event counts) use it to keep append from
+// repeatedly copying a multi-hundred-MB backing array through growslice.
+func (b *EventBuffer) Grow(n int) {
+	if n <= cap(b.events)-len(b.events) {
+		return
+	}
+	grown := make([]Event, len(b.events), len(b.events)+n)
+	copy(grown, b.events)
+	b.events = grown
+}
+
 // Bytes estimates the memory held by the recording: the capacity of the
 // backing array times the event size. This is what a memory budget should
 // meter — the buffer is the fan-out engine's dominant allocation.
