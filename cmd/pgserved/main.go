@@ -7,16 +7,28 @@
 //
 // Endpoints:
 //
-//	POST /v1/traces            register a trace {"location": <path or URL>}
-//	GET  /v1/traces            list registered traces
-//	POST /v1/jobs              submit {"trace": id, "config": {...}, "shards": n}
-//	GET  /v1/jobs              list jobs
-//	GET  /v1/jobs/{id}         job status with per-shard progress and retry stats
-//	GET  /v1/jobs/{id}/result  merged result (JSON summary, ?format=gob for exact)
-//	GET  /healthz, /readyz     liveness; readiness goes false while draining
+//	POST /v1/traces             register a trace {"location": <path or URL>}
+//	GET  /v1/traces             list registered traces
+//	GET  /v1/traces/{id}/data   trace bytes (Range-capable; fleet workers fetch here)
+//	POST /v1/jobs               submit {"trace": id, "config": {...}, "shards": n, "priority": p}
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          job status with per-shard progress and retry stats
+//	GET  /v1/jobs/{id}/result   merged result (JSON summary, ?format=gob for exact)
+//	GET  /v1/jobs/{id}/events   server-sent event stream of status transitions
+//	POST /v1/leases             fleet worker: acquire a shard lease
+//	POST /v1/leases/{id}/renew  fleet worker: heartbeat
+//	POST /v1/leases/{id}/complete, /fail
+//	GET  /healthz, /readyz      liveness; readiness goes false while draining
 //
-// SIGINT/SIGTERM drains cleanly: running jobs stop at the next shard
-// boundary with their state persisted, then the process exits.
+// Fleet mode: `pgserved -join http://coordinator:8321 -worker-name w1`
+// runs no HTTP server and no state directory — just a worker loop that
+// leases shard attempts from the coordinator, heartbeats them while
+// running, and uploads results. A worker killed at any instant loses only
+// its lease; the coordinator expires it and retries the shard elsewhere.
+//
+// SIGINT/SIGTERM drains cleanly: a coordinator stops at the next shard
+// boundary with state persisted and re-queues leased shards; a worker
+// fails its in-flight lease fast and exits.
 package main
 
 import (
@@ -36,16 +48,30 @@ import (
 
 func main() {
 	var (
-		addr          = flag.String("addr", "127.0.0.1:8321", "listen address")
-		stateDir      = flag.String("state", "", "state directory (required; created if missing)")
-		workers       = flag.Int("workers", 2, "concurrent analysis jobs")
-		shardAttempts = flag.Int("shard-attempts", 3, "per-shard retry budget")
-		shardTimeout  = flag.Duration("shard-timeout", 0, "deadline per shard attempt (0 = none)")
-		retryBase     = flag.Duration("retry-base", 50*time.Millisecond, "supervisor backoff base")
-		seed          = flag.Int64("seed", 0, "backoff jitter seed")
-		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for running shards on shutdown")
+		addr           = flag.String("addr", "127.0.0.1:8321", "listen address")
+		stateDir       = flag.String("state", "", "state directory (required; created if missing)")
+		workers        = flag.Int("workers", 2, "concurrent analysis jobs")
+		localExecutors = flag.Int("local-executors", 0, "concurrent in-process shard attempts (0 = workers, -1 = fleet-only)")
+		maxQueued      = flag.Int("max-queued", 0, "job admission queue cap (0 = 1024); overflow answers 429")
+		shardAttempts  = flag.Int("shard-attempts", 3, "per-shard retry budget")
+		shardTimeout   = flag.Duration("shard-timeout", 0, "deadline per shard attempt (0 = none)")
+		leaseTTL       = flag.Duration("lease-ttl", 10*time.Second, "fleet lease expiry without a heartbeat")
+		retryBase      = flag.Duration("retry-base", 50*time.Millisecond, "supervisor backoff base")
+		seed           = flag.Int64("seed", 0, "backoff jitter seed")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "max wait for running shards on shutdown")
+
+		join       = flag.String("join", "", "run as a fleet worker against this coordinator URL")
+		workerName = flag.String("worker-name", "", "fleet worker name (default: host:pid)")
+		heartbeat  = flag.Duration("heartbeat", 0, "fleet lease renewal interval (0 = TTL/3 from each lease)")
+		poll       = flag.Duration("poll", 250*time.Millisecond, "fleet idle poll interval")
 	)
 	flag.Parse()
+
+	if *join != "" {
+		runWorker(*join, *workerName, *heartbeat, *poll, *seed)
+		return
+	}
+
 	if *stateDir == "" {
 		fmt.Fprintln(os.Stderr, "pgserved: -state is required")
 		flag.Usage()
@@ -53,12 +79,15 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Options{
-		StateDir:      *stateDir,
-		Workers:       *workers,
-		ShardAttempts: *shardAttempts,
-		ShardTimeout:  *shardTimeout,
-		RetryBase:     *retryBase,
-		Seed:          *seed,
+		StateDir:       *stateDir,
+		Workers:        *workers,
+		LocalExecutors: *localExecutors,
+		MaxQueued:      *maxQueued,
+		ShardAttempts:  *shardAttempts,
+		ShardTimeout:   *shardTimeout,
+		LeaseTTL:       *leaseTTL,
+		RetryBase:      *retryBase,
+		Seed:           *seed,
 	})
 	if err != nil {
 		log.Fatalf("pgserved: %v", err)
@@ -91,4 +120,34 @@ func main() {
 		log.Printf("pgserved: http shutdown: %v", err)
 	}
 	log.Printf("pgserved: stopped")
+}
+
+// runWorker is fleet mode: one lease-at-a-time worker loop until SIGINT
+// or SIGTERM. The in-flight lease, if any, is failed fast on the way out
+// so the coordinator re-offers the shard without waiting for expiry.
+func runWorker(coordinator, name string, heartbeat, poll time.Duration, seed int64) {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w, err := serve.NewWorker(serve.WorkerOptions{
+		Coordinator: coordinator,
+		Name:        name,
+		Heartbeat:   heartbeat,
+		Poll:        poll,
+		Seed:        seed,
+	})
+	if err != nil {
+		log.Fatalf("pgserved: %v", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("pgserved: worker %s joining %s", name, coordinator)
+	w.Run(ctx)
+	st := w.Stats()
+	log.Printf("pgserved: worker %s leaving (leases: %d acquired, %d completed, %d failed, %d lost)",
+		name, st.Acquired, st.Completed, st.Failed, st.Lost)
 }

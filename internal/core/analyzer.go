@@ -1,14 +1,57 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 
 	"paragraph/internal/budget"
 	"paragraph/internal/isa"
 	"paragraph/internal/stats"
 	"paragraph/internal/trace"
 )
+
+// ClassCounts maps operation classes to dynamic instruction counts. It is
+// an ordinary map in every way except its gob encoding, which writes the
+// entries sorted by class: gob encodes plain maps in iteration order, and
+// persisted results must be byte-reproducible (the fleet differentials
+// compare shard result files across machines byte for byte).
+type ClassCounts map[isa.OpClass]uint64
+
+// classCountEntry is one sorted ClassCounts entry in the gob stream.
+type classCountEntry struct {
+	Class isa.OpClass
+	Count uint64
+}
+
+// GobEncode implements gob.GobEncoder with a deterministic entry order.
+func (c ClassCounts) GobEncode() ([]byte, error) {
+	entries := make([]classCountEntry, 0, len(c))
+	for cls, n := range c {
+		entries = append(entries, classCountEntry{Class: cls, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Class < entries[j].Class })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(entries); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (c *ClassCounts) GobDecode(data []byte) error {
+	var entries []classCountEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&entries); err != nil {
+		return err
+	}
+	*c = make(ClassCounts, len(entries))
+	for _, e := range entries {
+		(*c)[e.Class] = e.Count
+	}
+	return nil
+}
 
 // Analyzer builds and analyzes the dynamic dependency graph of a serial
 // execution trace in a single forward pass. It implements trace.Sink, so it
@@ -533,7 +576,7 @@ type Result struct {
 	Mispredictions uint64
 
 	// ClassCounts gives dynamic instruction counts per operation class.
-	ClassCounts map[isa.OpClass]uint64
+	ClassCounts ClassCounts
 	// MaxLiveMemoryWords is the peak number of live memory words in the
 	// live well — the working set the paper needed 32 MB for.
 	MaxLiveMemoryWords int

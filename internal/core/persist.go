@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"paragraph/internal/budget"
 	"paragraph/internal/isa"
@@ -31,8 +32,13 @@ import (
 // leaves the previous checkpoint intact and a reader never observes a
 // half-written file.
 
-// checkpointMagic identifies and versions the on-disk format.
-const checkpointMagic = "paragraph-checkpoint-v1\n"
+// checkpointMagic identifies and versions the on-disk format. v2 replaced
+// the live-well and FU-schedule maps with sorted slices: gob writes map
+// entries in iteration order, so v1 files were semantically stable but not
+// byte-reproducible — two saves of the same state could differ. Fleet-mode
+// pgserved asserts byte equality of persisted shard files across machines,
+// which needs encoding determinism, not just value equality.
+const checkpointMagic = "paragraph-checkpoint-v2\n"
 
 // valueState mirrors the live well's value record.
 type valueState struct {
@@ -41,18 +47,32 @@ type valueState struct {
 	Uses    uint32
 }
 
-// wellState mirrors liveWell.
+// memValueState is one live memory word, keyed for the sorted slice below.
+type memValueState struct {
+	Word uint32
+	Val  valueState
+}
+
+// wellState mirrors liveWell. Mem is sorted by word address so the encoding
+// is deterministic.
 type wellState struct {
 	Regs     [isa.NumRegs]valueState
 	RegLive  [isa.NumRegs]bool
-	Mem      map[uint32]valueState
+	Mem      []memValueState
 	PreLevel int64
 }
 
-// fuState mirrors fuSchedule.
+// fuCountState is one level's in-flight operation count.
+type fuCountState struct {
+	Level int64
+	N     int
+}
+
+// fuState mirrors fuSchedule. Counts is sorted by level for the same
+// determinism reason as wellState.Mem.
 type fuState struct {
 	Units  int
-	Counts map[int64]int
+	Counts []fuCountState
 	Floor  int64
 }
 
@@ -127,10 +147,11 @@ func (cp *Checkpoint) state() *checkpointState {
 	st.WindowSeqs = append([]uint64(nil), a.window.seqs[a.window.head:]...)
 	st.WindowLevels = append([]int64(nil), a.window.levels[a.window.head:]...)
 	if a.fu != nil {
-		counts := make(map[int64]int, len(a.fu.counts))
+		counts := make([]fuCountState, 0, len(a.fu.counts))
 		for k, v := range a.fu.counts {
-			counts[k] = v
+			counts = append(counts, fuCountState{Level: k, N: v})
 		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i].Level < counts[j].Level })
 		st.FU = &fuState{Units: a.fu.units, Counts: counts, Floor: a.fu.floor}
 	}
 	if a.pred != nil {
@@ -154,15 +175,16 @@ func (cp *Checkpoint) state() *checkpointState {
 func wellStateOf(w *liveWell) wellState {
 	ws := wellState{
 		RegLive:  w.regLive,
-		Mem:      make(map[uint32]valueState, w.mem.len()),
+		Mem:      make([]memValueState, 0, w.mem.len()),
 		PreLevel: w.preLevel,
 	}
 	for i, v := range w.regs {
 		ws.Regs[i] = valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}
 	}
 	w.mem.forEach(func(word uint32, v value) {
-		ws.Mem[word] = valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}
+		ws.Mem = append(ws.Mem, memValueState{Word: word, Val: valueState{Level: v.level, LastUse: v.lastUse, Uses: v.uses}})
 	})
+	sort.Slice(ws.Mem, func(i, j int) bool { return ws.Mem[i].Word < ws.Mem[j].Word })
 	return ws
 }
 
@@ -198,8 +220,8 @@ func (st *checkpointState) restore() (*Checkpoint, error) {
 	}
 	if st.FU != nil {
 		a.fu = newFUSchedule(st.FU.Units)
-		for k, v := range st.FU.Counts {
-			a.fu.counts[k] = v
+		for _, c := range st.FU.Counts {
+			a.fu.counts[c.Level] = c.N
 		}
 		a.fu.floor = st.FU.Floor
 	}
@@ -223,8 +245,8 @@ func (st *checkpointState) restore() (*Checkpoint, error) {
 	for i, v := range st.Well.Regs {
 		a.well.regs[i] = value{level: v.Level, lastUse: v.LastUse, uses: v.Uses}
 	}
-	for word, v := range st.Well.Mem {
-		a.well.mem.put(word, value{level: v.Level, lastUse: v.LastUse, uses: v.Uses})
+	for _, m := range st.Well.Mem {
+		a.well.mem.put(m.Word, value{level: m.Val.Level, lastUse: m.Val.LastUse, uses: m.Val.Uses})
 	}
 	return &Checkpoint{
 		EventOffset: st.EventOffset,

@@ -32,6 +32,10 @@ type ChaosOptions struct {
 	// Delay, when non-zero, adds a seeded latency in [0, Delay) to every
 	// request before it is answered (slow-server simulation).
 	Delay time.Duration
+	// RetryAfter, when non-zero, is the Retry-After header value (rounded
+	// up to whole seconds, per the HTTP grammar) stamped on synthetic
+	// throttle responses. Zero keeps "Retry-After: 0" — retry immediately.
+	RetryAfter time.Duration
 	// MaxFaults stops injecting after this many faults; 0 is unlimited.
 	MaxFaults int
 }
@@ -143,7 +147,7 @@ func (t *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 		if p.alt {
 			code = http.StatusServiceUnavailable
 		}
-		return throttleResponse(req, code), nil
+		return throttleResponse(req, code, t.opts.RetryAfter), nil
 	}
 
 	inner := t.Inner
@@ -223,15 +227,20 @@ func (b *faultBody) Read(p []byte) (int, error) {
 func (b *faultBody) Close() error { return b.inner.Close() }
 
 // throttleResponse synthesizes a complete 429/503 response.
-func throttleResponse(req *http.Request, code int) *http.Response {
+func throttleResponse(req *http.Request, code int, retryAfter time.Duration) *http.Response {
 	body := fmt.Sprintf("faultinject: throttled (%d)\n", code)
+	header := http.Header{}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		header.Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
 	return &http.Response{
 		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
 		StatusCode:    code,
 		Proto:         "HTTP/1.1",
 		ProtoMajor:    1,
 		ProtoMinor:    1,
-		Header:        http.Header{"Retry-After": []string{"0"}},
+		Header:        header,
 		Body:          io.NopCloser(bytes.NewReader([]byte(body))),
 		ContentLength: int64(len(body)),
 		Request:       req,

@@ -325,3 +325,38 @@ func TestChaosDelay(t *testing.T) {
 		t.Errorf("stats = %+v, want accumulated delay", st)
 	}
 }
+
+// TestChaosRetryAfterHeader: throttle responses carry the configured
+// Retry-After so clients' header-honoring backoff paths get exercised.
+func TestChaosRetryAfterHeader(t *testing.T) {
+	payload := []byte("payload")
+	srv := chaosServer(t, payload)
+	tr := NewChaosTransport(srv.Client().Transport, ChaosOptions{
+		Seed: 6, ThrottleP: 1, RetryAfter: 2500 * time.Millisecond,
+	})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want a throttle", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want %q (ceil seconds)", ra, "3")
+	}
+
+	// Default: no header, so clients fall back to their own backoff.
+	tr2 := NewChaosTransport(srv.Client().Transport, ChaosOptions{Seed: 6, ThrottleP: 1})
+	resp2, err := (&http.Client{Transport: tr2}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if ra := resp2.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("Retry-After %q without opting in, want absent", ra)
+	}
+}

@@ -71,6 +71,41 @@ type Stats struct {
 	Slept time.Duration
 }
 
+// throttledError is a transient 429/5xx response, carrying the server's
+// Retry-After hint when it sent one. The backoff path honors the hint
+// instead of the seeded-jitter curve: a server that knows when it will
+// have capacity beats a client guessing.
+type throttledError struct {
+	url        string
+	status     string
+	retryAfter time.Duration
+}
+
+func (e *throttledError) Error() string {
+	return fmt.Sprintf("remote: %s: server answered %s (transient)", e.url, e.status)
+}
+
+// ParseRetryAfter extracts a Retry-After header value: delay seconds or an
+// HTTP date. Zero means absent or unparseable.
+func ParseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // PermanentError is a failure that retrying cannot fix: the server
 // answered conclusively (a 4xx other than 429) or inconsistently (a range
 // reply for the wrong offset).
@@ -206,7 +241,7 @@ func (s *Source) ReadRange(ctx context.Context, start, end int64) ([]byte, error
 		s.count(func(st *Stats) { st.Retries++ })
 		// After progress fails is 0; back off one base step rather than
 		// hammering a server that keeps cutting mid-body.
-		if err := s.backoff(ctx, max(fails, 1)); err != nil {
+		if err := s.delay(ctx, lastErr, max(fails, 1)); err != nil {
 			return nil, err
 		}
 	}
@@ -288,7 +323,7 @@ func (s *Source) fetchOnce(ctx context.Context, off, end int64, dst []byte) (int
 			s.count(func(st *Stats) { st.Throttled++ })
 		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return 0, fmt.Errorf("remote: %s: server answered %s (transient)", s.url, resp.Status)
+		return 0, &throttledError{url: s.url, status: resp.Status, retryAfter: ParseRetryAfter(resp.Header)}
 	default:
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return 0, &PermanentError{URL: s.url, Status: resp.Status}
@@ -323,7 +358,7 @@ func (s *Source) probeSize(ctx context.Context) (int64, error) {
 		}
 		if fails > 0 {
 			s.count(func(st *Stats) { st.Retries++ })
-			if err := s.backoff(ctx, fails); err != nil {
+			if err := s.delay(ctx, lastErr, fails); err != nil {
 				return 0, err
 			}
 		}
@@ -356,7 +391,7 @@ func (s *Source) probeOnce(ctx context.Context) (int64, error) {
 			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 				s.count(func(st *Stats) { st.Throttled++ })
 			}
-			return 0, fmt.Errorf("remote: %s: server answered %s (transient)", s.url, resp.Status)
+			return 0, &throttledError{url: s.url, status: resp.Status, retryAfter: ParseRetryAfter(resp.Header)}
 		case resp.StatusCode >= 400 && resp.StatusCode != http.StatusMethodNotAllowed:
 			return 0, &PermanentError{URL: s.url, Status: resp.Status}
 		}
@@ -390,7 +425,7 @@ func (s *Source) probeOnce(ctx context.Context) (int64, error) {
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 			s.count(func(st *Stats) { st.Throttled++ })
 		}
-		return 0, fmt.Errorf("remote: %s: server answered %s (transient)", s.url, resp.Status)
+		return 0, &throttledError{url: s.url, status: resp.Status, retryAfter: ParseRetryAfter(resp.Header)}
 	case resp.StatusCode >= 400:
 		return 0, &PermanentError{URL: s.url, Status: resp.Status}
 	}
@@ -429,6 +464,22 @@ func parseContentRangeTotal(cr string) (int64, bool) {
 	return n, true
 }
 
+// delay sleeps before the next retry. A Retry-After hint from the failed
+// response is honored verbatim — no jitter, the server named its price —
+// capped at 4×MaxDelay so a hostile header cannot park a shard for an
+// hour. Everything else falls back to the jittered exponential curve.
+func (s *Source) delay(ctx context.Context, cause error, fails int) error {
+	var te *throttledError
+	if errors.As(cause, &te) && te.retryAfter > 0 {
+		d := te.retryAfter
+		if limit := 4 * s.opts.MaxDelay; d > limit {
+			d = limit
+		}
+		return s.sleep(ctx, d)
+	}
+	return s.backoff(ctx, fails)
+}
+
 // backoff sleeps the jittered exponential delay for the given consecutive
 // failure count (1-based), honoring cancellation. Same curve and jitter
 // band as trace.RetryReader: d in [base<<(n-1)/2, 3*base<<(n-1)/2), capped.
@@ -439,8 +490,13 @@ func (s *Source) backoff(ctx context.Context, fails int) error {
 	}
 	s.mu.Lock()
 	d = d/2 + time.Duration(s.rng.Int63n(int64(d)))
-	s.st.Slept += d
 	s.mu.Unlock()
+	return s.sleep(ctx, d)
+}
+
+// sleep waits d, counting it in Stats.Slept and honoring cancellation.
+func (s *Source) sleep(ctx context.Context, d time.Duration) error {
+	s.count(func(st *Stats) { st.Slept += d })
 	if s.opts.Sleep != nil {
 		s.opts.Sleep(d)
 		return nil

@@ -308,3 +308,100 @@ func TestSectionMatchesLocalDecode(t *testing.T) {
 		}
 	}
 }
+
+// throttleOnceServer answers the first ranged GET with 429 plus the given
+// Retry-After header, then serves normally.
+func throttleOnceServer(t *testing.T, payload []byte, retryAfter string) *httptest.Server {
+	t.Helper()
+	var throttled bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && r.Header.Get("Range") != "" && !throttled {
+			throttled = true
+			w.Header().Set("Retry-After", retryAfter)
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		http.ServeContent(w, r, "trace.pgt", time.Unix(0, 0), bytes.NewReader(payload))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRetryAfterHonored: a 429 carrying Retry-After overrides the jittered
+// backoff — the source sleeps exactly what the server asked for.
+func TestRetryAfterHonored(t *testing.T) {
+	payload := randomPayload(4096, 8)
+	srv := throttleOnceServer(t, payload, "2")
+
+	var slept []time.Duration
+	src, err := Open(context.Background(), srv.URL, Options{
+		Client: srv.Client(), Seed: 7,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	got, err := src.ReadRange(context.Background(), 0, 1024)
+	if err != nil {
+		t.Fatalf("ReadRange through throttle: %v", err)
+	}
+	if !bytes.Equal(got, payload[:1024]) {
+		t.Fatal("bytes differ after throttled retry")
+	}
+	if want := []time.Duration{2 * time.Second}; !reflect.DeepEqual(slept, want) {
+		t.Fatalf("slept %v, want exactly %v (server's Retry-After, no jitter)", slept, want)
+	}
+	if st := src.Stats(); st.Throttled != 1 || st.Slept != 2*time.Second {
+		t.Errorf("stats %+v, want Throttled 1 and Slept 2s", st)
+	}
+}
+
+// TestRetryAfterCapped: a hostile Retry-After cannot park a fetch beyond
+// 4×MaxDelay.
+func TestRetryAfterCapped(t *testing.T) {
+	payload := randomPayload(4096, 9)
+	srv := throttleOnceServer(t, payload, "3600")
+
+	var slept []time.Duration
+	src, err := Open(context.Background(), srv.URL, Options{
+		Client: srv.Client(), Seed: 7, MaxDelay: 50 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := src.ReadRange(context.Background(), 0, 1024); err != nil {
+		t.Fatalf("ReadRange through throttle: %v", err)
+	}
+	if len(slept) != 1 || slept[0] != 200*time.Millisecond {
+		t.Fatalf("slept %v, want exactly [200ms] (4×MaxDelay cap)", slept)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		h.Set("Retry-After", v)
+		return h
+	}
+	if d := ParseRetryAfter(http.Header{}); d != 0 {
+		t.Errorf("absent header: %v, want 0", d)
+	}
+	if d := ParseRetryAfter(mk("5")); d != 5*time.Second {
+		t.Errorf("\"5\": %v, want 5s", d)
+	}
+	if d := ParseRetryAfter(mk("-3")); d != 0 {
+		t.Errorf("negative: %v, want 0", d)
+	}
+	if d := ParseRetryAfter(mk("garbage")); d != 0 {
+		t.Errorf("garbage: %v, want 0", d)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := ParseRetryAfter(mk(future)); d < 80*time.Second || d > 91*time.Second {
+		t.Errorf("future date: %v, want ~90s", d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := ParseRetryAfter(mk(past)); d != 0 {
+		t.Errorf("past date: %v, want 0", d)
+	}
+}

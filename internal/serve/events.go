@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// JobEvent is one status transition pushed on the job event stream: a
+// shard changing state (Shard >= 0) or the job itself (Shard == -1).
+// Terminal marks the last event of a stream.
+type JobEvent struct {
+	Job        string `json:"job"`
+	State      string `json:"state"`
+	Shard      int    `json:"shard"`
+	ShardState string `json:"shard_state,omitempty"`
+	Attempts   int    `json:"attempts,omitempty"`
+	Worker     string `json:"worker,omitempty"`
+	Terminal   bool   `json:"terminal"`
+}
+
+// eventBufferSize bounds one subscriber's backlog. A full subscriber drops
+// events rather than blocking the supervisor; the stream is a convenience
+// view over state that is always re-readable from GET /v1/jobs/{id}.
+const eventBufferSize = 256
+
+// emitLocked publishes an event to every subscriber. Callers hold j.mu.
+func (j *job) emitLocked(ev JobEvent) {
+	ev.Job = j.spec.ID
+	ev.State = j.state
+	ev.Terminal = terminalState(j.state)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+func terminalState(st string) bool {
+	return st == StateDone || st == StateDegraded || st == StateFailed
+}
+
+// subscribe registers an event channel and returns it with a consistent
+// snapshot of the job at subscription time, so a subscriber misses nothing
+// between snapshot and stream.
+func (j *job) subscribe() (chan JobEvent, JobView) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan JobEvent, eventBufferSize)
+	if j.subs == nil {
+		j.subs = make(map[chan JobEvent]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	return ch, j.viewLocked()
+}
+
+func (j *job) unsubscribe(ch chan JobEvent) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// handleJobEvents streams a job's status transitions as server-sent
+// events: first a "status" event carrying the full JobView snapshot, then
+// an "update" event per transition, ending with the terminal transition
+// (polling GET /v1/jobs/{id} keeps working; this is push over the same
+// states).
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, snapshot := j.subscribe()
+	defer j.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if err := writeSSE(w, "status", snapshot); err != nil {
+		return
+	}
+	flusher.Flush()
+	if terminalState(snapshot.State) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		case ev := <-ch:
+			if err := writeSSE(w, "update", ev); err != nil {
+				return
+			}
+			flusher.Flush()
+			if ev.Terminal {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE writes one server-sent event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

@@ -1,0 +1,488 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"paragraph/internal/core"
+	"paragraph/internal/remote"
+	"paragraph/internal/shard"
+)
+
+// Fleet mode: shard attempts are leased to remote workers over HTTP. The
+// supervisor publishes each attempt as an offer on one queue; the local
+// executor pool and the lease-acquire handler race to claim it, so a
+// remote worker is just another place an attempt can run. A leased attempt
+// that completes uploads its shard result (or delta) and the supervisor
+// persists it exactly as it would a local one; a lease whose heartbeat
+// lapses is expired by the sweeper and the failure consumes one unit of
+// the shard's attempt budget — a crashed, hung, or partitioned worker is
+// indistinguishable from a failed local attempt.
+
+// offer claim states.
+const (
+	claimNone int32 = iota
+	claimLocal
+	claimLeased
+	claimAbandoned
+)
+
+// Offer kinds: a chained shard attempt (RunShard seeded from the previous
+// shard's checkpoint) or a speculative delta build (entry-state-free).
+const (
+	kindChain = "chain"
+	kindDelta = "delta"
+)
+
+// attemptOffer is one unit of shard work on the supervisor queue.
+type attemptOffer struct {
+	j       *job
+	ti      TraceInfo
+	plan    *shard.Plan
+	shard   int
+	attempt int
+	kind    string
+	prevCP  *core.Checkpoint // chain attempts after shard 0
+
+	// Local executors run the attempt in-process from these.
+	src  *remote.Source
+	data []byte
+
+	claimed atomic.Int32
+	outcome chan attemptOutcome // buffered 1; exactly one claimant sends
+}
+
+// attemptOutcome is what a claimed attempt produced.
+type attemptOutcome struct {
+	part   *shard.Result
+	cp     *core.Checkpoint
+	delta  *shard.Delta
+	worker string // empty for local attempts
+	err    error
+}
+
+// claim transitions the offer to the given claimant; false means someone
+// else (or abandonment) got there first.
+func (o *attemptOffer) claim(state int32) bool {
+	return o.claimed.CompareAndSwap(claimNone, state)
+}
+
+// dispatch publishes one attempt and waits for its outcome. During a drain
+// it abandons unclaimed and leased offers immediately (the shard returns
+// to the queue with the rest of the job), but waits out a locally running
+// attempt — the executor is about to deliver, and Drain waits for it
+// anyway.
+func (s *Server) dispatch(off *attemptOffer) (attemptOutcome, error) {
+	select {
+	case s.offers <- off:
+	case <-s.drainCh:
+		return attemptOutcome{}, errInterrupted
+	case <-s.ctx.Done():
+		return attemptOutcome{}, errInterrupted
+	}
+	select {
+	case out := <-off.outcome:
+		return out, nil
+	case <-s.drainCh:
+		if off.claim(claimAbandoned) || off.claimed.Load() != claimLocal {
+			return attemptOutcome{}, errInterrupted
+		}
+		// A local executor is mid-attempt; take its outcome.
+		select {
+		case out := <-off.outcome:
+			return out, nil
+		case <-s.ctx.Done():
+			return attemptOutcome{}, errInterrupted
+		}
+	case <-s.ctx.Done():
+		return attemptOutcome{}, errInterrupted
+	}
+}
+
+// shardExecutor is one local attempt runner. Executors and remote workers
+// drain the same offer queue; an executor that loses the claim race just
+// takes the next offer.
+func (s *Server) shardExecutor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.drainCh:
+			return
+		case off := <-s.offers:
+			if !off.claim(claimLocal) {
+				continue
+			}
+			off.outcome <- s.runOffer(off)
+		}
+	}
+}
+
+// runOffer executes one claimed offer in-process.
+func (s *Server) runOffer(off *attemptOffer) attemptOutcome {
+	switch off.kind {
+	case kindDelta:
+		d, err := s.buildDeltaAttempt(off.j, off.src, off.data, off.plan, off.shard)
+		return attemptOutcome{delta: d, err: err}
+	default:
+		part, cp, err := s.runShardAttempt(off.j, off.src, off.data, off.plan, off.shard, off.prevCP)
+		return attemptOutcome{part: part, cp: cp, err: err}
+	}
+}
+
+// lease is one outstanding remote claim on an offer. Removal from the
+// table is the single-completion guard: complete, fail and expiry all
+// remove-then-act, so exactly one of them delivers the outcome.
+type lease struct {
+	id     string
+	off    *attemptOffer
+	worker string
+	expiry time.Time
+}
+
+// LeaseMsg is the wire form of a granted lease: everything a worker needs
+// to run the attempt without further coordinator state. TraceURL is
+// absolute for remote trace stores; for locally registered traces it is a
+// coordinator-relative path (the coordinator serves the bytes itself via
+// GET /v1/traces/{id}/data).
+type LeaseMsg struct {
+	ID             string      `json:"id"`
+	Job            string      `json:"job"`
+	Shard          shard.Shard `json:"shard"`
+	Shards         int         `json:"shards"`
+	Kind           string      `json:"kind"`
+	Config         core.Config `json:"config"`
+	Degraded       bool        `json:"degraded"`
+	WantCheckpoint bool        `json:"want_checkpoint"`
+	TraceURL       string      `json:"trace_url"`
+	Checkpoint     []byte      `json:"checkpoint,omitempty"` // core.WriteCheckpoint bytes
+	TTLMillis      int64       `json:"ttl_ms"`
+	Attempt        int         `json:"attempt"`
+}
+
+// leaseFail is the body of POST /v1/leases/{id}/fail.
+type leaseFail struct {
+	Reason    string `json:"reason"`
+	Permanent bool   `json:"permanent"`
+	Panicked  bool   `json:"panicked"`
+}
+
+// errLeaseExpired marks an attempt lost to a missed heartbeat. It is
+// transient by construction: the next attempt re-offers the shard.
+type leaseExpiredError struct {
+	worker string
+	shard  int
+}
+
+func (e *leaseExpiredError) Error() string {
+	return fmt.Sprintf("shard %d: lease on worker %q expired without a heartbeat", e.shard, e.worker)
+}
+
+// takeOffer claims the next unclaimed offer for a lease, waiting up to
+// wait. A nil return means no work (or the daemon is stopping).
+func (s *Server) takeOffer(wait time.Duration) *attemptOffer {
+	var timeout <-chan time.Time
+	if wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		select {
+		case off := <-s.offers:
+			if off.claim(claimLeased) {
+				return off
+			}
+		case <-s.drainCh:
+			return nil
+		case <-s.ctx.Done():
+			return nil
+		case <-timeout:
+			return nil
+		default:
+			if wait <= 0 {
+				return nil
+			}
+			select {
+			case off := <-s.offers:
+				if off.claim(claimLeased) {
+					return off
+				}
+			case <-s.drainCh:
+				return nil
+			case <-s.ctx.Done():
+				return nil
+			case <-timeout:
+				return nil
+			}
+		}
+	}
+}
+
+// handleLeaseAcquire grants a lease on the next available shard attempt:
+// 200 with a LeaseMsg, 204 when no work is available within the requested
+// wait, 503 while draining.
+func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Worker string `json:"worker"`
+		WaitMS int64  `json:"wait_ms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+		httpError(w, http.StatusBadRequest, "body must be {\"worker\": name, \"wait_ms\": n}")
+		return
+	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining: no new leases")
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	off := s.takeOffer(wait)
+	if off == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	msg, err := s.grantLease(off, req.Worker)
+	if err != nil {
+		// The offer is claimed but cannot be shipped (checkpoint encoding
+		// failure); deliver it back to the supervisor as a failed attempt.
+		off.outcome <- attemptOutcome{worker: req.Worker, err: err}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, msg)
+}
+
+// grantLease registers the claimed offer in the lease table and builds its
+// wire message.
+func (s *Server) grantLease(off *attemptOffer, worker string) (*LeaseMsg, error) {
+	sh := off.plan.Shards[off.shard]
+	msg := &LeaseMsg{
+		ID:             newID("l"),
+		Job:            off.j.spec.ID,
+		Shard:          sh,
+		Shards:         len(off.plan.Shards),
+		Kind:           off.kind,
+		Config:         off.j.spec.Config,
+		Degraded:       off.plan.Degraded,
+		WantCheckpoint: off.kind == kindChain && off.shard < len(off.plan.Shards)-1,
+		TTLMillis:      s.leaseTTL.Milliseconds(),
+		Attempt:        off.attempt,
+	}
+	if off.ti.Remote {
+		msg.TraceURL = off.ti.Location
+	} else {
+		msg.TraceURL = "/v1/traces/" + off.ti.ID + "/data"
+	}
+	if off.prevCP != nil {
+		var buf bytes.Buffer
+		if err := core.WriteCheckpoint(&buf, off.prevCP); err != nil {
+			return nil, fmt.Errorf("lease: encoding shard %d entry checkpoint: %w", off.shard, err)
+		}
+		msg.Checkpoint = buf.Bytes()
+	}
+	l := &lease{id: msg.ID, off: off, worker: worker, expiry: time.Now().Add(s.leaseTTL)}
+	s.leaseMu.Lock()
+	s.leases[msg.ID] = l
+	s.leaseMu.Unlock()
+	off.j.noteWorker(off.shard, worker)
+	return msg, nil
+}
+
+// takeLease removes and returns the lease, if it is still live. This is
+// the only way to act on a lease, so complete/fail/expiry cannot race.
+func (s *Server) takeLease(id string) *lease {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	l := s.leases[id]
+	if l != nil {
+		delete(s.leases, id)
+	}
+	return l
+}
+
+// handleLeaseRenew extends a live lease's expiry: 200 with the remaining
+// TTL, 410 when the lease is gone (expired, completed, or invalidated by a
+// drain) — the worker's signal to abandon the attempt.
+func (s *Server) handleLeaseRenew(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	s.leaseMu.Lock()
+	l := s.leases[id]
+	if l != nil && !draining {
+		l.expiry = time.Now().Add(s.leaseTTL)
+	}
+	s.leaseMu.Unlock()
+	if l == nil || draining {
+		httpError(w, http.StatusGone, "lease is gone")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": s.leaseTTL.Milliseconds()})
+}
+
+// handleLeaseComplete accepts the finished attempt's artifact — a shard
+// result stream (chain) or delta stream (delta) — validates it against the
+// lease, and delivers it to the waiting supervisor, which persists it
+// through the same path as a local attempt.
+func (s *Server) handleLeaseComplete(w http.ResponseWriter, r *http.Request) {
+	l := s.takeLease(r.PathValue("id"))
+	if l == nil {
+		httpError(w, http.StatusGone, "lease is gone")
+		return
+	}
+	out := attemptOutcome{worker: l.worker}
+	switch l.off.kind {
+	case kindDelta:
+		d, err := shard.ReadDelta(r.Body)
+		if err == nil {
+			err = validateDelta(d, l.off)
+		}
+		if err != nil {
+			out.err = fmt.Errorf("shard %d: worker %s upload: %w", l.off.shard, l.worker, err)
+		} else {
+			out.delta = d
+		}
+	default:
+		part, cp, err := shard.ReadResult(r.Body)
+		if err == nil {
+			err = validatePart(part, cp, l.off)
+		}
+		if err != nil {
+			out.err = fmt.Errorf("shard %d: worker %s upload: %w", l.off.shard, l.worker, err)
+		} else {
+			out.part, out.cp = part, cp
+		}
+	}
+	l.off.outcome <- out
+	if out.err != nil {
+		httpError(w, http.StatusBadRequest, out.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+// validatePart checks an uploaded chain result against the leased shard.
+func validatePart(part *shard.Result, cp *core.Checkpoint, off *attemptOffer) error {
+	sh := off.plan.Shards[off.shard]
+	switch {
+	case part.Index != sh.Index || part.Shards != len(off.plan.Shards):
+		return fmt.Errorf("result is shard %d/%d, lease was %d/%d", part.Index, part.Shards, sh.Index, len(off.plan.Shards))
+	case part.StartEvent != sh.StartEvent:
+		return fmt.Errorf("result starts at event %d, shard starts at %d", part.StartEvent, sh.StartEvent)
+	case off.shard < len(off.plan.Shards)-1 && cp == nil:
+		return fmt.Errorf("non-final shard uploaded without its outgoing checkpoint")
+	}
+	return nil
+}
+
+// validateDelta checks an uploaded speculative delta against the lease.
+func validateDelta(d *shard.Delta, off *attemptOffer) error {
+	sh := off.plan.Shards[off.shard]
+	switch {
+	case d.Index != sh.Index || d.Shards != len(off.plan.Shards):
+		return fmt.Errorf("delta is shard %d/%d, lease was %d/%d", d.Index, d.Shards, sh.Index, len(off.plan.Shards))
+	case d.D.StartEvent != sh.StartEvent:
+		return fmt.Errorf("delta starts at event %d, shard starts at %d", d.D.StartEvent, sh.StartEvent)
+	}
+	return nil
+}
+
+// handleLeaseFail records a worker-reported failure. Permanent failures
+// classify exactly like local permanent errors (no further attempts);
+// panics and everything else count as one failed attempt and retry.
+func (s *Server) handleLeaseFail(w http.ResponseWriter, r *http.Request) {
+	var req leaseFail
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "body must be {\"reason\", \"permanent\", \"panicked\"}")
+		return
+	}
+	l := s.takeLease(r.PathValue("id"))
+	if l == nil {
+		httpError(w, http.StatusGone, "lease is gone")
+		return
+	}
+	var err error
+	switch {
+	case req.Permanent:
+		err = &remote.PermanentError{URL: "worker " + l.worker, Reason: req.Reason}
+	case req.Panicked:
+		err = fmt.Errorf("shard %d: panic contained on worker %s: %s", l.off.shard, l.worker, req.Reason)
+	default:
+		err = fmt.Errorf("shard %d: worker %s: %s", l.off.shard, l.worker, req.Reason)
+	}
+	l.off.outcome <- attemptOutcome{worker: l.worker, err: err}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recorded"})
+}
+
+// handleTraceData serves a locally registered trace's bytes, with Range
+// support, so fleet workers pull shard ranges from the coordinator exactly
+// as they would from any remote trace store.
+func (s *Server) handleTraceData(w http.ResponseWriter, r *http.Request) {
+	ti, ok := s.traceInfo(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such trace")
+		return
+	}
+	if ti.Remote {
+		// Remote traces are leased by their own URL; send the worker there.
+		http.Redirect(w, r, ti.Location, http.StatusTemporaryRedirect)
+		return
+	}
+	http.ServeFile(w, r, ti.Location)
+}
+
+// sweepLeases expires every lease whose heartbeat lapsed, charging the
+// miss to the shard's attempt budget.
+func (s *Server) sweepLeases(now time.Time) {
+	var expired []*lease
+	s.leaseMu.Lock()
+	for id, l := range s.leases {
+		if now.After(l.expiry) {
+			delete(s.leases, id)
+			expired = append(expired, l)
+		}
+	}
+	s.leaseMu.Unlock()
+	for _, l := range expired {
+		l.off.j.noteLeaseExpired(l.off.shard)
+		l.off.outcome <- attemptOutcome{worker: l.worker, err: &leaseExpiredError{worker: l.worker, shard: l.off.shard}}
+	}
+}
+
+// leaseSweeper is the expiry loop; it runs from Start until shutdown.
+func (s *Server) leaseSweeper() {
+	defer s.wg.Done()
+	tick := s.leaseTTL / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.drainCh:
+			// Draining: outstanding leases die with their offers (renew
+			// answers Gone), so there is nothing left to sweep.
+			return
+		case now := <-ticker.C:
+			s.sweepLeases(now)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import "sync"
+
+// jobQueue is the daemon's job admission queue: priority-ordered (higher
+// first), FIFO within a priority, bounded by the server's -max-queued cap
+// at the submit handler (the queue itself just counts). Workers wait on
+// notify when the queue is empty; every push signals it, and a pop that
+// leaves items behind re-signals so a single token cannot strand work when
+// several workers raced for it.
+type jobQueue struct {
+	mu     sync.Mutex
+	items  []queuedJob
+	seq    uint64
+	notify chan struct{}
+}
+
+// queuedJob is one queued entry: the job ID plus its ordering key.
+type queuedJob struct {
+	id       string
+	priority int
+	seq      uint64
+}
+
+func newJobQueue() *jobQueue {
+	return &jobQueue{notify: make(chan struct{}, 1)}
+}
+
+// push inserts the job in priority order (stable within a priority) and
+// wakes one waiting worker.
+func (q *jobQueue) push(id string, priority int) {
+	q.mu.Lock()
+	item := queuedJob{id: id, priority: priority, seq: q.seq}
+	q.seq++
+	// Insertion sort from the back: queues are short (bounded by
+	// -max-queued) and arrivals are usually in-order.
+	i := len(q.items)
+	for i > 0 && less(item, q.items[i-1]) {
+		i--
+	}
+	q.items = append(q.items, queuedJob{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = item
+	q.mu.Unlock()
+	q.signal()
+}
+
+// less orders item before other: higher priority first, then submit order.
+func less(a, b queuedJob) bool {
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.seq < b.seq
+}
+
+// pop removes and returns the highest-priority job, if any.
+func (q *jobQueue) pop() (string, bool) {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return "", false
+	}
+	id := q.items[0].id
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	rest := len(q.items)
+	q.mu.Unlock()
+	if rest > 0 {
+		q.signal()
+	}
+	return id, true
+}
+
+// depth reports how many jobs are waiting.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *jobQueue) signal() {
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -25,6 +26,19 @@ type Options struct {
 	StateDir string
 	// Workers bounds how many jobs run concurrently. 0 selects 2.
 	Workers int
+	// LocalExecutors bounds how many shard attempts run in-process at
+	// once. 0 selects Workers; negative disables local execution entirely
+	// — a fleet-only coordinator whose shards run exclusively on leased
+	// workers.
+	LocalExecutors int
+	// MaxQueued caps how many submitted jobs may wait for a worker;
+	// submissions past the cap are answered 429 with a Retry-After derived
+	// from the backlog. 0 selects 1024.
+	MaxQueued int
+	// LeaseTTL is how long a leased shard attempt may go without a
+	// heartbeat before the coordinator expires it (consuming one unit of
+	// the shard's attempt budget). 0 selects 10s.
+	LeaseTTL time.Duration
 	// ShardAttempts is the per-shard retry budget. 0 selects 3.
 	ShardAttempts int
 	// ShardTimeout is the deadline of one shard attempt; 0 means none.
@@ -48,21 +62,28 @@ type Options struct {
 // worker pool, and the HTTP API over them. Create with New, start the
 // workers with Start, serve Handler, and stop with Drain.
 type Server struct {
-	st            *state
-	client        *http.Client
-	sleep         func(time.Duration)
-	shardAttempts int
-	shardTimeout  time.Duration
-	retryBase     time.Duration
-	retryMax      time.Duration
-	workers       int
-	seed          int64
+	st             *state
+	client         *http.Client
+	sleep          func(time.Duration)
+	shardAttempts  int
+	shardTimeout   time.Duration
+	retryBase      time.Duration
+	retryMax       time.Duration
+	workers        int
+	localExecutors int
+	maxQueued      int
+	leaseTTL       time.Duration
+	seed           int64
 
 	ctx     context.Context
 	cancel  context.CancelFunc
 	drainCh chan struct{}
-	queue   chan string
+	jq      *jobQueue
+	offers  chan *attemptOffer
 	wg      sync.WaitGroup
+
+	leaseMu sync.Mutex
+	leases  map[string]*lease
 
 	rngMu sync.Mutex
 	rng   *mrand.Rand
@@ -90,27 +111,44 @@ func New(opts Options) (*Server, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		st:            st,
-		client:        opts.Client,
-		sleep:         opts.Sleep,
-		shardAttempts: opts.ShardAttempts,
-		shardTimeout:  opts.ShardTimeout,
-		retryBase:     opts.RetryBase,
-		retryMax:      opts.RetryMax,
-		workers:       opts.Workers,
-		seed:          opts.Seed,
-		ctx:           ctx,
-		cancel:        cancel,
-		drainCh:       make(chan struct{}),
-		queue:         make(chan string, 1024),
-		rng:           mrand.New(mrand.NewSource(opts.Seed)),
-		jobs:          make(map[string]*job),
+		st:             st,
+		client:         opts.Client,
+		sleep:          opts.Sleep,
+		shardAttempts:  opts.ShardAttempts,
+		shardTimeout:   opts.ShardTimeout,
+		retryBase:      opts.RetryBase,
+		retryMax:       opts.RetryMax,
+		workers:        opts.Workers,
+		localExecutors: opts.LocalExecutors,
+		maxQueued:      opts.MaxQueued,
+		leaseTTL:       opts.LeaseTTL,
+		seed:           opts.Seed,
+		ctx:            ctx,
+		cancel:         cancel,
+		drainCh:        make(chan struct{}),
+		jq:             newJobQueue(),
+		offers:         make(chan *attemptOffer),
+		leases:         make(map[string]*lease),
+		rng:            mrand.New(mrand.NewSource(opts.Seed)),
+		jobs:           make(map[string]*job),
 	}
 	if s.client == nil {
 		s.client = http.DefaultClient
 	}
 	if s.workers <= 0 {
 		s.workers = 2
+	}
+	if s.localExecutors == 0 {
+		s.localExecutors = s.workers
+	}
+	if s.localExecutors < 0 {
+		s.localExecutors = 0
+	}
+	if s.maxQueued <= 0 {
+		s.maxQueued = 1024
+	}
+	if s.leaseTTL <= 0 {
+		s.leaseTTL = 10 * time.Second
 	}
 	if s.shardAttempts <= 0 {
 		s.shardAttempts = 3
@@ -179,27 +217,30 @@ func (s *Server) recoverProgress(j *job) {
 	}
 }
 
-// Start launches the worker pool and enqueues every recovered
-// non-terminal job.
+// Start launches the worker pool, the local shard executors, and the
+// lease sweeper, then enqueues every recovered non-terminal job.
 func (s *Server) Start() {
 	for w := 0; w < s.workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	for e := 0; e < s.localExecutors; e++ {
+		s.wg.Add(1)
+		go s.shardExecutor()
+	}
+	s.wg.Add(1)
+	go s.leaseSweeper()
 	s.mu.Lock()
-	var pending []string
-	for id, j := range s.jobs {
+	var pending []*job
+	for _, j := range s.jobs {
 		if j.state == StateQueued {
-			pending = append(pending, id)
+			pending = append(pending, j)
 		}
 	}
 	s.mu.Unlock()
-	sort.Strings(pending)
-	for _, id := range pending {
-		select {
-		case s.queue <- id:
-		default:
-		}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].spec.ID < pending[j].spec.ID })
+	for _, j := range pending {
+		s.jq.push(j.spec.ID, j.spec.Priority)
 	}
 }
 
@@ -211,7 +252,13 @@ func (s *Server) worker() {
 			return
 		case <-s.drainCh:
 			return
-		case id := <-s.queue:
+		case <-s.jq.notify:
+			// pop re-signals when items remain, so one pop per wakeup
+			// cannot strand queued work behind a consumed token.
+			id, ok := s.jq.pop()
+			if !ok {
+				continue
+			}
 			s.mu.Lock()
 			j := s.jobs[id]
 			s.mu.Unlock()
@@ -282,6 +329,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/traces/{id}/data", s.handleTraceData)
+	mux.HandleFunc("POST /v1/leases", s.handleLeaseAcquire)
+	mux.HandleFunc("POST /v1/leases/{id}/renew", s.handleLeaseRenew)
+	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleLeaseComplete)
+	mux.HandleFunc("POST /v1/leases/{id}/fail", s.handleLeaseFail)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -356,12 +409,14 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		Shards    int             `json:"shards"`
 		Degraded  bool            `json:"degraded"`
 		Speculate bool            `json:"speculate"`
+		Priority  int             `json:"priority"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing job: %v", err))
 		return
 	}
-	spec := JobSpec{TraceID: req.Trace, Shards: req.Shards, Degraded: req.Degraded, Speculate: req.Speculate}
+	spec := JobSpec{TraceID: req.Trace, Shards: req.Shards, Degraded: req.Degraded,
+		Speculate: req.Speculate, Priority: req.Priority}
 	if len(req.Config) > 0 {
 		if err := json.Unmarshal(req.Config, &spec.Config); err != nil {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing config: %v", err))
@@ -382,6 +437,19 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
 		return
 	}
+	if depth := s.jq.depth(); depth >= s.maxQueued {
+		// Backpressure, not failure: tell the client when to come back.
+		// The hint scales with the backlog per worker — a deep queue earns
+		// a longer wait — so synchronized retry storms spread out.
+		retry := depth / max(s.workers, 1)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("job queue full (%d queued, cap %d)", depth, s.maxQueued))
+		return
+	}
 	spec.ID = newID("j")
 	if err := s.st.saveSpec(spec); err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
@@ -391,38 +459,41 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.jobs[spec.ID] = j
 	s.mu.Unlock()
-	select {
-	case s.queue <- spec.ID:
-	default:
-		httpError(w, http.StatusServiceUnavailable, "job queue full")
-		return
-	}
+	s.jq.push(spec.ID, spec.Priority)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": spec.ID, "state": StateQueued})
 }
 
 // JobView is the status representation of one job.
 type JobView struct {
-	ID         string          `json:"id"`
-	Trace      string          `json:"trace"`
-	State      string          `json:"state"`
-	Shards     []shardProgress `json:"shards,omitempty"`
-	ShardsDone int             `json:"shards_done"`
-	Retry      remote.Stats    `json:"retry"`
-	Degraded   *DegradedMark   `json:"degraded,omitempty"`
-	Error      string          `json:"error,omitempty"`
+	ID            string          `json:"id"`
+	Trace         string          `json:"trace"`
+	State         string          `json:"state"`
+	Shards        []shardProgress `json:"shards,omitempty"`
+	ShardsDone    int             `json:"shards_done"`
+	Retry         remote.Stats    `json:"retry"`
+	LeaseExpiries int             `json:"lease_expiries,omitempty"`
+	Degraded      *DegradedMark   `json:"degraded,omitempty"`
+	Error         string          `json:"error,omitempty"`
 }
 
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.viewLocked()
+}
+
+// viewLocked builds the view under j.mu (held by the caller); subscribe
+// uses it to pair the snapshot with stream registration atomically.
+func (j *job) viewLocked() JobView {
 	v := JobView{
-		ID:       j.spec.ID,
-		Trace:    j.spec.TraceID,
-		State:    j.state,
-		Shards:   append([]shardProgress(nil), j.shards...),
-		Retry:    j.retry,
-		Degraded: j.degraded,
-		Error:    j.errMsg,
+		ID:            j.spec.ID,
+		Trace:         j.spec.TraceID,
+		State:         j.state,
+		Shards:        append([]shardProgress(nil), j.shards...),
+		Retry:         j.retry,
+		LeaseExpiries: j.leaseExpiries,
+		Degraded:      j.degraded,
+		Error:         j.errMsg,
 	}
 	for _, sp := range j.shards {
 		if sp.State == "done" {

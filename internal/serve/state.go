@@ -49,6 +49,10 @@ type JobSpec struct {
 	// result files the chained path writes, so resume and degradation
 	// behave identically.
 	Speculate bool `json:"speculate,omitempty"`
+	// Priority orders the job admission queue: higher runs first, ties
+	// run in submission order. Persisted so a recovered job re-queues at
+	// its original priority.
+	Priority int `json:"priority,omitempty"`
 }
 
 // DegradedMark is the persisted terminal marker of a job whose shard chain

@@ -24,25 +24,31 @@ const (
 	StateFailed   = "failed"
 )
 
-// shardProgress is one shard's live status inside a job view.
+// shardProgress is one shard's live status inside a job view. Worker
+// names the fleet worker holding (or last holding) the shard's lease;
+// empty means the attempt ran locally.
 type shardProgress struct {
 	State    string `json:"state"` // pending, running, done, failed
 	Attempts int    `json:"attempts"`
 	Events   uint64 `json:"events"`
+	Worker   string `json:"worker,omitempty"`
 }
 
 // job is the in-memory runtime of one analysis job. Everything a handler
 // reads is behind mu; the worker goroutine running the job is the only
-// writer.
+// writer (lease bookkeeping — noteWorker, noteLeaseExpired — also writes,
+// from the HTTP handlers and the sweeper).
 type job struct {
 	spec JobSpec
 
-	mu       sync.Mutex
-	state    string
-	shards   []shardProgress
-	retry    remote.Stats
-	degraded *DegradedMark
-	errMsg   string
+	mu            sync.Mutex
+	state         string
+	shards        []shardProgress
+	retry         remote.Stats
+	leaseExpiries int
+	degraded      *DegradedMark
+	errMsg        string
+	subs          map[chan JobEvent]struct{}
 }
 
 // errInterrupted marks a job stopped by drain or shutdown rather than
@@ -108,7 +114,7 @@ func (s *Server) runJobChain(j *job) error {
 	j.initShards(len(plan.Shards))
 
 	if spec.Speculate {
-		return s.runJobSplice(j, src, data, plan)
+		return s.runJobSplice(j, ti, src, data, plan)
 	}
 
 	ns := len(plan.Shards)
@@ -125,7 +131,7 @@ func (s *Server) runJobChain(j *job) error {
 			j.shardDone(i, part.Events)
 			continue
 		}
-		part, cp, err := s.superviseShard(j, src, data, plan, i, prevCP)
+		part, cp, err := s.superviseShard(j, ti, src, data, plan, i, prevCP)
 		if err != nil {
 			if errors.Is(err, errInterrupted) {
 				return errInterrupted
@@ -172,7 +178,7 @@ func (s *Server) runJobChain(j *job) error {
 // persisted deltas are reused, the rest rebuild), and a shard that cannot
 // be built or spliced degrades the job at that shard exactly as a broken
 // chain would.
-func (s *Server) runJobSplice(j *job, src *remote.Source, data []byte, plan *shard.Plan) error {
+func (s *Server) runJobSplice(j *job, ti TraceInfo, src *remote.Source, data []byte, plan *shard.Plan) error {
 	spec := j.spec
 	ns := len(plan.Shards)
 	parts := make([]*shard.Result, ns)
@@ -185,9 +191,11 @@ func (s *Server) runJobSplice(j *job, src *remote.Source, data []byte, plan *sha
 		}
 	}
 
+	// Every unfinished delta is offered at once: the local executor pool
+	// bounds in-process concurrency globally, and any fleet worker can
+	// claim the rest — no per-job semaphore.
 	deltas := make([]*shard.Delta, ns)
 	buildErrs := make([]error, ns)
-	sem := make(chan struct{}, s.workers)
 	var wg sync.WaitGroup
 	for i := 0; i < ns; i++ {
 		if resumed[i] {
@@ -196,9 +204,7 @@ func (s *Server) runJobSplice(j *job, src *remote.Source, data []byte, plan *sha
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			deltas[i], buildErrs[i] = s.superviseDelta(j, src, data, plan, i)
+			deltas[i], buildErrs[i] = s.superviseDelta(j, ti, src, data, plan, i)
 		}(i)
 	}
 	wg.Wait()
@@ -265,9 +271,11 @@ func (s *Server) runJobSplice(j *job, src *remote.Source, data []byte, plan *sha
 
 // superviseDelta builds one shard's speculative delta through the attempt
 // budget, reusing a delta persisted by an earlier (killed) run of the job.
-// It is safe to call concurrently for different shards: remote Section
+// Each attempt is offered to the shared queue — a local executor or a
+// leased fleet worker runs it; an expired lease is one failed attempt. It
+// is safe to call concurrently for different shards: remote Section
 // fetches, progress notes and backoff draws are all internally locked.
-func (s *Server) superviseDelta(j *job, src *remote.Source, data []byte, plan *shard.Plan, i int) (*shard.Delta, error) {
+func (s *Server) superviseDelta(j *job, ti TraceInfo, src *remote.Source, data []byte, plan *shard.Plan, i int) (*shard.Delta, error) {
 	if d, err := shard.LoadDelta(s.st.deltaPath(j.spec.ID, i)); err == nil &&
 		d.Index == i && d.Shards == len(plan.Shards) && d.D.StartEvent == plan.Shards[i].StartEvent {
 		return d, nil
@@ -278,20 +286,26 @@ func (s *Server) superviseDelta(j *job, src *remote.Source, data []byte, plan *s
 			return nil, errInterrupted
 		}
 		j.noteAttempt(i, attempt)
-		d, err := s.buildDeltaAttempt(j, src, data, plan, i)
-		if err == nil {
-			if serr := shard.SaveDelta(s.st.deltaPath(j.spec.ID, i), d); serr != nil {
+		out, derr := s.dispatch(&attemptOffer{
+			j: j, ti: ti, plan: plan, shard: i, attempt: attempt, kind: kindDelta,
+			src: src, data: data, outcome: make(chan attemptOutcome, 1),
+		})
+		if derr != nil {
+			return nil, errInterrupted
+		}
+		if out.err == nil {
+			if serr := shard.SaveDelta(s.st.deltaPath(j.spec.ID, i), out.delta); serr != nil {
 				return nil, fmt.Errorf("shard %d: persisting delta: %w", i, serr)
 			}
-			return d, nil
+			return out.delta, nil
 		}
 		if s.ctx.Err() != nil {
 			return nil, errInterrupted
 		}
-		if remote.IsPermanent(err) {
-			return nil, fmt.Errorf("shard %d attempt %d: %w", i, attempt, err)
+		if remote.IsPermanent(out.err) {
+			return nil, fmt.Errorf("shard %d attempt %d: %w", i, attempt, out.err)
 		}
-		lastErr = err
+		lastErr = out.err
 		if attempt < s.shardAttempts {
 			s.backoff(attempt)
 		}
@@ -388,29 +402,37 @@ func (s *Server) jobPlan(j *job, src *remote.Source, data []byte) (*shard.Plan, 
 }
 
 // superviseShard runs one shard through its attempt budget: each attempt
-// gets a deadline and panic containment; transient failures back off with
-// seeded jitter and retry, permanent ones (and an exhausted budget) fail
-// the shard.
-func (s *Server) superviseShard(j *job, src *remote.Source, data []byte, plan *shard.Plan, i int, prevCP *core.Checkpoint) (*shard.Result, *core.Checkpoint, error) {
+// is offered to the shared queue, where a local executor gives it a
+// deadline and panic containment and a leased fleet worker is bounded by
+// its heartbeat TTL. Transient failures — including an expired lease —
+// back off with seeded jitter and retry; permanent ones (and an exhausted
+// budget) fail the shard.
+func (s *Server) superviseShard(j *job, ti TraceInfo, src *remote.Source, data []byte, plan *shard.Plan, i int, prevCP *core.Checkpoint) (*shard.Result, *core.Checkpoint, error) {
 	var lastErr error
 	for attempt := 1; attempt <= s.shardAttempts; attempt++ {
 		if s.interrupted() {
 			return nil, nil, errInterrupted
 		}
 		j.noteAttempt(i, attempt)
-		part, cp, err := s.runShardAttempt(j, src, data, plan, i, prevCP)
-		if err == nil {
-			return part, cp, nil
+		out, derr := s.dispatch(&attemptOffer{
+			j: j, ti: ti, plan: plan, shard: i, attempt: attempt, kind: kindChain,
+			prevCP: prevCP, src: src, data: data, outcome: make(chan attemptOutcome, 1),
+		})
+		if derr != nil {
+			return nil, nil, errInterrupted
+		}
+		if out.err == nil {
+			return out.part, out.cp, nil
 		}
 		if s.ctx.Err() != nil {
 			// Root cancellation surfaces through the attempt context; it is
 			// shutdown, not a shard failure.
 			return nil, nil, errInterrupted
 		}
-		if remote.IsPermanent(err) {
-			return nil, nil, fmt.Errorf("shard %d attempt %d: %w", i, attempt, err)
+		if remote.IsPermanent(out.err) {
+			return nil, nil, fmt.Errorf("shard %d attempt %d: %w", i, attempt, out.err)
 		}
-		lastErr = err
+		lastErr = out.err
 		if attempt < s.shardAttempts {
 			s.backoff(attempt)
 		}
@@ -506,6 +528,7 @@ func (s *Server) interrupted() bool {
 func (j *job) setState(st string) {
 	j.mu.Lock()
 	j.state = st
+	j.emitLocked(JobEvent{Shard: -1})
 	j.mu.Unlock()
 }
 
@@ -513,6 +536,7 @@ func (j *job) fail(err error) {
 	j.mu.Lock()
 	j.state = StateFailed
 	j.errMsg = err.Error()
+	j.emitLocked(JobEvent{Shard: -1})
 	j.mu.Unlock()
 }
 
@@ -523,6 +547,7 @@ func (j *job) setDegraded(mark *DegradedMark, i int) {
 	if i < len(j.shards) {
 		j.shards[i].State = "failed"
 	}
+	j.emitLocked(JobEvent{Shard: i, ShardState: "failed"})
 	j.mu.Unlock()
 }
 
@@ -550,6 +575,32 @@ func (j *job) noteAttempt(i, attempt int) {
 	if i < len(j.shards) {
 		j.shards[i].State = "running"
 		j.shards[i].Attempts = attempt
+		j.shards[i].Worker = ""
+		j.emitLocked(JobEvent{Shard: i, ShardState: "running", Attempts: attempt})
+	}
+	j.mu.Unlock()
+}
+
+// noteWorker records that the shard's current attempt is leased to the
+// named fleet worker.
+func (j *job) noteWorker(i int, worker string) {
+	j.mu.Lock()
+	if i < len(j.shards) {
+		j.shards[i].Worker = worker
+		j.emitLocked(JobEvent{Shard: i, ShardState: "running",
+			Attempts: j.shards[i].Attempts, Worker: worker})
+	}
+	j.mu.Unlock()
+}
+
+// noteLeaseExpired counts a lease that lapsed without a heartbeat; the
+// attempt itself fails through the normal transient path.
+func (j *job) noteLeaseExpired(i int) {
+	j.mu.Lock()
+	j.leaseExpiries++
+	if i < len(j.shards) {
+		j.emitLocked(JobEvent{Shard: i, ShardState: "lease-expired",
+			Attempts: j.shards[i].Attempts, Worker: j.shards[i].Worker})
 	}
 	j.mu.Unlock()
 }
@@ -559,6 +610,7 @@ func (j *job) shardDone(i int, events uint64) {
 	if i < len(j.shards) {
 		j.shards[i].State = "done"
 		j.shards[i].Events = events
+		j.emitLocked(JobEvent{Shard: i, ShardState: "done", Worker: j.shards[i].Worker})
 	}
 	j.mu.Unlock()
 }
@@ -567,6 +619,7 @@ func (j *job) shardFailed(i int) {
 	j.mu.Lock()
 	if i < len(j.shards) {
 		j.shards[i].State = "failed"
+		j.emitLocked(JobEvent{Shard: i, ShardState: "failed", Attempts: j.shards[i].Attempts})
 	}
 	j.mu.Unlock()
 }
