@@ -30,8 +30,9 @@ differential:
 	$(GO) test -race -run Differential ./...
 
 # Short coverage-guided runs of the trace-reader, reader-equivalence,
-# trace-splitter and speculative-equivalence fuzzers on top of their seed
-# corpora. Minimization is bounded so the budget is spent fuzzing.
+# trace-splitter, speculative-equivalence and autosave-log-recovery fuzzers
+# on top of their seed corpora. Minimization is bounded so the budget is
+# spent fuzzing.
 fuzz:
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz FuzzTraceReader \
 		-fuzztime 10s -fuzzminimizetime 20x
@@ -40,6 +41,8 @@ fuzz:
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzSplitter \
 		-fuzztime 10s -fuzzminimizetime 20x
 	$(GO) test ./internal/shard/ -run '^$$' -fuzz FuzzSpeculativeEquivalence \
+		-fuzztime 10s -fuzzminimizetime 20x
+	$(GO) test ./cmd/specrun/ -run '^$$' -fuzz FuzzStoreRecovery \
 		-fuzztime 10s -fuzzminimizetime 20x
 
 # Serial-vs-parallel engine and sharded-analysis benchmarks, captured as
@@ -51,6 +54,8 @@ bench:
 		| tee BENCH_hotpath.json
 	$(GO) test -run '^$$' -bench 'SpeculativeShards' -benchmem -json . \
 		| tee BENCH_speculate.json
+	$(GO) test -run '^$$' -bench 'BoundedReplay' -benchmem -json . \
+		| tee BENCH_memory.json
 
 # The full verification gate: static checks, build, race-detector test run,
 # the serial-vs-parallel differential battery, and a short fuzz of the

@@ -88,7 +88,7 @@ func main() {
 		useMmap    = flag.Bool("mmap", false, "with -trace: memory-map the trace file and decode it zero-copy (falls back to one buffered read where mmap is unavailable)")
 
 		sweepWindows = flag.String("sweep-windows", "", "comma-separated window sizes (0 = whole trace): decode the trace once and analyze every size, e.g. -sweep-windows 1,128,8192,0")
-		jobs         = flag.Int("j", 0, "with -sweep-windows or -shards: concurrent workers (0 = GOMAXPROCS, 1 = serial)")
+		jobs         = flag.Int("j", 0, "with -sweep-windows: concurrent analyzers per decode pass (0 = all windows at once); with -shards: concurrent workers (0 = GOMAXPROCS, 1 = serial)")
 		shards       = flag.Int("shards", 0, "analyze the trace in N chunk-aligned shards with pipelined decode and a deterministic merge (0 = monolithic)")
 		speculate    = flag.Bool("speculate", false, "with -shards: analyze all shards concurrently (speculative per-shard compilation + sequential seam splice); results are identical to the chained run")
 
@@ -320,10 +320,13 @@ func main() {
 	writeStorage(res, *storageOut)
 }
 
-// runWindowSweep is the single-decode fan-out path: the trace is decoded
-// from a file (or simulated) exactly once into a trace.EventBuffer, then
-// analyzed under every requested window size by a pool of concurrent
-// analyzers (harness.FanOut). The output is one table row per window.
+// runWindowSweep is the bounded fan-out path: the trace is decoded from a
+// file (or simulated) while every requested window size analyzes it
+// concurrently through a bounded trace.Ring (harness.FanOutStream), so
+// memory never grows with trace length. -j bounds the concurrent analyzer
+// count by splitting the windows into groups of that size, one decode (or
+// simulation) pass per group; 0 analyzes every window in a single pass.
+// The output is one table row per window.
 func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded, useMmap bool) {
 	var sizes []int
 	for _, s := range strings.Split(sizesArg, ",") {
@@ -334,31 +337,31 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 		sizes = append(sizes, n)
 	}
 
-	var buf *trace.EventBuffer
-	if traceFile != "" {
-		tr, _, closeTrace, err := openTrace(traceFile, useMmap, degraded, false)
-		if err != nil {
-			fatal(err)
+	produce := func(ring *trace.Ring) error {
+		if traceFile != "" {
+			tr, _, closeTrace, err := openTrace(traceFile, useMmap, degraded, false)
+			if err != nil {
+				return err
+			}
+			defer closeTrace()
+			if err := tr.ForEachBatch(ring.Events); err != nil {
+				return err
+			}
+			ring.SetStats(tr.Stats())
+			return nil
 		}
-		buf, err = trace.ReadAll(tr)
-		closeTrace()
-		if err != nil {
-			fatal(err)
-		}
-		reportSkips(buf.Stats())
-	} else {
 		prog, err := buildProgram(workload, srcFile, asmFile, scale)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		buf = &trace.EventBuffer{}
-		machine, err := cpu.New(prog, cpu.WithTrace(buf), cpu.WithStdout(os.Stderr))
+		machine, err := cpu.New(prog, cpu.WithTrace(ring), cpu.WithStdout(os.Stderr))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if _, err := machine.Run(maxInst); err != nil && err != cpu.ErrLimit {
-			fatal(err)
+			return err
 		}
+		return nil
 	}
 
 	cfgs := make([]core.Config, len(sizes))
@@ -368,13 +371,36 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 		c.WindowSize = size
 		cfgs[i] = c
 	}
+	group := len(cfgs)
+	if jobs > 0 && jobs < group {
+		group = jobs
+	}
 	start := time.Now()
-	results, err := harness.FanOut(ctx, buf, cfgs, jobs)
-	if err != nil {
-		fatal(err)
+	results := make([]*core.Result, 0, len(cfgs))
+	var events int64
+	for lo := 0; lo < len(cfgs); lo += group {
+		hi := lo + group
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		var count int64
+		counted := func(ring *trace.Ring) error {
+			err := produce(ring)
+			count = ring.Count()
+			return err
+		}
+		rs, rstats, err := harness.FanOutStream(ctx, counted, cfgs[lo:hi], 0)
+		if err != nil {
+			fatal(err)
+		}
+		if lo == 0 {
+			reportSkips(rstats)
+		}
+		events = count
+		results = append(results, rs...)
 	}
 	fmt.Fprintf(os.Stderr, "paragraph: analyzed %s events x %d windows in %v\n",
-		stats.FormatInt(int64(buf.Len())), len(sizes), time.Since(start).Round(time.Millisecond))
+		stats.FormatInt(events), len(sizes), time.Since(start).Round(time.Millisecond))
 
 	t := stats.NewTable("Window", "Operations", "Critical Path", "Available")
 	for i, r := range results {

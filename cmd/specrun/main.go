@@ -28,9 +28,14 @@
 //	                  marked FAILED in the tables and the exit code is 1
 //	-timeout D        per-workload wall-clock budget (e.g. -timeout 30s)
 //	-mem-budget B     per-analyzer memory budget, e.g. 64M (0 = unlimited)
+//	-mem-budget-global B
+//	                  one budget divided across all concurrently running
+//	                  workloads; effective -j shrinks before analyses
+//	                  degrade, and shares re-expand as workloads finish
 //	-budget-policy P  over-budget response: fail, degrade or warn
-//	-autosave F       save finished rows to F (atomic rename) as the run
-//	                  progresses, so a killed run can pick up where it left
+//	-autosave F       save finished rows to F as the run progresses — an
+//	                  append-only CRC-framed log, one fsynced record per
+//	                  row — so a killed run can pick up where it left
 //	-resume           with -autosave: reuse rows already in F instead of
 //	                  recomputing them; output is identical to a full run
 //	                  because workloads are deterministic
@@ -99,10 +104,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		timeout   = fs.Duration("timeout", 0, "per-workload wall-clock budget, e.g. 30s (0 = unlimited)")
 		jobs      = fs.Int("j", 0, "parallelism: bounds both concurrent workloads and concurrent analyzer configs per workload (0 = GOMAXPROCS, 1 = fully serial)")
 
-		memBudget    = fs.String("mem-budget", "", "per-analyzer memory budget, e.g. 64M or 1G (empty = unlimited)")
-		budgetPolicy = fs.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
-		autosave     = fs.String("autosave", "", "save finished experiment rows to this file as the run progresses")
-		resume       = fs.Bool("resume", false, "with -autosave: reuse saved rows instead of recomputing them")
+		memBudget       = fs.String("mem-budget", "", "per-analyzer memory budget, e.g. 64M or 1G (empty = unlimited)")
+		memBudgetGlobal = fs.String("mem-budget-global", "", "one memory budget divided across all concurrently running workloads, e.g. 1G (empty = none); shrinks effective -j before degrading analyses")
+		budgetPolicy    = fs.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
+		autosave        = fs.String("autosave", "", "save finished experiment rows to this file as the run progresses")
+		resume          = fs.Bool("resume", false, "with -autosave: reuse saved rows instead of recomputing them")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -121,7 +127,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		// flag that picks the run back up.
 		if st != nil && errors.Is(err, context.Canceled) {
 			fmt.Fprintf(stderr, "specrun: interrupted; %d finished row(s) saved to %s — rerun with -resume to continue\n",
-				len(st.rows), *autosave)
+				st.len(), *autosave)
 		}
 		return 1
 	}
@@ -132,17 +138,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	s.WorkloadTimeout = *timeout
 	s.Parallelism = *jobs
 	s.Concurrency = *jobs
-	if *memBudget != "" {
-		b, err := budget.ParseBytes(*memBudget)
-		if err != nil {
-			return fail(err)
-		}
+	if *memBudget != "" || *memBudgetGlobal != "" {
 		pol, err := budget.ParsePolicy(*budgetPolicy)
 		if err != nil {
 			return fail(err)
 		}
-		s.MemBudget = b
 		s.BudgetPolicy = pol
+		if *memBudget != "" {
+			b, err := budget.ParseBytes(*memBudget)
+			if err != nil {
+				return fail(err)
+			}
+			s.MemBudget = b
+		}
+		if *memBudgetGlobal != "" {
+			b, err := budget.ParseBytes(*memBudgetGlobal)
+			if err != nil {
+				return fail(err)
+			}
+			s.GlobalMemBudget = b
+		}
 	}
 	if *names != "" {
 		s.Workloads = nil
@@ -168,6 +183,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
+		defer st.close()
 	}
 
 	exitCode := 0

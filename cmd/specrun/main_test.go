@@ -3,7 +3,6 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -78,25 +77,19 @@ func TestAutosaveResumeByteIdentical(t *testing.T) {
 		t.Fatalf("full run failed (%d):\n%s", code, stderr)
 	}
 
-	// Simulate a run that died after finishing only xlispx: drop the other
-	// workload's row from the store.
-	raw, err := os.ReadFile(store)
+	// Simulate a run that died after finishing only xlispx: tombstone the
+	// other workload's row through the store's own log operations.
+	st, err := openStore(store, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rows map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &rows); err != nil {
+	if !st.has("table3/xlispx") {
+		t.Fatal("store is missing the xlispx row")
+	}
+	if err := st.drop("table3/matrixx"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := rows["table3/xlispx"]; !ok {
-		t.Fatalf("store is missing the xlispx row; keys: %v", keys(rows))
-	}
-	delete(rows, "table3/matrixx")
-	trimmed, err := json.Marshal(rows)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(store, trimmed, 0o644); err != nil {
+	if err := st.close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -128,14 +121,15 @@ func TestAutosaveSkipsFailedRows(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
-	if raw, err := os.ReadFile(store); err == nil {
-		var rows map[string]json.RawMessage
-		if jerr := json.Unmarshal(raw, &rows); jerr != nil {
-			t.Fatalf("store is not valid JSON: %v", jerr)
+	if _, err := os.Stat(store); err == nil {
+		st, err := openStore(store, true)
+		if err != nil {
+			t.Fatalf("store does not reopen cleanly: %v", err)
 		}
-		if _, ok := rows["table3/xlispx"]; ok {
+		if st.has("table3/xlispx") {
 			t.Error("failed row was persisted")
 		}
+		st.close()
 	}
 
 	// Retried without the absurd timeout, the resumed run succeeds.
@@ -147,12 +141,4 @@ func TestAutosaveSkipsFailedRows(t *testing.T) {
 	if !strings.Contains(stdout, "xlispx") {
 		t.Errorf("retried table missing the workload row:\n%s", stdout)
 	}
-}
-
-func keys(m map[string]json.RawMessage) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	return out
 }

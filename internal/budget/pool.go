@@ -1,0 +1,115 @@
+package budget
+
+import (
+	"context"
+	"sync"
+)
+
+// MinShare is the smallest per-workload budget share the Pool will hand
+// out: below ~1 MB an analysis cannot hold even a degraded window plus a
+// minimum-size ring, so the pool shrinks concurrency instead of slicing
+// the budget thinner.
+const MinShare int64 = 1 << 20
+
+// Pool divides one global memory budget across concurrently running
+// workloads. Admission control works on commitments, not measurements:
+// each admitted workload is handed a byte share carved from the
+// uncommitted remainder of the budget, and gives it back when it
+// finishes. Shares therefore re-expand automatically as the run drains —
+// the last workload standing inherits everything still uncommitted —
+// while the sum of outstanding shares never exceeds the total.
+//
+// The pool prefers shrinking concurrency to shrinking shares: NewPool
+// clamps the number of admission slots so every slot is worth at least
+// MinShare, which is the "shrink effective Parallelism before degrading
+// windows" policy — fewer workloads at full fidelity beat many workloads
+// all forced through window degradation.
+//
+// A Pool is safe for concurrent use.
+type Pool struct {
+	total int64
+	slots int
+	sem   chan struct{}
+
+	mu        sync.Mutex
+	committed int64
+	inUse     int
+}
+
+// NewPool returns a pool dividing total bytes across at most parallelism
+// concurrent holders, clamped so each admission slot can be funded with at
+// least MinShare. total must be positive; parallelism < 1 is treated as 1.
+func NewPool(total int64, parallelism int) *Pool {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	slots := parallelism
+	if max := total / MinShare; int64(slots) > max {
+		slots = int(max)
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return &Pool{total: total, slots: slots, sem: make(chan struct{}, slots)}
+}
+
+// Parallelism reports how many workloads the pool admits concurrently —
+// the caller's effective parallelism bound, possibly smaller than the one
+// it asked for.
+func (p *Pool) Parallelism() int { return p.slots }
+
+// Acquire blocks until an admission slot is free, then commits and returns
+// this holder's byte share. remaining is how many workloads (including
+// this one) still have to run; when it is smaller than the free slots, the
+// uncommitted budget is split fewer ways — the tail re-expansion. The
+// returned release must be called exactly once when the workload finishes;
+// it is idempotent.
+func (p *Pool) Acquire(remaining int) (share int64, release func()) {
+	p.sem <- struct{}{}
+	p.mu.Lock()
+	p.inUse++
+	// Split the uncommitted remainder across whichever is scarcer: free
+	// slots (counting ours) or workloads left to run. Induction keeps the
+	// division exact — committed shares return to the pool on release, so
+	// the remainder is never negative and every slot stays ≥ MinShare.
+	ways := p.slots - p.inUse + 1
+	if remaining < ways {
+		ways = remaining
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	share = (p.total - p.committed) / int64(ways)
+	if share < MinShare {
+		share = MinShare
+	}
+	p.committed += share
+	p.mu.Unlock()
+	var once sync.Once
+	return share, func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.committed -= share
+			p.inUse--
+			p.mu.Unlock()
+			<-p.sem
+		})
+	}
+}
+
+// shareKey carries a Pool share through a context.
+type shareKey struct{}
+
+// WithShare returns a context carrying a per-workload budget share.
+// Carrying the share in the context (rather than a parameter) lets an
+// experiment driver hand each workload its slice without changing every
+// analysis signature between them.
+func WithShare(ctx context.Context, share int64) context.Context {
+	return context.WithValue(ctx, shareKey{}, share)
+}
+
+// ShareFromContext returns the share installed by WithShare, if any.
+func ShareFromContext(ctx context.Context) (int64, bool) {
+	share, ok := ctx.Value(shareKey{}).(int64)
+	return share, ok
+}

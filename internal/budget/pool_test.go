@@ -1,0 +1,176 @@
+package budget
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolClampsParallelism(t *testing.T) {
+	cases := []struct {
+		total int64
+		ask   int
+		want  int
+	}{
+		{total: 8 * MinShare, ask: 4, want: 4},   // budget funds every slot
+		{total: 2 * MinShare, ask: 8, want: 2},   // budget funds only 2
+		{total: MinShare / 2, ask: 4, want: 1},   // tiny budget: never below 1
+		{total: 100 * MinShare, ask: 0, want: 1}, // parallelism < 1 treated as 1
+	}
+	for _, c := range cases {
+		if got := NewPool(c.total, c.ask).Parallelism(); got != c.want {
+			t.Errorf("NewPool(%d, %d).Parallelism() = %d, want %d", c.total, c.ask, got, c.want)
+		}
+	}
+}
+
+// TestPoolExactDivision: with as many workloads as slots, every concurrent
+// holder gets an equal cut and the committed total never exceeds the pool.
+func TestPoolExactDivision(t *testing.T) {
+	const total = 8 * MinShare
+	p := NewPool(total, 4)
+	var shares []int64
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		s, rel := p.Acquire(8 - i) // more workloads remain than slots
+		shares = append(shares, s)
+		releases = append(releases, rel)
+	}
+	var sum int64
+	for _, s := range shares {
+		if s < MinShare {
+			t.Errorf("share %d below MinShare", s)
+		}
+		sum += s
+	}
+	if sum > total {
+		t.Errorf("outstanding shares %d exceed the pool total %d", sum, total)
+	}
+	// 8*MinShare over 4 ways, then 6/3, 4/2, 2/1: every holder gets 2*MinShare.
+	for i, s := range shares {
+		if s != 2*MinShare {
+			t.Errorf("holder %d share = %d, want %d", i, s, 2*MinShare)
+		}
+	}
+	for _, rel := range releases {
+		rel()
+	}
+}
+
+// TestPoolTailReExpansion: as workloads finish and fewer remain than free
+// slots, the survivors' shares grow — the last workload inherits the whole
+// budget.
+func TestPoolTailReExpansion(t *testing.T) {
+	const total = 8 * MinShare
+	p := NewPool(total, 4)
+	s1, rel1 := p.Acquire(2) // 2 workloads left, 4 slots: split 2 ways
+	if s1 != total/2 {
+		t.Errorf("first-of-two share = %d, want %d", s1, total/2)
+	}
+	rel1()
+	s2, rel2 := p.Acquire(1) // last one standing: everything
+	if s2 != total {
+		t.Errorf("last share = %d, want the full pool %d", s2, total)
+	}
+	rel2()
+}
+
+// TestPoolReleaseIdempotent: calling release twice must not double-credit
+// the budget or free a second admission slot.
+func TestPoolReleaseIdempotent(t *testing.T) {
+	p := NewPool(4*MinShare, 2)
+	_, rel := p.Acquire(3)
+	rel()
+	rel()
+	p.mu.Lock()
+	committed, inUse := p.committed, p.inUse
+	p.mu.Unlock()
+	if committed != 0 || inUse != 0 {
+		t.Errorf("after double release: committed=%d inUse=%d, want 0/0", committed, inUse)
+	}
+	if got := len(p.sem); got != 0 {
+		t.Errorf("after double release: %d slots held, want 0", got)
+	}
+}
+
+// TestPoolBlocksAtCapacity: a full pool parks the next Acquire until a
+// holder releases.
+func TestPoolBlocksAtCapacity(t *testing.T) {
+	p := NewPool(2*MinShare, 2)
+	_, rel1 := p.Acquire(3)
+	_, rel2 := p.Acquire(3)
+	acquired := make(chan int64, 1)
+	go func() {
+		s, rel := p.Acquire(1)
+		rel()
+		acquired <- s
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("third Acquire did not block on a full pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+	rel1()
+	select {
+	case s := <-acquired:
+		// Only one other holder left: half the pool minimum, MinShare floor.
+		if s < MinShare {
+			t.Errorf("unblocked share = %d, below MinShare", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not unblock the waiter")
+	}
+	rel2()
+}
+
+// TestPoolConcurrentInvariant hammers the pool from many goroutines and
+// checks the standing invariant: every share ≥ MinShare and outstanding
+// commitments never exceed the total. Run under -race this is also the
+// pool's data-race audit.
+func TestPoolConcurrentInvariant(t *testing.T) {
+	const total = 8 * MinShare
+	const workloads = 64
+	p := NewPool(total, 4)
+	var mu sync.Mutex
+	var outstanding int64
+	var wg sync.WaitGroup
+	var remaining = int64(workloads)
+	for i := 0; i < workloads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			rem := int(remaining)
+			mu.Unlock()
+			share, release := p.Acquire(rem)
+			mu.Lock()
+			outstanding += share
+			if share < MinShare {
+				t.Errorf("share %d below MinShare", share)
+			}
+			if outstanding > total {
+				t.Errorf("outstanding %d exceeds total %d", outstanding, total)
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			outstanding -= share
+			remaining--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestShareContextRoundTrip(t *testing.T) {
+	if _, ok := ShareFromContext(context.Background()); ok {
+		t.Error("empty context reported a share")
+	}
+	ctx := WithShare(context.Background(), 42*MinShare)
+	share, ok := ShareFromContext(ctx)
+	if !ok || share != 42*MinShare {
+		t.Errorf("ShareFromContext = %d, %v; want %d, true", share, ok, 42*MinShare)
+	}
+}

@@ -137,10 +137,14 @@ func TestEngineDowngrade(t *testing.T) {
 	}
 
 	// A budget the analyzers live within comfortably but the multi-MB
-	// trace buffer cannot: only the engine choice should change.
+	// trace buffer cannot: only the engine choice should change. The
+	// buffered engine is pinned explicitly — under EngineAuto the same
+	// budget simply runs the bounded ring without downgrading (see
+	// TestRingEngineAvoidsDowngrade).
 	governed := NewSuite(1)
 	governed.MaxInstr = 300_000
 	governed.Concurrency = 4
+	governed.Engine = EngineBuffered
 	governed.MemBudget = 8 << 20
 	governed.BudgetPolicy = budget.Degrade
 	got, err := governed.AnalyzeMulti(context.Background(), w, cfgs)
@@ -170,6 +174,60 @@ func TestEngineDowngrade(t *testing.T) {
 		g.Config.BudgetPolicy = budget.FailFast
 		if !reflect.DeepEqual(&g, want[i]) {
 			t.Errorf("config %d: downgraded engine diverged from streaming reference", i)
+		}
+	}
+}
+
+// TestRingEngineAvoidsDowngrade is the constant-memory claim stated as
+// governance: the budget that forces the buffered engine to abandon its
+// recording (TestEngineDowngrade) fits the bounded ring with room to
+// spare, so the ring engine completes at full fidelity — no downgrade, no
+// degradations — with results deeply equal to the streaming reference.
+func TestRingEngineAvoidsDowngrade(t *testing.T) {
+	w, ok := workloads.ByName("matrixx")
+	if !ok {
+		t.Fatal("unknown workload matrixx")
+	}
+	cfgs := []core.Config{
+		core.Dataflow(core.SyscallConservative),
+		core.Dataflow(core.SyscallOptimistic),
+	}
+
+	governed := NewSuite(1)
+	governed.MaxInstr = 300_000
+	governed.Concurrency = 4
+	governed.Engine = EngineRing
+	governed.MemBudget = 8 << 20
+	governed.BudgetPolicy = budget.Degrade
+	got, err := governed.AnalyzeMulti(context.Background(), w, cfgs)
+	if err != nil {
+		t.Fatalf("governed ring analysis failed: %v", err)
+	}
+
+	reference := NewSuite(1)
+	reference.MaxInstr = 300_000
+	reference.Concurrency = 1 // streaming engine, ungoverned
+	want, err := reference.AnalyzeMulti(context.Background(), w, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range got {
+		if got[i].Governor == nil {
+			t.Fatalf("config %d: no GovernorStats on a governed run", i)
+		}
+		if got[i].Governor.EngineDowngraded {
+			t.Errorf("config %d: ring engine downgraded under a budget it fits", i)
+		}
+		if got[i].Governor.Degradations > 0 {
+			t.Errorf("config %d: stats = %+v, want no degradations", i, got[i].Governor)
+		}
+		g := *got[i]
+		g.Governor = nil
+		g.Config.MemBudget = 0
+		g.Config.BudgetPolicy = budget.FailFast
+		if !reflect.DeepEqual(&g, want[i]) {
+			t.Errorf("config %d: ring engine diverged from streaming reference", i)
 		}
 	}
 }

@@ -6,13 +6,16 @@
 // sharing distributions, and the loop-unrolling ablation).
 //
 // One simulated execution can feed any number of analyzer configurations
-// simultaneously: the trace is recorded once into a trace.EventBuffer and
-// fanned out to a bounded pool of analyzer workers (FanOut, sized by
-// Suite.Concurrency), so a whole renaming or window sweep costs a single
-// simulation pass per workload and the analyses run on every core. With
-// Concurrency 1 the suite instead streams events to all analyzers in
-// lockstep during the simulation itself (trace.Tee) — the serial reference
-// engine the differential tests compare the parallel engine against.
+// simultaneously. The default parallel engine streams the simulation
+// through a bounded trace.Ring into one analyzer goroutine per
+// configuration (FanOutStream), so a whole renaming or window sweep costs
+// a single simulation pass per workload, runs on every core, and holds
+// memory proportional to configuration rather than trace length. The
+// legacy buffered engine (record into a trace.EventBuffer, then FanOut to
+// a worker pool) remains selectable via Suite.Engine. With Concurrency 1
+// the suite instead streams events to all analyzers in lockstep during the
+// simulation itself (trace.Tee) — the serial reference engine the
+// differential tests compare both parallel engines against.
 package harness
 
 import (
@@ -81,6 +84,26 @@ type Suite struct {
 	// BudgetPolicy selects the over-budget response (see
 	// core.Config.BudgetPolicy). Ignored when MemBudget is 0.
 	BudgetPolicy budget.Policy
+	// GlobalMemBudget divides one budget across every workload running
+	// concurrently within an experiment, via a budget.Pool: each admitted
+	// workload analyzes under its share (folded with MemBudget, smaller
+	// wins), shares re-expand as workloads finish, and effective
+	// Parallelism shrinks before any share drops below budget.MinShare. 0
+	// disables pooling; MemBudget then applies per workload as before.
+	GlobalMemBudget int64
+	// Engine selects the multi-configuration analysis engine; EngineAuto
+	// (the zero value) picks the bounded ring for parallel runs and
+	// streaming when only one configuration or worker is effective.
+	Engine EngineKind
+	// RingBatches overrides the ring engine's depth in batches of
+	// trace.DefaultBatchEvents events; 0 selects trace.DefaultRingBatches.
+	RingBatches int
+	// OnRow, when set, is called by the experiment drivers as each
+	// workload's result row completes, with the workload's index and name
+	// and the finished row value — the per-row autosave hook. It may be
+	// called concurrently from workload goroutines and must be safe for
+	// that; failed workloads produce no call.
+	OnRow func(index int, workload string, row any)
 }
 
 // NewSuite returns the default suite: all ten analogues at the given scale.
@@ -103,10 +126,16 @@ func (s *Suite) options() minic.Options {
 // a failure is observed — in serial and parallel mode alike; with it, every
 // workload runs and all failures are aggregated into a *SuiteError.
 //
+// fn receives a per-workload context. Under GlobalMemBudget it carries the
+// workload's byte share of the pooled budget (budget.WithShare), which
+// AnalyzeMulti folds into its effective MemBudget; the pool may also
+// shrink the effective parallelism so no share drops below
+// budget.MinShare, and shares re-expand as workloads finish.
+//
 // Cancelling ctx stops launching new workloads in either mode — a
 // cancellation is user intent, which ContinueOnError does not override —
 // and the workloads already in flight abort promptly through their guards.
-func (s *Suite) forEachWorkload(ctx context.Context, fn func(i int, w *workloads.Workload) error) error {
+func (s *Suite) forEachWorkload(ctx context.Context, fn func(ctx context.Context, i int, w *workloads.Workload) error) error {
 	limit := s.Parallelism
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
@@ -114,6 +143,14 @@ func (s *Suite) forEachWorkload(ctx context.Context, fn func(i int, w *workloads
 	if limit > len(s.Workloads) {
 		limit = len(s.Workloads)
 	}
+	var pool *budget.Pool
+	if s.GlobalMemBudget > 0 {
+		pool = budget.NewPool(s.GlobalMemBudget, limit)
+		if p := pool.Parallelism(); p < limit {
+			limit = p
+		}
+	}
+	var completed atomic.Int64
 	run := func(i int, w *workloads.Workload) (werr *WorkloadError) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -121,7 +158,18 @@ func (s *Suite) forEachWorkload(ctx context.Context, fn func(i int, w *workloads
 					Err: fmt.Errorf("%v", v), Panicked: true}
 			}
 		}()
-		if err := fn(i, w); err != nil {
+		defer completed.Add(1)
+		wctx := ctx
+		if pool != nil {
+			remaining := len(s.Workloads) - int(completed.Load())
+			if remaining < 1 {
+				remaining = 1
+			}
+			share, release := pool.Acquire(remaining)
+			defer release()
+			wctx = budget.WithShare(ctx, share)
+		}
+		if err := fn(wctx, i, w); err != nil {
 			return &WorkloadError{Index: i, Workload: w.Name, Err: err}
 		}
 		return nil
@@ -186,21 +234,42 @@ func (s *Suite) forEachWorkload(ctx context.Context, fn func(i int, w *workloads
 	return &SuiteError{Total: len(s.Workloads), Failures: collected}
 }
 
-// applyBudget stamps the suite's memory budget onto every configuration
-// that does not already carry its own.
-func (s *Suite) applyBudget(cfgs []core.Config) []core.Config {
-	if s.MemBudget <= 0 {
+// applyBudget stamps a memory budget onto every configuration that does
+// not already carry its own.
+func (s *Suite) applyBudget(cfgs []core.Config, memBudget int64) []core.Config {
+	if memBudget <= 0 {
 		return cfgs
 	}
 	out := make([]core.Config, len(cfgs))
 	for i, c := range cfgs {
 		if c.MemBudget == 0 {
-			c.MemBudget = s.MemBudget
+			c.MemBudget = memBudget
 			c.BudgetPolicy = s.BudgetPolicy
 		}
 		out[i] = c
 	}
 	return out
+}
+
+// effectiveMemBudget folds the suite's per-workload MemBudget with the
+// budget.Pool share carried by a forEachWorkload context, the smaller
+// winning — a workload never analyzes under more memory than its slice of
+// the global budget allows.
+func (s *Suite) effectiveMemBudget(ctx context.Context) int64 {
+	b := s.MemBudget
+	if share, ok := budget.ShareFromContext(ctx); ok && share > 0 {
+		if b <= 0 || share < b {
+			b = share
+		}
+	}
+	return b
+}
+
+// emitRow hands a completed result row to the OnRow autosave hook.
+func (s *Suite) emitRow(i int, workload string, row any) {
+	if s.OnRow != nil {
+		s.OnRow(i, workload, row)
+	}
 }
 
 // errEngineDowngrade aborts trace recording when the buffer outgrows the
@@ -241,38 +310,63 @@ func (m *bufferMeter) Event(e *trace.Event) error {
 // AnalyzeMulti executes one workload once and runs every analyzer
 // configuration over the same trace. With more than one configuration and
 // more than one effective worker (Concurrency, or GOMAXPROCS when it is 0),
-// the trace is recorded into a trace.EventBuffer during the single
-// simulation pass and fanned out to a worker pool (see FanOut); otherwise
-// events stream to the analyzers in lockstep as they are produced. Either
-// way results are indexed by configuration and the two engines return
-// deeply-equal Results.
+// the simulation streams through a bounded trace.Ring into one analyzer
+// goroutine per configuration (see FanOutStream) — memory stays a function
+// of configuration, not trace length; otherwise events stream to the
+// analyzers in lockstep as they are produced. Suite.Engine can pin the
+// legacy buffered engine (record into a trace.EventBuffer, then FanOut)
+// instead. All engines return deeply-equal Results indexed by
+// configuration; the differential battery enforces it.
 //
 // Cancelling ctx aborts simulation and analysis within one guard stride
 // (guardEvery events); Suite.WorkloadTimeout expiry surfaces as
-// ErrWorkloadTimeout with context.DeadlineExceeded in the chain. Under a
-// memory budget (Suite.MemBudget) with the Degrade policy, a trace buffer
-// that outgrows the budget makes the suite re-simulate the workload on the
-// streaming engine instead, marking EngineDowngraded in every result's
-// GovernorStats.
+// ErrWorkloadTimeout with context.DeadlineExceeded in the chain. The
+// workload's effective memory budget is MemBudget folded with any
+// budget.Pool share on ctx (smaller wins). Under the Degrade policy, an
+// engine whose fixed overhead cannot fit the budget — the buffered
+// engine's growing recording, or a ring smaller than trace.MinRingBatches
+// — re-simulates the workload on the streaming engine instead, marking
+// EngineDowngraded in every result's GovernorStats.
 func (s *Suite) AnalyzeMulti(ctx context.Context, w *workloads.Workload, cfgs []core.Config) ([]*core.Result, error) {
-	cfgs = s.applyBudget(cfgs)
+	memBudget := s.effectiveMemBudget(ctx)
+	cfgs = s.applyBudget(cfgs, memBudget)
 	wctx, cancel := s.workloadContext(ctx)
 	defer cancel()
 	workers := s.Concurrency
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// With one configuration or one effective worker there is nothing to
-	// fan out: stream events straight into the analyzers rather than pay
-	// for a buffer no concurrency will exploit (this keeps single-CPU
-	// machines on the exact legacy path).
-	if workers <= 1 || len(cfgs) == 1 {
-		return s.analyzeStreaming(wctx, w, cfgs)
+	engine := s.Engine
+	if engine == EngineAuto {
+		// With one configuration or one effective worker there is nothing
+		// to fan out: stream events straight into the analyzers rather
+		// than spin up a ring no concurrency will exploit (this keeps
+		// single-CPU machines on the exact legacy path).
+		if workers <= 1 || len(cfgs) == 1 {
+			engine = EngineStreaming
+		} else {
+			engine = EngineRing
+		}
 	}
+	switch engine {
+	case EngineStreaming:
+		return s.analyzeStreaming(wctx, w, cfgs)
+	case EngineBuffered:
+		return s.analyzeBuffered(wctx, w, cfgs, memBudget)
+	default:
+		return s.analyzeRing(wctx, w, cfgs, memBudget)
+	}
+}
+
+// analyzeBuffered is the legacy parallel engine: record the whole trace
+// into an EventBuffer during the simulation pass, then fan it out to a
+// bounded worker pool. Memory is proportional to trace length, metered
+// against memBudget while recording.
+func (s *Suite) analyzeBuffered(wctx context.Context, w *workloads.Workload, cfgs []core.Config, memBudget int64) ([]*core.Result, error) {
 	buf := &trace.EventBuffer{}
 	var sink trace.Sink = buf
-	if s.MemBudget > 0 {
-		sink = &bufferMeter{buf: buf, limit: s.MemBudget, policy: s.BudgetPolicy}
+	if memBudget > 0 {
+		sink = &bufferMeter{buf: buf, limit: memBudget, policy: s.BudgetPolicy}
 	}
 	if _, err := w.Run(s.Scale, s.options(), guardSink(wctx, sink), s.MaxInstr); err != nil {
 		if errors.Is(err, errEngineDowngrade) {
@@ -344,7 +438,7 @@ type Table2Row struct {
 // Table2 runs every workload (without analysis) and reports the inventory.
 func (s *Suite) Table2(ctx context.Context) ([]Table2Row, error) {
 	rows := make([]Table2Row, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		wctx, cancel := s.workloadContext(ctx)
 		defer cancel()
 		res, err := w.Run(s.Scale, s.options(), guardSink(wctx, nil), s.MaxInstr)
@@ -359,6 +453,7 @@ func (s *Suite) Table2(ctx context.Context) ([]Table2Row, error) {
 			Instructions: res.Instructions,
 			Output:       res.Output,
 		}
+		s.emitRow(i, w.Name, rows[i])
 		return nil
 	})
 	markFailures(err, func(i int, msg string) {
@@ -397,7 +492,7 @@ func (s *Suite) Table3(ctx context.Context) ([]Table3Row, error) {
 	cfgs[0].Profile = false
 	cfgs[1].Profile = false
 	rows := make([]Table3Row, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
@@ -415,6 +510,7 @@ func (s *Suite) Table3(ctx context.Context) ([]Table3Row, error) {
 			row.MaxError = (opt.Available - cons.Available) / opt.Available
 		}
 		rows[i] = row
+		s.emitRow(i, w.Name, rows[i])
 		return nil
 	})
 	markFailures(err, func(i int, msg string) {
@@ -438,7 +534,7 @@ type ProfileResult struct {
 // full renaming, whole-trace window.
 func (s *Suite) Figure7(ctx context.Context) ([]ProfileResult, error) {
 	out := make([]ProfileResult, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		cfg := core.Dataflow(core.SyscallConservative)
 		r, err := s.Analyze(ctx, w, cfg)
 		if err != nil {
@@ -452,6 +548,7 @@ func (s *Suite) Figure7(ctx context.Context) ([]ProfileResult, error) {
 			Available:    r.Available,
 			PeakOps:      r.PeakOps,
 		}
+		s.emitRow(i, w.Name, out[i])
 		return nil
 	})
 	return out, err
@@ -480,7 +577,7 @@ func (s *Suite) Table4(ctx context.Context) ([]Table4Row, error) {
 		{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true, RenameData: true},
 	}
 	rows := make([]Table4Row, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		rs, err := s.AnalyzeMulti(ctx, w, cfgs)
 		if err != nil {
 			return err
@@ -492,6 +589,7 @@ func (s *Suite) Table4(ctx context.Context) ([]Table4Row, error) {
 			RegsStack:  rs[2].Available,
 			RegsMem:    rs[3].Available,
 		}
+		s.emitRow(i, w.Name, rows[i])
 		return nil
 	})
 	markFailures(err, func(i int, msg string) {
@@ -535,7 +633,7 @@ func (s *Suite) Figure8(ctx context.Context, sizes []int) ([]WindowSeries, error
 		sizes = DefaultWindowSizes()
 	}
 	out := make([]WindowSeries, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(wi int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, wi int, w *workloads.Workload) error {
 		cfgs := make([]core.Config, len(sizes))
 		for i, size := range sizes {
 			cfg := core.Dataflow(core.SyscallConservative)
@@ -571,6 +669,7 @@ func (s *Suite) Figure8(ctx context.Context, sizes []int) ([]WindowSeries, error
 			series.Points = append(series.Points, pt)
 		}
 		out[wi] = series
+		s.emitRow(wi, w.Name, out[wi])
 		return nil
 	})
 	return out, err
@@ -591,7 +690,7 @@ func (s *Suite) FunctionalUnits(ctx context.Context, limits []int) ([]FURow, err
 		limits = []int{1, 2, 4, 8, 16, 32, 64, 0}
 	}
 	rows := make([]FURow, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		cfgs := make([]core.Config, len(limits))
 		for j, f := range limits {
 			cfg := core.Dataflow(core.SyscallConservative)
@@ -608,6 +707,7 @@ func (s *Suite) FunctionalUnits(ctx context.Context, limits []int) ([]FURow, err
 			row.Avail = append(row.Avail, r.Available)
 		}
 		rows[i] = row
+		s.emitRow(i, w.Name, rows[i])
 		return nil
 	})
 	return rows, err
@@ -626,7 +726,7 @@ type LifetimeRow struct {
 // of each computed value").
 func (s *Suite) Lifetimes(ctx context.Context) ([]LifetimeRow, error) {
 	rows := make([]LifetimeRow, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		cfg := core.Dataflow(core.SyscallConservative)
 		cfg.Profile = false
 		cfg.Lifetimes = true
@@ -641,6 +741,7 @@ func (s *Suite) Lifetimes(ctx context.Context) ([]LifetimeRow, error) {
 			Sharing:       r.Sharing,
 			MaxLiveMemory: r.MaxLiveMemoryWords,
 		}
+		s.emitRow(i, w.Name, rows[i])
 		return nil
 	})
 	return rows, err
@@ -710,7 +811,7 @@ func (s *Suite) BranchPrediction(ctx context.Context, policies []core.BranchPoli
 		}
 	}
 	rows := make([]BranchRow, len(s.Workloads))
-	err := s.forEachWorkload(ctx, func(i int, w *workloads.Workload) error {
+	err := s.forEachWorkload(ctx, func(ctx context.Context, i int, w *workloads.Workload) error {
 		cfgs := make([]core.Config, len(policies))
 		for j, p := range policies {
 			cfg := core.Dataflow(core.SyscallConservative)
@@ -732,6 +833,7 @@ func (s *Suite) BranchPrediction(ctx context.Context, policies []core.BranchPoli
 			row.MissRate = append(row.MissRate, rate)
 		}
 		rows[i] = row
+		s.emitRow(i, w.Name, rows[i])
 		return nil
 	})
 	return rows, err

@@ -1,0 +1,320 @@
+package harness
+
+// The bounded-ring engine's differential battery: FanOutStream must produce
+// Results deeply equal to the buffered and streaming engines on clean,
+// damaged/degraded, and governed workloads, while holding only a fixed ring
+// of event batches in memory. `make differential` runs the Differential
+// tests here under the race detector, so they double as the data-race audit
+// of the ring's slot-reuse protocol under real analyzer load.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/core"
+	"paragraph/internal/faultinject"
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+// replayProducer adapts a recorded EventBuffer to FanOutStream's producer
+// contract, forwarding the recording's ReadStats through the ring.
+func replayProducer(buf *trace.EventBuffer) func(*trace.Ring) error {
+	return func(ring *trace.Ring) error {
+		if err := buf.ReplayBatches(context.Background(), ring); err != nil {
+			return err
+		}
+		ring.SetStats(buf.Stats())
+		return nil
+	}
+}
+
+// TestDifferentialRingEngine is the ring engine's equivalence proof: the
+// same recorded trace pushed through the bounded ring into concurrent
+// analyzers yields Results deeply equal to the whole-trace buffered replay
+// (FanOut), across the Table3/Table4/Figure8 configuration union.
+func TestDifferentialRingEngine(t *testing.T) {
+	cfgs := sweepConfigs()
+	for _, name := range []string{"xlispx", "matrixx", "spicex"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatalf("unknown workload %q", name)
+			}
+			buf := recordWorkload(t, w)
+			want, err := FanOut(context.Background(), buf, cfgs, 1)
+			if err != nil {
+				t.Fatalf("buffered reference: %v", err)
+			}
+			// A deliberately tiny ring maximizes slot reuse and wraparound.
+			got, rstats, err := FanOutStream(context.Background(), replayProducer(buf), cfgs, trace.MinRingBatches)
+			if err != nil {
+				t.Fatalf("ring engine: %v", err)
+			}
+			if rstats != buf.Stats() {
+				t.Errorf("ReadStats = %+v, want %+v", rstats, buf.Stats())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("result counts differ: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("config %d: ring engine diverged from buffered replay", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialRingDegraded pushes a damaged v2 trace through the ring
+// in degraded mode: the ring engine must see exactly the events (and
+// ReadStats accounting) that a degraded whole-trace read produces, and its
+// Results must match a buffered replay of that same degraded read.
+func TestDifferentialRingDegraded(t *testing.T) {
+	data := recordTrace(t, "naskerx", 150_000)
+	for i := range []int{0, 1} {
+		var err error
+		for _, c := range []int{3, 11} {
+			if data, err = faultinject.CorruptChunk(data, c, int64(c+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var err error
+	if data, err = faultinject.DuplicateChunk(data, 6); err != nil {
+		t.Fatal(err)
+	}
+	data = faultinject.Truncate(data, 9)
+
+	// Reference: degraded whole-trace read into a buffer, then FanOut.
+	rd, err := trace.NewReaderOpts(bytes.NewReader(data), trace.ReaderOptions{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.EventBuffer{}
+	if err := rd.ForEachBatch(buf.Events); err != nil {
+		t.Fatalf("degraded reference read: %v", err)
+	}
+	buf.SetStats(rd.Stats())
+	if buf.Stats().SkippedChunks == 0 || buf.Stats().DuplicateChunks == 0 {
+		t.Fatalf("damage fixture is not exercising degradation: %+v", buf.Stats())
+	}
+	cfgs := sweepConfigs()
+	want, err := FanOut(context.Background(), buf, cfgs, 1)
+	if err != nil {
+		t.Fatalf("buffered reference: %v", err)
+	}
+
+	// Ring engine: a fresh degraded reader streams straight into the ring,
+	// never holding more than the ring's worth of events.
+	produce := func(ring *trace.Ring) error {
+		r, err := trace.NewReaderOpts(bytes.NewReader(data), trace.ReaderOptions{Degraded: true})
+		if err != nil {
+			return err
+		}
+		if err := r.ForEachBatch(ring.Events); err != nil {
+			return err
+		}
+		ring.SetStats(r.Stats())
+		return nil
+	}
+	got, rstats, err := FanOutStream(context.Background(), produce, cfgs, trace.MinRingBatches)
+	if err != nil {
+		t.Fatalf("ring engine: %v", err)
+	}
+	if rstats != buf.Stats() {
+		t.Errorf("degraded ReadStats = %+v, want %+v", rstats, buf.Stats())
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: ring engine diverged on the damaged trace", i)
+		}
+	}
+}
+
+// TestDifferentialRingGoverned: per-config budget governance (window
+// degradation under a config-level MemBudget) must behave identically
+// whether the events arrive from a whole-trace buffer or through the ring —
+// including the Governor's accounting.
+func TestDifferentialRingGoverned(t *testing.T) {
+	w, ok := workloads.ByName("matrixx")
+	if !ok {
+		t.Fatal("unknown workload matrixx")
+	}
+	buf := recordWorkload(t, w)
+	gov := core.Dataflow(core.SyscallConservative)
+	gov.Profile = false
+	gov.WindowSize = 2048
+	gov.MemBudget = 64 << 10
+	gov.BudgetPolicy = budget.Degrade
+	cfgs := []core.Config{gov, core.Dataflow(core.SyscallConservative)}
+
+	want, err := FanOut(context.Background(), buf, cfgs, 1)
+	if err != nil {
+		t.Fatalf("buffered reference: %v", err)
+	}
+	if want[0].Governor == nil || want[0].Governor.Degradations == 0 {
+		t.Fatalf("governed fixture is not degrading: %+v", want[0].Governor)
+	}
+	got, _, err := FanOutStream(context.Background(), replayProducer(buf), cfgs, trace.MinRingBatches)
+	if err != nil {
+		t.Fatalf("ring engine: %v", err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: ring engine diverged on the governed config", i)
+		}
+	}
+}
+
+// ringTestEvent is a minimal event the analyzer accepts (register-register
+// ALU op, no memory access).
+func ringTestEvent() trace.Event {
+	return trace.Event{PC: 0x400000, Ins: isa.Instruction{Op: isa.ADDI, Rt: isa.T0, Rs: isa.Zero, Imm: 1}}
+}
+
+// TestFanOutStreamCancelLowestIndex: an endless producer saturates the ring
+// (consumers apply backpressure, nothing buffers beyond the ring), then a
+// caller cancel must unwind producer and every consumer without deadlock,
+// reporting the lowest-index consumer error in FanOut's "config %d" shape.
+func TestFanOutStreamCancelLowestIndex(t *testing.T) {
+	cfgs := []core.Config{
+		{Syscalls: core.SyscallConservative},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true, RenameStack: true},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	produce := func(ring *trace.Ring) error {
+		e := ringTestEvent()
+		for {
+			if err := ring.Event(&e); err != nil {
+				return err
+			}
+		}
+	}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var results []*core.Result
+	var err error
+	go func() {
+		defer close(done)
+		results, _, err = FanOutStream(ctx, produce, cfgs, trace.MinRingBatches)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled FanOutStream deadlocked")
+	}
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the chain", err)
+	}
+	if !strings.Contains(err.Error(), "config 0:") {
+		t.Errorf("err = %v, want the lowest-index config identified", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Errorf("config %d: cancelled run returned a result", i)
+		}
+	}
+}
+
+// TestFanOutStreamProducerError: a producer failure mid-stream surfaces as
+// the producer's own error — not rewrapped per config — after consumers
+// drain what was already published.
+func TestFanOutStreamProducerError(t *testing.T) {
+	boom := fmt.Errorf("simulation exploded")
+	produce := func(ring *trace.Ring) error {
+		e := ringTestEvent()
+		for i := 0; i < 10_000; i++ {
+			if err := ring.Event(&e); err != nil {
+				return err
+			}
+		}
+		return boom
+	}
+	cfgs := []core.Config{
+		{Syscalls: core.SyscallConservative},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true},
+	}
+	_, _, err := FanOutStream(context.Background(), produce, cfgs, trace.MinRingBatches)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer error", err)
+	}
+	if strings.Contains(err.Error(), "config") {
+		t.Errorf("producer error got rewrapped as a consumer error: %v", err)
+	}
+}
+
+// TestFanOutStreamLeakFree: goroutine accounting after ring shutdown —
+// clean completion, producer failure, and mid-stream cancellation must all
+// leave no producer or consumer goroutines behind.
+func TestFanOutStreamLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfgs := []core.Config{
+		{Syscalls: core.SyscallConservative},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true},
+	}
+	finite := func(n int) func(*trace.Ring) error {
+		return func(ring *trace.Ring) error {
+			e := ringTestEvent()
+			for i := 0; i < n; i++ {
+				if err := ring.Event(&e); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	// Clean completion.
+	if _, _, err := FanOutStream(context.Background(), finite(50_000), cfgs, 0); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	// Producer failure.
+	failing := func(ring *trace.Ring) error { return fmt.Errorf("early death") }
+	if _, _, err := FanOutStream(context.Background(), failing, cfgs, 0); err == nil {
+		t.Fatal("failing producer reported success")
+	}
+	// Mid-stream cancellation against an endless producer.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	endless := func(ring *trace.Ring) error {
+		e := ringTestEvent()
+		for {
+			if err := ring.Event(&e); err != nil {
+				return err
+			}
+		}
+	}
+	if _, _, err := FanOutStream(ctx, endless, cfgs, trace.MinRingBatches); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after ring shutdown", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,209 @@
+package harness
+
+// The constant-memory soak: ISSUE 9's acceptance criterion, stated as a
+// test. A -j 4 multi-config analysis fed through the bounded ring must hold
+// peak heap flat (within 10%) between a 1M-event and a 50M-event synthetic
+// trace — a 50× longer trace with the same footprint — while the ring's
+// results stay deeply equal to a streaming (analyzer-fed-directly) pass
+// over the identical event stream.
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"paragraph/internal/core"
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+)
+
+// soakConfigs: four finite-window, non-profiling configurations — each
+// analyzer's live state is bounded by its window, so the whole pipeline's
+// footprint is trace-length independent once event delivery is too.
+func soakConfigs() []core.Config {
+	var cfgs []core.Config
+	for _, size := range []int{64, 256, 1024, 4096} {
+		cfg := core.Dataflow(core.SyscallConservative)
+		cfg.Profile = false
+		cfg.WindowSize = size
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// soakStream emits n deterministic synthetic events (ALU, loads, stores,
+// stack traffic, branches, the odd syscall) in batches through emit. The
+// fixed seed makes every call produce the identical stream, so the ring run
+// and the streaming reference analyze the same trace without ever
+// materializing it.
+func soakStream(n int, emit func([]trace.Event) error) error {
+	rng := rand.New(rand.NewSource(43))
+	regs := []isa.Reg{isa.T0, isa.T1, isa.T2, isa.S0, isa.S1, isa.A0, isa.V0}
+	r := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+	batch := make([]trace.Event, 0, trace.DefaultBatchEvents)
+	pc := uint32(0x400000)
+	for i := 0; i < n; i++ {
+		var e trace.Event
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.ADDI, Rt: r(), Rs: r(), Imm: int32(rng.Intn(64) - 32)}}
+		case 3, 4:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.ADDU, Rd: r(), Rs: r(), Rt: r()}}
+		case 5:
+			addr := 0x10000000 + uint32(rng.Intn(1<<14))*4
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.LW, Rt: r(), Rs: isa.GP},
+				MemAddr: addr, MemSize: 4, Seg: trace.SegData}
+		case 6:
+			addr := 0x10000000 + uint32(rng.Intn(1<<14))*4
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.SW, Rt: r(), Rs: isa.GP},
+				MemAddr: addr, MemSize: 4, Seg: trace.SegData}
+		case 7:
+			addr := 0x7fff0000 + uint32(rng.Intn(1<<8))*4
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.SW, Rt: r(), Rs: isa.SP},
+				MemAddr: addr, MemSize: 4, Seg: trace.SegStack}
+		case 8:
+			e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.BNE, Rs: r(), Rt: isa.Zero, Imm: -16},
+				Taken: rng.Intn(2) == 0}
+		default:
+			if rng.Intn(50) == 0 {
+				e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.SYSCALL}}
+			} else {
+				e = trace.Event{PC: pc, Ins: isa.Instruction{Op: isa.LUI, Rt: r(), Imm: int32(rng.Intn(1 << 10))}}
+			}
+		}
+		batch = append(batch, e)
+		if len(batch) == cap(batch) {
+			if err := emit(batch); err != nil {
+				return err
+			}
+			batch = batch[:0]
+		}
+		pc += 4
+	}
+	if len(batch) > 0 {
+		return emit(batch)
+	}
+	return nil
+}
+
+// peakHeap runs f while sampling runtime.MemStats.HeapAlloc, returning the
+// highest sample observed. A GC beforehand resets the floor so runs are
+// comparable.
+func peakHeap(f func()) uint64 {
+	runtime.GC()
+	var peak atomic.Uint64
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		for {
+			p := peak.Load()
+			if ms.HeapAlloc <= p || peak.CompareAndSwap(p, ms.HeapAlloc) {
+				return
+			}
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sample()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+	}()
+	f()
+	close(stop)
+	wg.Wait()
+	sample()
+	return peak.Load()
+}
+
+func TestSoakConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("soak: race instrumentation distorts heap accounting")
+	}
+	cfgs := soakConfigs()
+
+	// ringRun analyzes an n-event stream through the bounded ring with one
+	// concurrent analyzer per config (-j 4 shape).
+	ringRun := func(n int) []*core.Result {
+		produce := func(ring *trace.Ring) error {
+			return soakStream(n, ring.Events)
+		}
+		results, _, err := FanOutStream(t.Context(), produce, cfgs, 0)
+		if err != nil {
+			t.Fatalf("ring run (%d events): %v", n, err)
+		}
+		return results
+	}
+	// streamRun is the reference: each analyzer fed directly, serially —
+	// no ring, no buffering, nothing between generator and analyzer.
+	streamRun := func(n int) []*core.Result {
+		results := make([]*core.Result, len(cfgs))
+		for i, cfg := range cfgs {
+			a := core.NewAnalyzer(cfg)
+			if err := soakStream(n, a.Events); err != nil {
+				t.Fatalf("streaming run (%d events): %v", n, err)
+			}
+			res, err := a.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[i] = res
+		}
+		return results
+	}
+	equal := func(n int, got, want []*core.Result) {
+		t.Helper()
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%d events, config %d: ring diverged from streaming", n, i)
+			}
+		}
+	}
+
+	const small, large = 1_000_000, 50_000_000
+
+	// Equivalence at the small size (both engines, deep-equal), then a
+	// warm-up-aware peak measurement: the first timed run at each size
+	// happens after the allocator and analyzers have reached steady state.
+	smallRef := streamRun(small)
+	var smallRing []*core.Result
+	peakSmall := peakHeap(func() { smallRing = ringRun(small) })
+	equal(small, smallRing, smallRef)
+
+	var largeRing []*core.Result
+	peakLarge := peakHeap(func() { largeRing = ringRun(large) })
+
+	// Equivalence at the large size too: the 50× trace is the one where a
+	// slot-reuse bug would actually scramble events.
+	largeRef := streamRun(large)
+	equal(large, largeRing, largeRef)
+
+	t.Logf("peak heap: %d events → %.1f MiB, %d events → %.1f MiB",
+		small, float64(peakSmall)/(1<<20), large, float64(peakLarge)/(1<<20))
+	if float64(peakLarge) > float64(peakSmall)*1.10 {
+		t.Errorf("peak heap grew with trace length: %d bytes at %d events vs %d bytes at %d events (>10%%)",
+			peakLarge, large, peakSmall, small)
+	}
+	// And a hard absolute ceiling: the ring (~1.8 MB) plus four
+	// finite-window analyzers fit comfortably under 128 MiB; the recorded
+	// buffer alone would need ~1.6 GB for the 50M-event trace.
+	const ceiling = 128 << 20
+	if peakLarge > ceiling {
+		t.Errorf("peak heap %d bytes exceeds the %d-byte ceiling at %d events", peakLarge, int64(ceiling), large)
+	}
+}
