@@ -56,6 +56,8 @@ bench:
 		| tee BENCH_speculate.json
 	$(GO) test -run '^$$' -bench 'BoundedReplay' -benchmem -json . \
 		| tee BENCH_memory.json
+	$(GO) test -run '^$$' -bench 'WindowSweep' -benchmem -json . \
+		| tee BENCH_sweep.json
 
 # The full verification gate: static checks, build, race-detector test run,
 # the serial-vs-parallel differential battery, and a short fuzz of the

@@ -25,10 +25,16 @@
 // Sweeps (single-decode fan-out):
 //
 //	-sweep-windows 1,128,8192,0         decode or simulate the trace ONCE,
-//	                                    then analyze every window size with
-//	                                    a pool of concurrent analyzers
+//	                                    resolve its dependencies once, then
+//	                                    schedule every window size with a
+//	                                    pool of concurrent analyzers
 //	-j N                                analyzer workers for the sweep
 //	                                    (0 = GOMAXPROCS, 1 = serial)
+//
+// Profiling:
+//
+//	-cpuprofile F                       write a CPU profile to F
+//	-memprofile F                       write a heap profile at exit to F
 package main
 
 import (
@@ -51,6 +57,7 @@ import (
 	"paragraph/internal/cpu"
 	"paragraph/internal/harness"
 	"paragraph/internal/minic"
+	"paragraph/internal/prof"
 	"paragraph/internal/remote"
 	"paragraph/internal/shard"
 	"paragraph/internal/stats"
@@ -98,8 +105,22 @@ func main() {
 		autosaveEvery = flag.Uint64("autosave-every", 1_000_000, "events between autosaved checkpoints")
 		resume        = flag.Bool("resume", false, "with -trace and -autosave: resume from the saved checkpoint instead of starting over")
 		retryReads    = flag.Bool("retry-reads", false, "with -trace: retry transient read errors with jittered backoff instead of failing fast")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stop, err := prof.Start(*cpuProfile, *memProfile, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		// fatal() exits without running defers, so it runs the same
+		// (idempotent) stop closure itself; see stopProfiles.
+		stopProfiles = stop
+		defer stop()
+	}
 
 	// Ctrl-C / SIGTERM cancel the analysis promptly (within one
 	// budget.CheckEvery stride) instead of killing the process mid-write;
@@ -320,13 +341,17 @@ func main() {
 	writeStorage(res, *storageOut)
 }
 
-// runWindowSweep is the bounded fan-out path: the trace is decoded from a
-// file (or simulated) while every requested window size analyzes it
-// concurrently through a bounded trace.Ring (harness.FanOutStream), so
-// memory never grows with trace length. -j bounds the concurrent analyzer
-// count by splitting the windows into groups of that size, one decode (or
-// simulation) pass per group; 0 analyzes every window in a single pass.
-// The output is one table row per window.
+// runWindowSweep is the shared-extraction fan-out path: the trace is
+// decoded from a file (or simulated) and resolved into dependence records
+// ONCE per decode pass, with every requested window size scheduling those
+// records concurrently (harness.FanOutResolved over a bounded segment
+// ring), so memory never grows with trace length and the per-window cost is
+// the cheap replay half of analysis only — window sweeps share a resolve
+// signature by construction, since renaming and syscall policy are fixed
+// across the sweep. -j bounds the concurrent scheduler count by splitting
+// the windows into groups of that size, one decode (or simulation) +
+// resolution pass per group; 0 analyzes every window in a single pass. The
+// output is one table row per window.
 func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs int, traceFile, workload, srcFile, asmFile string, scale int, maxInst uint64, degraded, useMmap bool) {
 	var sizes []int
 	for _, s := range strings.Split(sizesArg, ",") {
@@ -337,24 +362,24 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 		sizes = append(sizes, n)
 	}
 
-	produce := func(ring *trace.Ring) error {
+	produce := func(rs *harness.ResolverStream) error {
 		if traceFile != "" {
 			tr, _, closeTrace, err := openTrace(traceFile, useMmap, degraded, false)
 			if err != nil {
 				return err
 			}
 			defer closeTrace()
-			if err := tr.ForEachBatch(ring.Events); err != nil {
+			if err := tr.ForEachBatch(rs.Events); err != nil {
 				return err
 			}
-			ring.SetStats(tr.Stats())
+			rs.SetStats(tr.Stats())
 			return nil
 		}
 		prog, err := buildProgram(workload, srcFile, asmFile, scale)
 		if err != nil {
 			return err
 		}
-		machine, err := cpu.New(prog, cpu.WithTrace(ring), cpu.WithStdout(os.Stderr))
+		machine, err := cpu.New(prog, cpu.WithTrace(rs), cpu.WithStdout(os.Stderr))
 		if err != nil {
 			return err
 		}
@@ -377,27 +402,23 @@ func runWindowSweep(ctx context.Context, base core.Config, sizesArg string, jobs
 	}
 	start := time.Now()
 	results := make([]*core.Result, 0, len(cfgs))
-	var events int64
 	for lo := 0; lo < len(cfgs); lo += group {
 		hi := lo + group
 		if hi > len(cfgs) {
 			hi = len(cfgs)
 		}
-		var count int64
-		counted := func(ring *trace.Ring) error {
-			err := produce(ring)
-			count = ring.Count()
-			return err
-		}
-		rs, rstats, err := harness.FanOutStream(ctx, counted, cfgs[lo:hi], 0)
+		rs, rstats, err := harness.FanOutResolved(ctx, produce, cfgs[lo:hi], 0)
 		if err != nil {
 			fatal(err)
 		}
 		if lo == 0 {
 			reportSkips(rstats)
 		}
-		events = count
 		results = append(results, rs...)
+	}
+	var events int64
+	if len(results) > 0 {
+		events = int64(results[0].Instructions)
 	}
 	fmt.Fprintf(os.Stderr, "paragraph: analyzed %s events x %d windows in %v\n",
 		stats.FormatInt(events), len(sizes), time.Since(start).Round(time.Millisecond))
@@ -716,7 +737,15 @@ func orUnlimited(n int) string {
 	return fmt.Sprint(n)
 }
 
+// stopProfiles flushes any active -cpuprofile / -memprofile collection; it
+// is set once in main and called both from the normal deferred exit and
+// from fatal, which os.Exits past the defers.
+var stopProfiles func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "paragraph:", err)
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	os.Exit(1)
 }

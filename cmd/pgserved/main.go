@@ -63,12 +63,13 @@ func main() {
 		join       = flag.String("join", "", "run as a fleet worker against this coordinator URL")
 		workerName = flag.String("worker-name", "", "fleet worker name (default: host:pid)")
 		heartbeat  = flag.Duration("heartbeat", 0, "fleet lease renewal interval (0 = TTL/3 from each lease)")
-		poll       = flag.Duration("poll", 250*time.Millisecond, "fleet idle poll interval")
+		poll       = flag.Duration("poll", 250*time.Millisecond, "fleet worker backoff after errors or empty answers")
+		longPoll   = flag.Duration("long-poll", 0, "fleet acquire long-poll duration (0 = 25s; coordinator caps at 30s)")
 	)
 	flag.Parse()
 
 	if *join != "" {
-		runWorker(*join, *workerName, *heartbeat, *poll, *seed)
+		runWorker(*join, *workerName, *heartbeat, *poll, *longPoll, *seed)
 		return
 	}
 
@@ -125,7 +126,7 @@ func main() {
 // runWorker is fleet mode: one lease-at-a-time worker loop until SIGINT
 // or SIGTERM. The in-flight lease, if any, is failed fast on the way out
 // so the coordinator re-offers the shard without waiting for expiry.
-func runWorker(coordinator, name string, heartbeat, poll time.Duration, seed int64) {
+func runWorker(coordinator, name string, heartbeat, poll, longPoll time.Duration, seed int64) {
 	if name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -138,6 +139,7 @@ func runWorker(coordinator, name string, heartbeat, poll time.Duration, seed int
 		Name:        name,
 		Heartbeat:   heartbeat,
 		Poll:        poll,
+		LongPoll:    longPoll,
 		Seed:        seed,
 	})
 	if err != nil {

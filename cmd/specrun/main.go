@@ -49,6 +49,11 @@
 //	                  (0 = GOMAXPROCS, the default; -j 1 = the serial
 //	                  reference engine). Every experiment produces
 //	                  identical output at any -j value.
+//
+// Profiling:
+//
+//	-cpuprofile F     write a CPU profile of the run to F
+//	-memprofile F     write a heap profile at exit to F
 package main
 
 import (
@@ -66,6 +71,7 @@ import (
 
 	"paragraph/internal/budget"
 	"paragraph/internal/harness"
+	"paragraph/internal/prof"
 	"paragraph/internal/workloads"
 )
 
@@ -109,6 +115,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		budgetPolicy    = fs.String("budget-policy", "fail", "over-budget response: fail, degrade or warn")
 		autosave        = fs.String("autosave", "", "save finished experiment rows to this file as the run progresses")
 		resume          = fs.Bool("resume", false, "with -autosave: reuse saved rows instead of recomputing them")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -130,6 +139,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				st.len(), *autosave)
 		}
 		return 1
+	}
+
+	if *cpuProfile != "" || *memProfile != "" {
+		// run (not main) owns the exit paths, so a deferred stop covers both
+		// success and failure returns; the closure is idempotent regardless.
+		stop, err := prof.Start(*cpuProfile, *memProfile, stderr)
+		if err != nil {
+			return fail(err)
+		}
+		defer stop()
 	}
 
 	s := harness.NewSuite(*scale)

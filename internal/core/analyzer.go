@@ -220,7 +220,7 @@ func (a *Analyzer) governBudget() error {
 func (a *Analyzer) governBudgetAt(memLen int) error {
 	u := budget.Usage{
 		LiveWellBytes: int64(memLen)*budget.LiveWellEntryBytes + regFileBytes,
-		WindowBytes:   int64(len(a.window.seqs)-a.window.head) * budget.WindowEntryBytes,
+		WindowBytes:   int64(a.window.count()) * budget.WindowEntryBytes,
 	}
 	if a.fu != nil {
 		u.WindowBytes += int64(len(a.fu.counts)) * budget.FUEntryBytes
@@ -673,23 +673,50 @@ func (r *Result) String() string {
 // (sequence number, level) pairs for placed instructions. Displacement of
 // an instruction raises the firewall floor past its level, so nothing later
 // can be placed at or above it.
+//
+// The FIFO is a power-of-two circular buffer: head and tail are absolute
+// push/displace counts and an entry lives at index count&mask. Live entries
+// are bounded by the window size, so the buffer grows to the largest window
+// in use and then never moves again — no append checks or compaction copies
+// on the per-event path, which the record-replay scheduler inlines. Each
+// entry interleaves (seq, level) so a push or pop touches one cache line,
+// not one per array.
+type winEntry struct {
+	seq   uint64
+	level int64
+}
+
 type windowState struct {
-	seqs   []uint64
-	levels []int64
-	head   int
+	buf  []winEntry
+	head uint64
+	tail uint64
+}
+
+// count returns the number of in-window entries.
+func (w *windowState) count() int { return int(w.tail - w.head) }
+
+// grow doubles the buffer, linearizing live entries to the front.
+func (w *windowState) grow() {
+	n := len(w.buf) * 2
+	if n == 0 {
+		n = 1024
+	}
+	buf := make([]winEntry, n)
+	mask := uint64(len(w.buf) - 1)
+	for j, k := 0, w.head; k < w.tail; j, k = j+1, k+1 {
+		buf[j] = w.buf[k&mask]
+	}
+	w.tail -= w.head
+	w.head = 0
+	w.buf = buf
 }
 
 func (w *windowState) push(seq uint64, level int64) {
-	// Compact when the head has consumed half the backing array.
-	if w.head > 1024 && w.head*2 > len(w.seqs) {
-		n := copy(w.seqs, w.seqs[w.head:])
-		copy(w.levels, w.levels[w.head:])
-		w.seqs = w.seqs[:n]
-		w.levels = w.levels[:n]
-		w.head = 0
+	if int(w.tail-w.head) == len(w.buf) {
+		w.grow()
 	}
-	w.seqs = append(w.seqs, seq)
-	w.levels = append(w.levels, level)
+	w.buf[w.tail&uint64(len(w.buf)-1)] = winEntry{seq: seq, level: level}
+	w.tail++
 }
 
 // displace pops every instruction that has left the window now that seq is
@@ -699,8 +726,13 @@ func (w *windowState) displace(seq, size uint64, a *Analyzer) {
 		return
 	}
 	cutoff := seq - size
-	for w.head < len(w.seqs) && w.seqs[w.head] <= cutoff {
-		a.raiseFloor(w.levels[w.head] + 1)
+	mask := uint64(len(w.buf) - 1)
+	for w.head < w.tail {
+		e := &w.buf[w.head&mask]
+		if e.seq > cutoff {
+			break
+		}
+		a.raiseFloor(e.level + 1)
 		w.head++
 	}
 }

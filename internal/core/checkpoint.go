@@ -56,9 +56,9 @@ func (a *Analyzer) clone() *Analyzer {
 		b.storage = a.storage.Clone()
 	}
 	b.window = windowState{
-		seqs:   slices.Clone(a.window.seqs),
-		levels: slices.Clone(a.window.levels),
-		head:   a.window.head,
+		buf:  slices.Clone(a.window.buf),
+		head: a.window.head,
+		tail: a.window.tail,
 	}
 	if a.fu != nil {
 		b.fu = a.fu.clone()

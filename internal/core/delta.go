@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"paragraph/internal/budget"
 	"paragraph/internal/isa"
 	"paragraph/internal/trace"
 )
@@ -447,23 +446,18 @@ func (a *Analyzer) ApplyDelta(d *ShardDelta) (err error) {
 	if a.instructions != d.StartEvent {
 		return fmt.Errorf("core: delta starts at event %d, analyzer is at event %d", d.StartEvent, a.instructions)
 	}
-	seq := a.instructions
 	defer func() {
 		if v := recover(); v != nil {
-			err = &AnalysisError{Event: seq, Stage: "event", Cause: recoveredError(v)}
+			ev := a.instructions
+			if ev > d.StartEvent {
+				ev-- // the panic came from the record being replayed
+			}
+			err = &AnalysisError{Event: ev, Stage: "event", Cause: recoveredError(v)}
 		}
 	}()
 
-	// Latencies come from the analyzer's config, not the delta, so ops
-	// are resolved through the same tables a sequential run uses.
-	var lat [isa.NumOps]int64
-	for op := isa.Op(0); op < isa.NumOps; op++ {
-		lat[op] = a.cfg.latency(op)
-	}
-
 	// Materialize the pending-read table against the real entry state.
 	slots := make([]deltaSlot, len(d.Locs))
-	curMem := a.well.memLen()
 	for i, loc := range d.Locs {
 		if loc&deltaMemLoc != 0 {
 			v, live := a.well.memGet(loc &^ deltaMemLoc)
@@ -473,131 +467,12 @@ func (a *Analyzer) ApplyDelta(d *ShardDelta) (err error) {
 		}
 	}
 
-	code := d.Code
-	for i := 0; i < len(code); {
-		w0 := code[i]
-		i++
-		seq = a.instructions
-		a.instructions++
-		if w := a.cfg.WindowSize; w > 0 {
-			a.window.displace(seq, uint64(w), a)
-		}
-		switch w0 & 7 {
-		case deltaKindSkip:
-			// Window, storage profile and governor cadence only.
-
-		case deltaKindPlace:
-			top := lat[(w0>>8)&0xff]
-			nsrc := int((w0 >> 16) & 0xff)
-			ndst := int(w0 >> 24)
-			srcs := code[i : i+nsrc]
-			dsts := code[i+nsrc : i+nsrc+ndst]
-			i += nsrc + ndst
-
-			base := a.highestLevel - 1
-			for _, s := range srcs {
-				sl := &slots[s]
-				if !sl.live {
-					sl.val = a.well.preExisting()
-					sl.live = true
-					if sl.isMem {
-						curMem++
-					}
-				}
-				if sl.val.level > base {
-					base = sl.val.level
-				}
-			}
-			for _, dw := range dsts {
-				if dw&deltaStorageTerm != 0 {
-					sl := &slots[dw&^deltaStorageTerm]
-					if sl.live && sl.val.lastUse+1 > base {
-						base = sl.val.lastUse + 1
-					}
-				}
-			}
-			if a.fu != nil {
-				base = a.fu.schedule(base, top)
-			}
-			ldest := base + top
-			for _, s := range srcs {
-				sl := &slots[s]
-				sl.val.uses++
-				if base > sl.val.lastUse {
-					sl.val.lastUse = base
-				}
-			}
-			newVal := value{level: ldest, lastUse: base}
-			for _, dw := range dsts {
-				sl := &slots[dw&^deltaStorageTerm]
-				if sl.live {
-					a.retire(sl.val)
-				} else {
-					sl.live = true
-					if sl.isMem {
-						curMem++
-					}
-				}
-				sl.val = newVal
-			}
-			if w0&deltaFlagIsStore != 0 && curMem > a.maxLiveMem {
-				a.maxLiveMem = curMem
-			}
-			a.placed(seq, ldest)
-
-		case deltaKindJump:
-			if w0>>24 != 0 {
-				sl := &slots[code[i]]
-				i++
-				if sl.live {
-					a.retire(sl.val)
-				} else {
-					sl.live = true
-				}
-				sl.val = value{level: a.highestLevel - 1, lastUse: a.highestLevel - 1}
-			}
-
-		case deltaKindBranch:
-			nsrc := int((w0 >> 16) & 0xff)
-			pc := code[i]
-			srcs := code[i+1 : i+1+nsrc]
-			i += 1 + nsrc
-			if a.pred.mispredicted(pc, w0&deltaFlagImmNeg != 0, w0&deltaFlagTaken != 0) {
-				base := a.highestLevel - 1
-				for _, s := range srcs {
-					sl := &slots[s]
-					if !sl.live {
-						sl.val = a.well.preExisting()
-						sl.live = true
-					}
-					if sl.val.level > base {
-						base = sl.val.level
-					}
-				}
-				a.raiseFloor(base + lat[(w0>>8)&0xff] + 1)
-			}
-
-		case deltaKindSyscall:
-			base := a.highestLevel - 1
-			if a.anyOps && a.deepest > base {
-				base = a.deepest
-			}
-			ldest := base + lat[isa.SYSCALL]
-			a.placed(seq, ldest)
-			a.raiseFloor(ldest + 1)
-
-		default:
-			return fmt.Errorf("core: corrupt delta: unknown record kind %d at event %d", w0&7, seq)
-		}
-
-		if a.storage != nil {
-			a.storage.Add(int64(seq), uint64(curMem))
-		}
-		if a.gov != nil && a.instructions%budget.CheckEvery == 0 {
-			if gerr := a.governBudgetAt(curMem); gerr != nil {
-				return gerr
-			}
-		}
+	var rp deltaReplay
+	rp.init(a)
+	rp.slots = slots
+	rp.curMem = a.well.memLen()
+	if rerr := rp.run(d.Code); rerr != nil {
+		return rerr
 	}
 
 	// Write back the touched locations. Slots that stayed dead (a branch

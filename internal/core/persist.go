@@ -144,8 +144,16 @@ func (cp *Checkpoint) state() *checkpointState {
 		s := a.storage.State()
 		st.Storage = &s
 	}
-	st.WindowSeqs = append([]uint64(nil), a.window.seqs[a.window.head:]...)
-	st.WindowLevels = append([]int64(nil), a.window.levels[a.window.head:]...)
+	st.WindowSeqs = make([]uint64, 0, a.window.count())
+	st.WindowLevels = make([]int64, 0, a.window.count())
+	if n := len(a.window.buf); n > 0 {
+		mask := uint64(n - 1)
+		for k := a.window.head; k < a.window.tail; k++ {
+			e := &a.window.buf[k&mask]
+			st.WindowSeqs = append(st.WindowSeqs, e.seq)
+			st.WindowLevels = append(st.WindowLevels, e.level)
+		}
+	}
 	if a.fu != nil {
 		counts := make([]fuCountState, 0, len(a.fu.counts))
 		for k, v := range a.fu.counts {
@@ -214,9 +222,9 @@ func (st *checkpointState) restore() (*Checkpoint, error) {
 		return nil, fmt.Errorf("core: corrupt checkpoint: window seqs/levels length mismatch (%d vs %d)",
 			len(st.WindowSeqs), len(st.WindowLevels))
 	}
-	a.window = windowState{
-		seqs:   append([]uint64(nil), st.WindowSeqs...),
-		levels: append([]int64(nil), st.WindowLevels...),
+	a.window = windowState{}
+	for i := range st.WindowSeqs {
+		a.window.push(st.WindowSeqs[i], st.WindowLevels[i])
 	}
 	if st.FU != nil {
 		a.fu = newFUSchedule(st.FU.Units)

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"paragraph/internal/isa"
+	"paragraph/internal/trace"
+)
+
+// Shared dependence extraction: the expensive half of analysis — event
+// validation, live-well slot resolution, memory-word hashing — depends only
+// on the event stream and the rename/syscall policy, while everything a
+// sweep varies (window size, functional units, branch policy, latencies,
+// profiles, budgets) only affects the cheap max-plus replay. A
+// DependenceResolver therefore consumes the trace once per rename group and
+// compiles it into DepSegments — the same slot-addressed record stream a
+// ShardDelta carries, cut into bounded batches — and any number of
+// Schedulers replay those segments with pure array indexing, one per config.
+// An 8-window Figure 8 sweep costs 1× resolution + 8× scheduling instead of
+// 8× full analysis.
+//
+// Unlike a ShardDelta, the record stream always starts at event 0 with an
+// empty machine, so slot ids are globally dense in first-touch order and a
+// scheduler's slot table is never materialized from a live well: slots start
+// dead and spring to life exactly when a sequential analyzer would first
+// touch the location. Branch records are always emitted in full (PC,
+// direction sign, outcome, source slots) regardless of branch policy — a
+// perfect-branch scheduler consumes and ignores them — so one resolution
+// serves every branch policy in the group; that is why ResolveSig, unlike
+// BuildSig, excludes Branches.
+
+// ResolveSig identifies the configuration switches compiled into a
+// resolver's record stream. Configs with equal signatures can share one
+// resolution; everything outside the signature is applied at schedule time.
+type ResolveSig struct {
+	Syscalls        SyscallPolicy
+	RenameRegisters bool
+	RenameStack     bool
+	RenameData      bool
+}
+
+// SigOf returns the resolve signature of a config.
+func SigOf(cfg *Config) ResolveSig {
+	return ResolveSig{
+		Syscalls:        cfg.Syscalls,
+		RenameRegisters: cfg.RenameRegisters,
+		RenameStack:     cfg.RenameStack,
+		RenameData:      cfg.RenameData,
+	}
+}
+
+// DepSegment is one bounded batch of the dependence-record stream. Segments
+// are immutable once emitted and are shared read-only by every scheduler in
+// the group.
+type DepSegment struct {
+	// NewLocs lists the locations first touched in this segment, in slot-id
+	// order: the slot table grows by exactly these entries (register number,
+	// or word address with deltaMemLoc set) before Code replays.
+	NewLocs []uint32
+	// Code is the flat record stream, same encoding as ShardDelta.Code.
+	Code []uint32
+	// Events is the number of events compiled into Code.
+	Events uint64
+}
+
+// ResolveTotals carries the entry-state-independent scalar results of a
+// resolution, folded into each scheduler's Result at Finish.
+type ResolveTotals struct {
+	Events      uint64
+	Syscalls    uint64
+	ClassCounts [16]uint64
+}
+
+// resolveSegWords cuts segments at ~512 KB of code: big enough that the
+// per-segment fan-out cost vanishes against replay and that each scheduler
+// gets a long cache-resident quantum between ring switches (on few cores
+// the schedulers time-slice, and every switch refills the slot table),
+// small enough that N schedulers lagging a full ring of segments stay
+// within the memory budget accounting in the harness.
+const resolveSegWords = 128 << 10
+
+// ResolveSegmentBytes bounds the bytes one emitted DepSegment holds: Code
+// is cut at resolveSegWords plus at most one record of overshoot (a store
+// touches at most 65 words), and NewLocs never exceeds the slot references
+// in Code. The harness uses it to fit the segment ring into a memory
+// budget the way trace.RingFootprint fits the event ring.
+const ResolveSegmentBytes = int64(resolveSegWords+160) * 2 * 4
+
+// Resolver is the config-invariant stage-1 pass. It implements trace.Sink
+// and trace.BatchSink, validating events exactly as a sequential analyzer
+// does (same absolute indices, same error values) and compiling them into
+// DepSegments delivered through the emit callback. It owns the slot tables
+// — the only hashing in the whole sweep happens here, once.
+//
+// On a validation error the records for every event before the bad one are
+// still emitted by Flush, so schedulers observe the same prefix a
+// sequential analyzer would have analyzed before failing.
+type Resolver struct {
+	sig  ResolveSig
+	emit func(*DepSegment) error
+
+	regSlot [isa.NumRegs]int32
+	memSlot *slotTable
+	srcBuf  []isa.Reg
+
+	// slotBase counts the slots allocated in all flushed segments; ids stay
+	// globally dense across segment cuts.
+	slotBase uint32
+	seg      DepSegment
+	totals   ResolveTotals
+	recycle  bool
+}
+
+// NewResolver starts a resolution for the given signature. Only the
+// signature fields of cfg are consulted; latencies, windows, units and
+// profiles belong to the schedulers. Emitted segments must not be mutated.
+func NewResolver(cfg Config, emit func(*DepSegment) error) *Resolver {
+	r := &Resolver{
+		sig:     SigOf(&cfg),
+		emit:    emit,
+		memSlot: newSlotTable(),
+	}
+	for i := range r.regSlot {
+		r.regSlot[i] = -1
+	}
+	return r
+}
+
+// Sig returns the resolver's signature.
+func (r *Resolver) Sig() ResolveSig { return r.sig }
+
+// Recycle puts the resolver in segment-recycling mode: the backing arrays of
+// an emitted segment are reused for the next one as soon as emit returns,
+// so a full-trace resolution allocates two fixed buffers instead of one pair
+// per segment. Only valid when the emit callback consumes the segment
+// completely before returning — synchronous scheduling does; a ring
+// broadcast, whose consumers hold segment references across emits, must not
+// enable it.
+func (r *Resolver) Recycle() { r.recycle = true }
+
+// Totals returns the scalar totals accumulated so far. Stable only after
+// the final Flush.
+func (r *Resolver) Totals() ResolveTotals { return r.totals }
+
+// regSlotID resolves a register to its slot, allocating on first touch.
+func (r *Resolver) regSlotID(reg isa.Reg) uint32 {
+	if id := r.regSlot[reg]; id >= 0 {
+		return uint32(id)
+	}
+	id := r.nextSlot()
+	r.regSlot[reg] = int32(id)
+	r.seg.NewLocs = append(r.seg.NewLocs, uint32(reg))
+	return id
+}
+
+// memSlotID resolves a memory word to its slot, allocating on first touch.
+func (r *Resolver) memSlotID(w uint32) uint32 {
+	if id := r.memSlot.lookup(w); id >= 0 {
+		return uint32(id)
+	}
+	id := r.nextSlot()
+	r.memSlot.insert(w, int32(id))
+	r.seg.NewLocs = append(r.seg.NewLocs, w|deltaMemLoc)
+	return id
+}
+
+// nextSlot returns the next globally dense slot id: the count of slots
+// allocated in all flushed segments plus those pending in the current one.
+func (r *Resolver) nextSlot() uint32 {
+	return r.slotBase + uint32(len(r.seg.NewLocs))
+}
+
+// Event implements trace.Sink.
+func (r *Resolver) Event(e *trace.Event) error {
+	if err := r.build(e); err != nil {
+		return err
+	}
+	return r.maybeFlush()
+}
+
+// Events implements trace.BatchSink.
+func (r *Resolver) Events(batch []trace.Event) error {
+	for i := range batch {
+		if err := r.build(&batch[i]); err != nil {
+			return err
+		}
+		if len(r.seg.Code) >= resolveSegWords {
+			if err := r.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Resolver) maybeFlush() error {
+	if len(r.seg.Code) >= resolveSegWords {
+		return r.Flush()
+	}
+	return nil
+}
+
+// Flush emits the pending segment, if any. The producer calls it once more
+// after the last event to deliver the final partial segment.
+func (r *Resolver) Flush() error {
+	if len(r.seg.Code) == 0 && len(r.seg.NewLocs) == 0 {
+		return nil
+	}
+	r.slotBase += uint32(len(r.seg.NewLocs))
+	seg := r.seg
+	if r.recycle {
+		// The callback consumes the segment before returning (Recycle's
+		// contract), so its arrays can back the next segment.
+		err := r.emit(&seg)
+		r.seg = DepSegment{NewLocs: seg.NewLocs[:0], Code: seg.Code[:0]}
+		return err
+	}
+	// Fresh backing arrays: consumers keep references to emitted segments.
+	r.seg = DepSegment{
+		NewLocs: make([]uint32, 0, 256),
+		Code:    make([]uint32, 0, resolveSegWords+256),
+	}
+	return r.emit(&seg)
+}
+
+// build compiles one event, mirroring DeltaBuilder.build except that branch
+// records are always full and syscall handling follows the signature.
+func (r *Resolver) build(e *trace.Event) error {
+	seq := r.totals.Events
+	if verr := validateEvent(e, seq); verr != nil {
+		return verr
+	}
+	r.totals.Events++
+	r.seg.Events++
+
+	op := e.Ins.Op
+	info := op.Info()
+	r.totals.ClassCounts[info.Class]++
+
+	w0 := uint32(deltaKindSkip) | uint32(op)<<8
+	switch {
+	case op == isa.NOP:
+		r.seg.Code = append(r.seg.Code, w0)
+		return nil
+	case e.IsSyscall():
+		r.totals.Syscalls++
+		if r.sig.Syscalls == SyscallOptimistic {
+			r.seg.Code = append(r.seg.Code, w0)
+			return nil
+		}
+		r.seg.Code = append(r.seg.Code, w0|deltaKindSyscall)
+		return nil
+	case info.IsJump:
+		if dst, ok := e.Ins.Dest(); ok {
+			r.seg.Code = append(r.seg.Code, w0|deltaKindJump|1<<24, r.regSlotID(dst))
+		} else {
+			r.seg.Code = append(r.seg.Code, w0)
+		}
+		return nil
+	case info.IsBranch:
+		w0 |= deltaKindBranch
+		if e.Taken {
+			w0 |= deltaFlagTaken
+		}
+		if e.Ins.Imm < 0 {
+			w0 |= deltaFlagImmNeg
+		}
+		r.srcBuf = e.Ins.SourceRegs(r.srcBuf[:0])
+		nsrc := uint32(0)
+		at := len(r.seg.Code)
+		r.seg.Code = append(r.seg.Code, 0, e.PC)
+		for _, reg := range r.srcBuf {
+			if reg == isa.Zero {
+				continue
+			}
+			r.seg.Code = append(r.seg.Code, r.regSlotID(reg))
+			nsrc++
+		}
+		r.seg.Code[at] = w0 | nsrc<<16
+		return nil
+	}
+
+	// Ordinary placement; slot emission order matches the live-well touch
+	// order of a sequential analyzer exactly as in DeltaBuilder.build.
+	w0 |= deltaKindPlace
+	at := len(r.seg.Code)
+	r.seg.Code = append(r.seg.Code, 0)
+
+	r.srcBuf = e.Ins.SourceRegs(r.srcBuf[:0])
+	nsrc := uint32(0)
+	for _, reg := range r.srcBuf {
+		if reg == isa.Zero {
+			continue
+		}
+		r.seg.Code = append(r.seg.Code, r.regSlotID(reg))
+		nsrc++
+	}
+	if info.IsLoad {
+		lo, hi := wordRange(e.MemAddr, e.MemSize)
+		for w := lo; w <= hi; w++ {
+			r.seg.Code = append(r.seg.Code, r.memSlotID(w))
+			nsrc++
+		}
+	}
+
+	ndst := uint32(0)
+	regTerm := uint32(0)
+	if !r.sig.RenameRegisters {
+		regTerm = deltaStorageTerm
+	}
+	var dbuf [2]isa.Reg
+	for _, dst := range regDests(&e.Ins, dbuf[:0]) {
+		if dst == isa.Zero {
+			continue
+		}
+		r.seg.Code = append(r.seg.Code, r.regSlotID(dst)|regTerm)
+		ndst++
+	}
+	if info.IsStore {
+		w0 |= deltaFlagIsStore
+		memTerm := uint32(deltaStorageTerm)
+		if e.Seg == trace.SegStack && r.sig.RenameStack ||
+			e.Seg != trace.SegStack && r.sig.RenameData {
+			memTerm = 0
+		}
+		lo, hi := wordRange(e.MemAddr, e.MemSize)
+		for w := lo; w <= hi; w++ {
+			r.seg.Code = append(r.seg.Code, r.memSlotID(w)|memTerm)
+			ndst++
+		}
+	}
+	r.seg.Code[at] = w0 | nsrc<<16 | ndst<<24
+	return nil
+}
+
+// Scheduler is the per-config stage-2 pass: a fresh analyzer whose events
+// arrive as dependence records instead of trace events. Replay maintains
+// every level-dependent structure — firewall floor, window displacement, FU
+// counting, predictor, governor cadence, histograms — with array indexing
+// only; no hashing, no live well until the final write-back.
+type Scheduler struct {
+	a    *Analyzer
+	rp   deltaReplay
+	locs []uint32 // slot id -> location key, for Finish-time write-back
+}
+
+// NewScheduler creates a scheduler for one config. The caller is
+// responsible for feeding it segments resolved under SigOf(&cfg); the
+// harness groups configs by signature to guarantee that.
+func NewScheduler(cfg Config) *Scheduler {
+	s := &Scheduler{a: NewAnalyzer(cfg)}
+	s.rp.init(s.a)
+	return s
+}
+
+// Apply replays one segment. Segments must arrive in emission order.
+func (s *Scheduler) Apply(seg *DepSegment) (err error) {
+	a := s.a
+	if a.finished {
+		return errors.New("core: Event after Finish")
+	}
+	start := a.instructions
+	defer func() {
+		if v := recover(); v != nil {
+			ev := a.instructions
+			if ev > start {
+				ev-- // the panic came from the record being replayed
+			}
+			err = &AnalysisError{Event: ev, Stage: "event", Cause: recoveredError(v)}
+		}
+	}()
+	for _, loc := range seg.NewLocs {
+		s.locs = append(s.locs, loc)
+		s.rp.slots = append(s.rp.slots, deltaSlot{isMem: loc&deltaMemLoc != 0})
+	}
+	return s.rp.run(seg.Code)
+}
+
+// Finish folds the resolver's totals and produces the Result. The totals'
+// event count must match the number of events replayed — a mismatch means
+// segments were dropped or misordered and the result would be silently
+// wrong.
+func (s *Scheduler) Finish(totals ResolveTotals) (*Result, error) {
+	a := s.a
+	if a.finished {
+		return nil, errors.New("core: Finish called twice")
+	}
+	if totals.Events != a.instructions {
+		return nil, fmt.Errorf("core: scheduler replayed %d events but resolver produced %d", a.instructions, totals.Events)
+	}
+	// Write live slots back into the well so Finish observes the same
+	// terminal state — end-of-trace retirement for lifetime/sharing
+	// statistics included — as a sequential run. Slots that stayed dead
+	// (e.g. sources of never-mispredicted branches) must not become live.
+	for i := range s.rp.slots {
+		sl := &s.rp.slots[i]
+		if !sl.live {
+			continue
+		}
+		if loc := s.locs[i]; loc&deltaMemLoc != 0 {
+			a.well.memPut(loc&^deltaMemLoc, sl.val)
+		} else {
+			a.well.regs[loc] = sl.val
+			a.well.regLive[loc] = true
+		}
+	}
+	a.syscalls += totals.Syscalls
+	for c, n := range totals.ClassCounts {
+		a.classCounts[c] += n
+	}
+	return a.Finish()
+}

@@ -147,3 +147,23 @@ func TestGoldenFigure7(t *testing.T) {
 	}
 	checkGolden(t, "figure7.txt", buf.String())
 }
+
+// TestGoldenFigure8 pins the window-size sweep's rendered output. The
+// suite runs multi-worker, so AnalyzeMulti's EngineAuto routes the sweep —
+// one rename group, many window sizes — through the resolved engine: the
+// golden file pins the shared-extraction path against rendered numbers,
+// not just deep-equality to the other engines.
+func TestGoldenFigure8(t *testing.T) {
+	skipUnderRace(t)
+	s := NewSuite(1)
+	s.Concurrency = 4
+	series, err := s.Figure8(context.Background(), []int{1, 16, 128, 4096, 65536, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure8(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure8.txt", buf.String())
+}

@@ -338,13 +338,22 @@ func (s *Suite) AnalyzeMulti(ctx context.Context, w *workloads.Workload, cfgs []
 	}
 	engine := s.Engine
 	if engine == EngineAuto {
-		// With one configuration or one effective worker there is nothing
-		// to fan out: stream events straight into the analyzers rather
-		// than spin up a ring no concurrency will exploit (this keeps
-		// single-CPU machines on the exact legacy path).
-		if workers <= 1 || len(cfgs) == 1 {
+		// When configs share a rename group — a window, FU or branch
+		// sweep — the resolved engine pays the expensive extraction once
+		// per group. That win is algorithmic, not parallel, so it applies
+		// even with one effective worker: FanOutResolved schedules inline
+		// on single-CPU runtimes instead of spinning up a ring. With one
+		// configuration, or distinct groups and no concurrency to exploit,
+		// stream events straight into the analyzers; otherwise the event
+		// ring fans raw events out.
+		switch {
+		case len(cfgs) == 1:
 			engine = EngineStreaming
-		} else {
+		case len(resolveGroups(cfgs)) < len(cfgs):
+			engine = EngineResolved
+		case workers <= 1:
+			engine = EngineStreaming
+		default:
 			engine = EngineRing
 		}
 	}
@@ -353,6 +362,8 @@ func (s *Suite) AnalyzeMulti(ctx context.Context, w *workloads.Workload, cfgs []
 		return s.analyzeStreaming(wctx, w, cfgs)
 	case EngineBuffered:
 		return s.analyzeBuffered(wctx, w, cfgs, memBudget)
+	case EngineResolved:
+		return s.analyzeResolved(wctx, w, cfgs, memBudget)
 	default:
 		return s.analyzeRing(wctx, w, cfgs, memBudget)
 	}

@@ -1,0 +1,459 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/core"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+// ResolverStream is the producer's view of a resolved fan-out: a trace.Sink
+// and trace.BatchSink whose events run through one config-invariant
+// core.Resolver and emerge as dependence-record segments delivered to every
+// scheduler — broadcast through a bounded trace.SegRing when schedulers run
+// on their own goroutines, or applied inline on this goroutine on machines
+// with nothing to gain from the ring (see resolvedSerial). The producer
+// writes events exactly as it would into a trace.Ring; with a ring,
+// backpressure applies when the slowest scheduler falls a full ring of
+// segments behind.
+type ResolverStream struct {
+	res  *core.Resolver
+	ring *trace.SegRing[*core.DepSegment] // nil on the serial path
+	st   trace.ReadStats                  // serial path's stats, set via SetStats
+}
+
+// Event implements trace.Sink.
+func (rs *ResolverStream) Event(e *trace.Event) error { return rs.res.Event(e) }
+
+// Events implements trace.BatchSink.
+func (rs *ResolverStream) Events(batch []trace.Event) error { return rs.res.Events(batch) }
+
+// SetStats attaches the producing reader's skip accounting, mirroring
+// trace.Ring.SetStats.
+func (rs *ResolverStream) SetStats(st trace.ReadStats) {
+	if rs.ring != nil {
+		rs.ring.SetStats(st)
+		return
+	}
+	rs.st = st
+}
+
+// resolveGroup is one rename group of a sweep: the configs (by index into
+// the caller's slice) that can share a single resolution.
+type resolveGroup struct {
+	sig  core.ResolveSig
+	idxs []int
+}
+
+// resolveGroups partitions configs by resolve signature, preserving first-
+// appearance order.
+func resolveGroups(cfgs []core.Config) []resolveGroup {
+	var groups []resolveGroup
+	where := make(map[core.ResolveSig]int)
+	for i := range cfgs {
+		sig := core.SigOf(&cfgs[i])
+		gi, ok := where[sig]
+		if !ok {
+			gi = len(groups)
+			where[sig] = gi
+			groups = append(groups, resolveGroup{sig: sig})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+	return groups
+}
+
+// FanOutResolved analyzes one event stream under every configuration by
+// resolving dependencies once and scheduling per config: produce feeds
+// events into a ResolverStream, whose resolver compiles them into compact
+// record segments broadcast through a bounded trace.SegRing to one
+// core.Scheduler goroutine per configuration. The expensive half of
+// analysis — validation, live-well hashing, slot resolution — happens once
+// for the whole group instead of once per config; each scheduler replays
+// records with array indexing only.
+//
+// Every config must share one resolve signature (core.SigOf); callers with
+// mixed groups run one FanOutResolved per group (see Suite.analyzeResolved).
+// depth bounds producer run-ahead in segments (0 selects
+// trace.DefaultSegRingDepth); the serial path holds exactly one segment and
+// ignores depth. Error semantics match FanOutStream: the lowest-index
+// failing configuration decides the error (prefixed "config %d:"), a
+// deadline expiry surfaces as ErrWorkloadTimeout, panics are contained, and
+// a producer failure — which now includes event validation, since the
+// resolver validates for the whole group — is reported once, as itself, not
+// once per configuration.
+func FanOutResolved(ctx context.Context, produce func(*ResolverStream) error, cfgs []core.Config, depth int) ([]*core.Result, trace.ReadStats, error) {
+	if len(cfgs) == 0 {
+		return nil, trace.ReadStats{}, nil
+	}
+	if g := resolveGroups(cfgs); len(g) != 1 {
+		return nil, trace.ReadStats{}, fmt.Errorf("harness: FanOutResolved configs span %d resolve groups; run one per group", len(g))
+	}
+	if resolvedSerial() {
+		return fanOutResolvedSerial(ctx, produce, cfgs, depth)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ring := trace.NewSegRing[*core.DepSegment](rctx, len(cfgs), depth)
+	rs := &ResolverStream{ring: ring}
+	rs.res = core.NewResolver(cfgs[0], func(seg *core.DepSegment) error { return ring.Send(seg) })
+
+	// totals is written by the producer goroutine before CloseSend and read
+	// by schedulers only after they observe EOF; the ring's mutex orders
+	// the two, so the plain field is race-free.
+	var totals core.ResolveTotals
+	prodCh := make(chan error, 1)
+	go func() {
+		err := func() (err error) {
+			defer func() {
+				if v := recover(); v != nil {
+					err = fmt.Errorf("producer panic: %v", v)
+				}
+			}()
+			if perr := produce(rs); perr != nil {
+				return perr
+			}
+			return rs.res.Flush()
+		}()
+		if err == nil {
+			totals = rs.res.Totals()
+		}
+		ring.CloseSend(err)
+		prodCh <- err
+	}()
+
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = scheduleOne(ring, i, cfgs[i], results, &totals)
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+	perr := <-prodCh
+	stats := ring.Stats()
+
+	// Same selection as FanOutStream: lowest-index consumer failure that is
+	// the consumer's own; producer-failure echoes don't count.
+	firstIdx, firstErr := -1, error(nil)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var echo *trace.RingProducerError
+		if errors.As(err, &echo) {
+			continue
+		}
+		firstIdx, firstErr = i, err
+		break
+	}
+	if perr != nil {
+		if errors.Is(perr, trace.ErrRingDrained) {
+			perr = nil // schedulers left first; their errors explain why
+		} else if ctx.Err() == nil && errors.Is(perr, context.Canceled) {
+			perr = nil // our own post-consumer cancel, not the caller's
+		}
+	}
+	switch {
+	case firstErr != nil && ctx.Err() != nil:
+		return nil, stats, fmt.Errorf("config %d: %w", firstIdx, firstErr)
+	case perr != nil:
+		return nil, stats, perr
+	case firstErr != nil:
+		return nil, stats, fmt.Errorf("config %d: %w", firstIdx, firstErr)
+	}
+	return results, stats, nil
+}
+
+// scheduleOne drains one ring consumer into one scheduler.
+func scheduleOne(ring *trace.SegRing[*core.DepSegment], i int, cfg core.Config, results []*core.Result, totals *core.ResolveTotals) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("panic: %v", v)
+		}
+	}()
+	c := ring.Consumer(i)
+	defer c.Close()
+	sched := core.NewScheduler(cfg)
+	for {
+		seg, rerr := c.Next()
+		if rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			if errors.Is(rerr, context.DeadlineExceeded) {
+				return fmt.Errorf("%w: %w", ErrWorkloadTimeout, rerr)
+			}
+			return rerr
+		}
+		if aerr := sched.Apply(seg); aerr != nil {
+			return aerr
+		}
+	}
+	r, ferr := sched.Finish(*totals)
+	if ferr != nil {
+		return ferr
+	}
+	results[i] = r
+	return nil
+}
+
+// resolvedSerial reports whether FanOutResolved should schedule inline on
+// the producer's goroutine instead of broadcasting segments through a
+// SegRing. On a single-CPU runtime the ring buys no overlap — schedulers
+// would only time-slice against the resolver — while the inline walk keeps
+// each segment cache-resident across all N Apply calls and lets the
+// resolver recycle segment buffers. A variable so the differential tests
+// pin both topologies regardless of the host's core count.
+var resolvedSerial = func() bool { return runtime.GOMAXPROCS(0) == 1 }
+
+// errSchedulersDone aborts the producer once every scheduler has failed;
+// the serial path's analogue of trace.ErrRingDrained.
+var errSchedulersDone = errors.New("harness: every scheduler has failed")
+
+// fanOutResolvedSerial is FanOutResolved without the ring. When the group
+// is gang-eligible (core.NewSchedulerGang), each emitted segment is
+// replayed once for every config by a SchedulerGang and segment buffers
+// are recycled — the fastest path by far, since the config-invariant
+// record work is not repeated per config. Otherwise the resolver's emit
+// callback copies each segment into a bounded batch of persistent buffers
+// and a full batch is swept scheduler-major: each scheduler replays the
+// whole batch before the next scheduler starts, so a scheduler's slot
+// table and window stay cache-hot across depth segments while the record
+// words stream through sequentially. Either way the run holds only the
+// resolver's recycled pair plus at most depth buffered segments, matching
+// the ring's depth*ResolveSegmentBytes budget with zero per-segment
+// garbage. Error semantics mirror the ring path: a failed scheduler stops
+// receiving segments while the rest continue (a gang failure fails every
+// config at once, exactly as a corrupt record would on the ring), and the
+// lowest-index failure decides the reported error.
+func fanOutResolvedSerial(ctx context.Context, produce func(*ResolverStream) error, cfgs []core.Config, depth int) ([]*core.Result, trace.ReadStats, error) {
+	if depth <= 0 {
+		depth = trace.DefaultSegRingDepth
+	}
+	if depth < trace.MinSegRingDepth {
+		depth = trace.MinSegRingDepth
+	}
+	scheds := make([]*core.Scheduler, len(cfgs))
+	for i := range cfgs {
+		scheds[i] = core.NewScheduler(cfgs[i])
+	}
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	live := len(cfgs)
+
+	gang := core.NewSchedulerGang(scheds)
+	var batch []core.DepSegment
+	nbatch := 0
+	sweep := func() error {
+		for i := range scheds {
+			if scheds[i] == nil {
+				continue
+			}
+			for j := 0; j < nbatch; j++ {
+				if aerr := applySegment(scheds[i], &batch[j]); aerr != nil {
+					errs[i] = aerr
+					scheds[i] = nil
+					live--
+					break
+				}
+			}
+		}
+		nbatch = 0
+		if live == 0 {
+			return errSchedulersDone
+		}
+		return nil
+	}
+	var emit func(*core.DepSegment) error
+	if gang != nil {
+		emit = func(seg *core.DepSegment) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			if aerr := gang.Apply(seg); aerr != nil {
+				for i := range scheds {
+					errs[i] = aerr
+					scheds[i] = nil
+				}
+				live = 0
+				return errSchedulersDone
+			}
+			return nil
+		}
+	} else {
+		batch = make([]core.DepSegment, depth)
+		emit = func(seg *core.DepSegment) error {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			b := &batch[nbatch]
+			b.Events = seg.Events
+			b.NewLocs = append(b.NewLocs[:0], seg.NewLocs...)
+			b.Code = append(b.Code[:0], seg.Code...)
+			nbatch++
+			if nbatch == len(batch) {
+				return sweep()
+			}
+			return nil
+		}
+	}
+
+	rs := &ResolverStream{}
+	rs.res = core.NewResolver(cfgs[0], emit)
+	rs.res.Recycle()
+
+	perr := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = fmt.Errorf("producer panic: %v", v)
+			}
+		}()
+		if perr := produce(rs); perr != nil {
+			return perr
+		}
+		return rs.res.Flush()
+	}()
+	if errors.Is(perr, errSchedulersDone) {
+		perr = nil // the schedulers' own errors explain the early stop
+	}
+	if perr == nil && gang == nil {
+		if serr := sweep(); serr != nil && !errors.Is(serr, errSchedulersDone) {
+			perr = serr
+		}
+	}
+	if perr == nil {
+		if gang != nil && live > 0 {
+			gang.Seal()
+		}
+		totals := rs.res.Totals()
+		for i := range scheds {
+			if scheds[i] == nil {
+				continue
+			}
+			if r, ferr := finishScheduler(scheds[i], totals); ferr != nil {
+				errs[i] = ferr
+			} else {
+				results[i] = r
+			}
+		}
+	}
+
+	firstIdx, firstErr := -1, error(nil)
+	for i, err := range errs {
+		if err != nil {
+			firstIdx, firstErr = i, err
+			break
+		}
+	}
+	switch {
+	case firstErr != nil && ctx.Err() != nil:
+		return nil, rs.st, fmt.Errorf("config %d: %w", firstIdx, firstErr)
+	case perr != nil:
+		if errors.Is(perr, context.DeadlineExceeded) && !errors.Is(perr, ErrWorkloadTimeout) {
+			perr = fmt.Errorf("%w: %w", ErrWorkloadTimeout, perr)
+		}
+		return nil, rs.st, perr
+	case firstErr != nil:
+		return nil, rs.st, fmt.Errorf("config %d: %w", firstIdx, firstErr)
+	}
+	return results, rs.st, nil
+}
+
+// applySegment applies one segment with the same panic containment a
+// scheduler goroutine gets on the ring path.
+func applySegment(s *core.Scheduler, seg *core.DepSegment) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("panic: %v", v)
+		}
+	}()
+	return s.Apply(seg)
+}
+
+// finishScheduler finalizes one scheduler with panic containment.
+func finishScheduler(s *core.Scheduler, totals core.ResolveTotals) (r *core.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("panic: %v", v)
+		}
+	}()
+	return s.Finish(totals)
+}
+
+// analyzeResolved is AnalyzeMulti's shared-extraction engine: configs are
+// partitioned into rename groups and the workload is simulated once per
+// group, each pass resolving dependencies once and fanning record segments
+// out to that group's schedulers. memBudget semantics mirror analyzeRing:
+// the segment ring may spend at most half the budget, and a budget too
+// small for even a trace.MinSegRingDepth ring falls back by policy —
+// Degrade re-runs on the streaming engine and marks EngineDowngraded,
+// FailFast returns a structured budget error, WarnOnly proceeds at the
+// floor.
+//
+// With more than one group, error messages keep their group-local
+// "config %d:" index (EngineAuto only selects this engine for sweeps where
+// sharing exists; explicit multi-group use trades that cosmetic detail for
+// one resolution per group).
+func (s *Suite) analyzeResolved(wctx context.Context, w *workloads.Workload, cfgs []core.Config, memBudget int64) ([]*core.Result, error) {
+	depth := trace.DefaultSegRingDepth
+	if memBudget > 0 {
+		limit := memBudget / 2
+		if fit := int(limit / core.ResolveSegmentBytes); fit < depth {
+			depth = fit
+		}
+		if depth < trace.MinSegRingDepth {
+			switch s.BudgetPolicy {
+			case budget.Degrade:
+				results, err := s.analyzeStreaming(wctx, w, cfgs)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range results {
+					if r.Governor != nil {
+						r.Governor.EngineDowngraded = true
+					}
+				}
+				return results, nil
+			case budget.FailFast:
+				return nil, &budget.Error{
+					Resource:   budget.EventBuffer,
+					UsageBytes: int64(trace.MinSegRingDepth) * core.ResolveSegmentBytes,
+					LimitBytes: limit,
+				}
+			default: // WarnOnly: run anyway at the floor.
+				depth = trace.MinSegRingDepth
+			}
+		}
+	}
+	results := make([]*core.Result, len(cfgs))
+	for _, g := range resolveGroups(cfgs) {
+		gcfgs := make([]core.Config, len(g.idxs))
+		for j, idx := range g.idxs {
+			gcfgs[j] = cfgs[idx]
+		}
+		produce := func(rs *ResolverStream) error {
+			_, err := w.Run(s.Scale, s.options(), guardSink(wctx, rs), s.MaxInstr)
+			return err
+		}
+		gres, _, err := FanOutResolved(wctx, produce, gcfgs, depth)
+		if err != nil {
+			return nil, err
+		}
+		for j, idx := range g.idxs {
+			results[idx] = gres[j]
+		}
+	}
+	return results, nil
+}

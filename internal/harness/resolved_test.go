@@ -1,0 +1,363 @@
+package harness
+
+// The resolved engine's differential battery: FanOutResolved — resolve the
+// stream once, schedule per config — must produce Results deeply equal to
+// the buffered, streaming and ring engines on clean, damaged/degraded, and
+// governed workloads. `make differential` runs the Differential tests here
+// under the race detector, so they double as the data-race audit of the
+// segment broadcast: one resolver goroutine publishing segments that N
+// scheduler goroutines replay concurrently.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"paragraph/internal/budget"
+	"paragraph/internal/core"
+	"paragraph/internal/faultinject"
+	"paragraph/internal/trace"
+	"paragraph/internal/workloads"
+)
+
+// windowSweepConfigs is the Figure 8 shape: one rename group, many window
+// sizes — the case the resolved engine exists for.
+func windowSweepConfigs() []core.Config {
+	var cfgs []core.Config
+	for _, size := range []int{1, 32, 128, 2048, 65536, 0} {
+		cfg := core.Dataflow(core.SyscallConservative)
+		cfg.Profile = false
+		cfg.WindowSize = size
+		cfgs = append(cfgs, cfg)
+	}
+	// One profile-collecting config so bucketed histograms cross the
+	// batched-update path too.
+	cfgs = append(cfgs, core.Dataflow(core.SyscallConservative))
+	return cfgs
+}
+
+// resolvedReplayProducer adapts a recorded EventBuffer to FanOutResolved's
+// producer contract.
+func resolvedReplayProducer(buf *trace.EventBuffer) func(*ResolverStream) error {
+	return func(rs *ResolverStream) error {
+		if err := buf.ReplayBatches(context.Background(), rs); err != nil {
+			return err
+		}
+		rs.SetStats(buf.Stats())
+		return nil
+	}
+}
+
+// TestDifferentialResolvedEngine: the same recorded trace pushed through
+// one resolver into concurrent schedulers yields Results deeply equal to
+// the buffered replay (FanOut) and the event ring (FanOutStream), on a
+// single-group window sweep with a deliberately tiny segment ring.
+func TestDifferentialResolvedEngine(t *testing.T) {
+	cfgs := windowSweepConfigs()
+	for _, name := range []string{"xlispx", "matrixx", "spicex"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, ok := workloads.ByName(name)
+			if !ok {
+				t.Fatalf("unknown workload %q", name)
+			}
+			buf := recordWorkload(t, w)
+			want, err := FanOut(context.Background(), buf, cfgs, 1)
+			if err != nil {
+				t.Fatalf("buffered reference: %v", err)
+			}
+			ringGot, _, err := FanOutStream(context.Background(), replayProducer(buf), cfgs, trace.MinRingBatches)
+			if err != nil {
+				t.Fatalf("ring engine: %v", err)
+			}
+			got, rstats, err := FanOutResolved(context.Background(), resolvedReplayProducer(buf), cfgs, trace.MinSegRingDepth)
+			if err != nil {
+				t.Fatalf("resolved engine: %v", err)
+			}
+			if rstats != buf.Stats() {
+				t.Errorf("ReadStats = %+v, want %+v", rstats, buf.Stats())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("result counts differ: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("config %d: resolved engine diverged from buffered replay", i)
+				}
+				if !reflect.DeepEqual(got[i], ringGot[i]) {
+					t.Errorf("config %d: resolved engine diverged from ring engine", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialResolvedTopologies pins FanOutResolved's scheduling
+// topologies against the buffered replay on one recorded trace: the
+// SegRing broadcast (multi-core hosts), the serial gang (single-CPU,
+// gang-eligible group) and the serial batched sweep (single-CPU, a group
+// made gang-ineligible by a lifetimes-collecting config). The serial gate
+// is forced both ways so every topology runs regardless of the host's
+// core count.
+func TestDifferentialResolvedTopologies(t *testing.T) {
+	w, ok := workloads.ByName("xlispx")
+	if !ok {
+		t.Fatal("unknown workload xlispx")
+	}
+	buf := recordWorkload(t, w)
+	gangCfgs := windowSweepConfigs()
+	lifet := core.Dataflow(core.SyscallConservative)
+	lifet.Lifetimes = true
+	lifet.Sharing = true
+	mixed := append(append([]core.Config{}, gangCfgs...), lifet)
+
+	for _, tc := range []struct {
+		name   string
+		serial bool
+		cfgs   []core.Config
+	}{
+		{"ring/sweep", false, gangCfgs},
+		{"serial/gang", true, gangCfgs},
+		{"ring/mixed", false, mixed},
+		{"serial/batched", true, mixed},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			old := resolvedSerial
+			resolvedSerial = func() bool { return tc.serial }
+			defer func() { resolvedSerial = old }()
+			want, err := FanOut(context.Background(), buf, tc.cfgs, 1)
+			if err != nil {
+				t.Fatalf("buffered reference: %v", err)
+			}
+			got, rstats, err := FanOutResolved(context.Background(), resolvedReplayProducer(buf), tc.cfgs, 0)
+			if err != nil {
+				t.Fatalf("resolved engine: %v", err)
+			}
+			if rstats != buf.Stats() {
+				t.Errorf("ReadStats = %+v, want %+v", rstats, buf.Stats())
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("config %d: %s diverged from buffered replay", i, tc.name)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialResolvedMultiGroup: Suite.AnalyzeMulti under an explicit
+// EngineResolved must partition mixed configs into rename groups, resolve
+// once per group, and scatter results back deep-equal to the streaming
+// engine across the full Table3/Table4/Figure8 union.
+func TestDifferentialResolvedMultiGroup(t *testing.T) {
+	w, ok := workloads.ByName("xlispx")
+	if !ok {
+		t.Fatal("unknown workload xlispx")
+	}
+	cfgs := sweepConfigs()
+	if g := resolveGroups(cfgs); len(g) < 2 {
+		t.Fatalf("fixture has %d resolve groups; want a mixed sweep", len(g))
+	}
+	ref := NewSuite(1)
+	ref.MaxInstr = 300_000
+	ref.Engine = EngineStreaming
+	want, err := ref.AnalyzeMulti(context.Background(), w, cfgs)
+	if err != nil {
+		t.Fatalf("streaming reference: %v", err)
+	}
+	s := NewSuite(1)
+	s.Concurrency = 4
+	s.MaxInstr = 300_000
+	s.Engine = EngineResolved
+	got, err := s.AnalyzeMulti(context.Background(), w, cfgs)
+	if err != nil {
+		t.Fatalf("resolved engine: %v", err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: resolved engine diverged from streaming", i)
+		}
+	}
+}
+
+// TestDifferentialResolvedDegraded pushes a damaged v2 trace through the
+// resolver in degraded-read mode: the resolved engine must see exactly the
+// events (and ReadStats accounting) a degraded whole-trace read produces,
+// and its Results must match a buffered replay of that same degraded read.
+func TestDifferentialResolvedDegraded(t *testing.T) {
+	data := recordTrace(t, "naskerx", 150_000)
+	for i := range []int{0, 1} {
+		var err error
+		for _, c := range []int{3, 11} {
+			if data, err = faultinject.CorruptChunk(data, c, int64(c+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var err error
+	if data, err = faultinject.DuplicateChunk(data, 6); err != nil {
+		t.Fatal(err)
+	}
+	data = faultinject.Truncate(data, 9)
+
+	rd, err := trace.NewReaderOpts(bytes.NewReader(data), trace.ReaderOptions{Degraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.EventBuffer{}
+	if err := rd.ForEachBatch(buf.Events); err != nil {
+		t.Fatalf("degraded reference read: %v", err)
+	}
+	buf.SetStats(rd.Stats())
+	if buf.Stats().SkippedChunks == 0 || buf.Stats().DuplicateChunks == 0 {
+		t.Fatalf("damage fixture is not exercising degradation: %+v", buf.Stats())
+	}
+	cfgs := windowSweepConfigs()
+	want, err := FanOut(context.Background(), buf, cfgs, 1)
+	if err != nil {
+		t.Fatalf("buffered reference: %v", err)
+	}
+
+	produce := func(rs *ResolverStream) error {
+		r, err := trace.NewReaderOpts(bytes.NewReader(data), trace.ReaderOptions{Degraded: true})
+		if err != nil {
+			return err
+		}
+		if err := r.ForEachBatch(rs.Events); err != nil {
+			return err
+		}
+		rs.SetStats(r.Stats())
+		return nil
+	}
+	got, rstats, err := FanOutResolved(context.Background(), produce, cfgs, trace.MinSegRingDepth)
+	if err != nil {
+		t.Fatalf("resolved engine: %v", err)
+	}
+	if rstats != buf.Stats() {
+		t.Errorf("degraded ReadStats = %+v, want %+v", rstats, buf.Stats())
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: resolved engine diverged on the damaged trace", i)
+		}
+	}
+}
+
+// TestDifferentialResolvedGoverned: per-config budget governance (window
+// degradation under a config-level MemBudget) must behave identically
+// whether events arrive raw or as dependence records — including the
+// Governor's accounting, which the scheduler meters with its own running
+// live-memory count.
+func TestDifferentialResolvedGoverned(t *testing.T) {
+	w, ok := workloads.ByName("matrixx")
+	if !ok {
+		t.Fatal("unknown workload matrixx")
+	}
+	buf := recordWorkload(t, w)
+	gov := core.Dataflow(core.SyscallConservative)
+	gov.Profile = false
+	gov.WindowSize = 2048
+	gov.MemBudget = 64 << 10
+	gov.BudgetPolicy = budget.Degrade
+	cfgs := []core.Config{gov, core.Dataflow(core.SyscallConservative)}
+
+	want, err := FanOut(context.Background(), buf, cfgs, 1)
+	if err != nil {
+		t.Fatalf("buffered reference: %v", err)
+	}
+	if want[0].Governor == nil || want[0].Governor.Degradations == 0 {
+		t.Fatalf("governed fixture is not degrading: %+v", want[0].Governor)
+	}
+	got, _, err := FanOutResolved(context.Background(), resolvedReplayProducer(buf), cfgs, trace.MinSegRingDepth)
+	if err != nil {
+		t.Fatalf("resolved engine: %v", err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: resolved engine diverged on the governed config", i)
+		}
+	}
+}
+
+// TestFanOutResolvedMixedGroupsRejected pins the single-group contract:
+// configs spanning rename groups must be split by the caller.
+func TestFanOutResolvedMixedGroupsRejected(t *testing.T) {
+	cfgs := []core.Config{
+		{Syscalls: core.SyscallConservative},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true},
+	}
+	_, _, err := FanOutResolved(context.Background(), func(*ResolverStream) error { return nil }, cfgs, 0)
+	if err == nil || !strings.Contains(err.Error(), "resolve groups") {
+		t.Fatalf("mixed groups accepted: %v", err)
+	}
+}
+
+// TestFanOutResolvedProducerError: a producer failure mid-stream surfaces
+// as the producer's own error — not rewrapped per config — after the
+// schedulers drain what was already published.
+func TestFanOutResolvedProducerError(t *testing.T) {
+	boom := fmt.Errorf("simulation exploded")
+	produce := func(rs *ResolverStream) error {
+		e := ringTestEvent()
+		for i := 0; i < 10_000; i++ {
+			if err := rs.Event(&e); err != nil {
+				return err
+			}
+		}
+		return boom
+	}
+	cfgs := windowSweepConfigs()
+	_, _, err := FanOutResolved(context.Background(), produce, cfgs, trace.MinSegRingDepth)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer error", err)
+	}
+	if strings.Contains(err.Error(), "config") {
+		t.Errorf("producer error got rewrapped as a consumer error: %v", err)
+	}
+}
+
+// TestAnalyzeMultiAutoPicksResolved pins EngineAuto's selection: a
+// multi-worker sweep whose configs share a rename group takes the resolved
+// engine and still matches the streaming engine; a sweep with no sharing
+// keeps the event ring.
+func TestAnalyzeMultiAutoPicksResolved(t *testing.T) {
+	shared := windowSweepConfigs()
+	if g := resolveGroups(shared); len(g) != 1 {
+		t.Fatalf("window sweep spans %d groups, want 1", len(g))
+	}
+	distinct := []core.Config{
+		{Syscalls: core.SyscallConservative},
+		{Syscalls: core.SyscallConservative, RenameRegisters: true},
+	}
+	if g := resolveGroups(distinct); len(g) != len(distinct) {
+		t.Fatalf("distinct fixture shares groups")
+	}
+	w, ok := workloads.ByName("matrixx")
+	if !ok {
+		t.Fatal("unknown workload matrixx")
+	}
+	ref := NewSuite(1)
+	ref.MaxInstr = 200_000
+	ref.Engine = EngineStreaming
+	want, err := ref.AnalyzeMulti(context.Background(), w, shared)
+	if err != nil {
+		t.Fatalf("streaming reference: %v", err)
+	}
+	s := NewSuite(1)
+	s.Concurrency = 4 // EngineAuto with 4 workers and one shared group: resolved
+	s.MaxInstr = 200_000
+	got, err := s.AnalyzeMulti(context.Background(), w, shared)
+	if err != nil {
+		t.Fatalf("auto engine: %v", err)
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("config %d: auto-selected resolved engine diverged from streaming", i)
+		}
+	}
+}

@@ -33,6 +33,13 @@ const (
 	// configuration, with backpressure on the producer. Memory is a
 	// function of configuration, not trace length.
 	EngineRing
+	// EngineResolved is the shared-extraction engine: one config-invariant
+	// DependenceResolver per rename group consumes the stream once and
+	// broadcasts compact dependence-record segments through a bounded ring
+	// to one cheap Scheduler per configuration (see FanOutResolved). An
+	// 8-config window sweep costs 1× resolution + 8× scheduling instead of
+	// 8× full analysis.
+	EngineResolved
 )
 
 func (k EngineKind) String() string {
@@ -45,6 +52,8 @@ func (k EngineKind) String() string {
 		return "buffered"
 	case EngineRing:
 		return "ring"
+	case EngineResolved:
+		return "resolved"
 	}
 	return fmt.Sprintf("engine(%d)", int(k))
 }

@@ -1,0 +1,62 @@
+// Package prof wires the -cpuprofile / -memprofile flags of the CLIs to
+// runtime/pprof. Both commands share the same teardown subtlety: their
+// error paths exit the process directly (skipping defers), so Start returns
+// an idempotent stop closure the caller runs from every exit path — the
+// deferred normal return and the fatal-error bailout alike.
+package prof
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges a
+// heap snapshot to memPath (when non-empty) at stop time. The returned
+// closure is safe to call more than once and from any exit path; failures
+// while writing the heap profile are reported to warn rather than returned,
+// since stop typically runs on the way out of the process.
+func Start(cpuPath, memPath string, warn io.Writer) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(warn, "-cpuprofile:", err)
+				}
+			}
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(warn, "-memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(warn, "-memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(warn, "-memprofile:", err)
+			}
+		})
+	}
+	return stop, nil
+}

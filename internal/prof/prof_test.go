@@ -1,0 +1,51 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var warn bytes.Buffer
+	stop, err := Start(cpu, mem, &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent: second call must not re-truncate or panic
+	if warn.Len() != 0 {
+		t.Errorf("stop warned: %s", warn.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+func TestStartNoPathsIsNoOp(t *testing.T) {
+	var warn bytes.Buffer
+	stop, err := Start("", "", &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if warn.Len() != 0 {
+		t.Errorf("stop warned: %s", warn.String())
+	}
+}
+
+func TestStartBadCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), "", os.Stderr); err == nil {
+		t.Fatal("Start accepted an uncreatable cpu profile path")
+	}
+}

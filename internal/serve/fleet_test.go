@@ -739,3 +739,55 @@ func TestJobQueueOrdering(t *testing.T) {
 	default:
 	}
 }
+
+// TestOfferWatchWakesParkedAcquire pins the watch-channel contract: an
+// acquire parked on the empty offer queue is woken by the next enqueue
+// instead of waiting out its long-poll deadline, abandoned debris is
+// discarded rather than granted, and a canceled request releases the watch
+// without consuming an offer.
+func TestOfferWatchWakesParkedAcquire(t *testing.T) {
+	s := &Server{
+		ctx:       context.Background(),
+		drainCh:   make(chan struct{}),
+		offerNote: make(chan struct{}, 1),
+	}
+
+	// A canceled request context unparks immediately, consuming nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	unparked := make(chan *attemptOffer, 1)
+	go func() { unparked <- s.takeOffer(ctx, time.Minute) }()
+	cancel()
+	select {
+	case off := <-unparked:
+		if off != nil {
+			t.Fatalf("canceled acquire got offer %+v", off)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled acquire stayed parked")
+	}
+
+	// A parked acquire is woken by the enqueue, well before its deadline.
+	got := make(chan *attemptOffer, 1)
+	go func() { got <- s.takeOffer(context.Background(), time.Minute) }()
+	abandoned := &attemptOffer{}
+	abandoned.claimed.Store(claimAbandoned)
+	s.enqueueOffer(abandoned) // debris: must be skipped, not granted
+	live := &attemptOffer{outcome: make(chan attemptOutcome, 1)}
+	s.enqueueOffer(live)
+	select {
+	case off := <-got:
+		if off != live {
+			t.Fatalf("parked acquire got %+v, want the live offer", off)
+		}
+		if off.claimed.Load() != claimLeased {
+			t.Fatalf("granted offer claim state = %d, want leased", off.claimed.Load())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("enqueue did not wake the parked acquire")
+	}
+
+	// The debris was swept; an immediate (wait 0) acquire finds nothing.
+	if off := s.takeOffer(context.Background(), 0); off != nil {
+		t.Fatalf("empty queue granted %+v", off)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,9 +15,12 @@ import (
 )
 
 // Fleet mode: shard attempts are leased to remote workers over HTTP. The
-// supervisor publishes each attempt as an offer on one queue; the local
-// executor pool and the lease-acquire handler race to claim it, so a
-// remote worker is just another place an attempt can run. A leased attempt
+// supervisor publishes each attempt onto one watch queue — a mutex-guarded
+// FIFO with a one-token notify channel signaled on enqueue — and the local
+// executor pool and the lease-acquire handler block on that channel until
+// work exists, so a remote worker is just another place an attempt can run
+// and an idle fleet parks in long-polls instead of sleep-and-retry
+// spinning. A leased attempt
 // that completes uploads its shard result (or delta) and the supervisor
 // persists it exactly as it would a local one; a lease whose heartbeat
 // lapses is expired by the sweeper and the failure consumes one unit of
@@ -71,19 +75,58 @@ func (o *attemptOffer) claim(state int32) bool {
 	return o.claimed.CompareAndSwap(claimNone, state)
 }
 
+// enqueueOffer appends one attempt to the watch queue and rings its notify
+// channel. The channel holds at most one token; nextOffer re-signals while
+// items remain, so a dropped duplicate token never strands work.
+func (s *Server) enqueueOffer(off *attemptOffer) {
+	s.offerMu.Lock()
+	s.pending = append(s.pending, off)
+	s.offerMu.Unlock()
+	s.notifyOffer()
+}
+
+func (s *Server) notifyOffer() {
+	select {
+	case s.offerNote <- struct{}{}:
+	default:
+	}
+}
+
+// nextOffer pops the oldest still-unclaimed offer, discarding abandoned
+// debris (offers whose dispatch gave up during a drain). Like jobQueue.pop,
+// it re-signals the notify channel when items remain, so one pop per wakeup
+// cannot strand queued work behind a consumed token.
+func (s *Server) nextOffer() *attemptOffer {
+	s.offerMu.Lock()
+	defer s.offerMu.Unlock()
+	for len(s.pending) > 0 {
+		off := s.pending[0]
+		s.pending[0] = nil
+		s.pending = s.pending[1:]
+		if len(s.pending) > 0 {
+			s.notifyOffer()
+		}
+		if off.claimed.Load() == claimNone {
+			return off
+		}
+	}
+	return nil
+}
+
 // dispatch publishes one attempt and waits for its outcome. During a drain
 // it abandons unclaimed and leased offers immediately (the shard returns
-// to the queue with the rest of the job), but waits out a locally running
-// attempt — the executor is about to deliver, and Drain waits for it
-// anyway.
+// to the queue with the rest of the job; the dead entry is swept from the
+// watch queue by the next pop), but waits out a locally running attempt —
+// the executor is about to deliver, and Drain waits for it anyway.
 func (s *Server) dispatch(off *attemptOffer) (attemptOutcome, error) {
 	select {
-	case s.offers <- off:
 	case <-s.drainCh:
 		return attemptOutcome{}, errInterrupted
 	case <-s.ctx.Done():
 		return attemptOutcome{}, errInterrupted
+	default:
 	}
+	s.enqueueOffer(off)
 	select {
 	case out := <-off.outcome:
 		return out, nil
@@ -104,8 +147,8 @@ func (s *Server) dispatch(off *attemptOffer) (attemptOutcome, error) {
 }
 
 // shardExecutor is one local attempt runner. Executors and remote workers
-// drain the same offer queue; an executor that loses the claim race just
-// takes the next offer.
+// block on the same watch channel; an executor that pops abandoned debris
+// (or loses a claim race with a drain) just waits for the next signal.
 func (s *Server) shardExecutor() {
 	defer s.wg.Done()
 	for {
@@ -114,8 +157,9 @@ func (s *Server) shardExecutor() {
 			return
 		case <-s.drainCh:
 			return
-		case off := <-s.offers:
-			if !off.claim(claimLocal) {
+		case <-s.offerNote:
+			off := s.nextOffer()
+			if off == nil || !off.claim(claimLocal) {
 				continue
 			}
 			off.outcome <- s.runOffer(off)
@@ -183,9 +227,12 @@ func (e *leaseExpiredError) Error() string {
 	return fmt.Sprintf("shard %d: lease on worker %q expired without a heartbeat", e.shard, e.worker)
 }
 
-// takeOffer claims the next unclaimed offer for a lease, waiting up to
-// wait. A nil return means no work (or the daemon is stopping).
-func (s *Server) takeOffer(wait time.Duration) *attemptOffer {
+// takeOffer claims the next unclaimed offer for a lease, long-polling the
+// watch channel for up to wait. ctx is the acquire request's context: a
+// worker that hangs up stops occupying the watch immediately instead of
+// holding its handler until the poll deadline. A nil return means no work
+// (or the daemon is stopping, or the caller left).
+func (s *Server) takeOffer(ctx context.Context, wait time.Duration) *attemptOffer {
 	var timeout <-chan time.Time
 	if wait > 0 {
 		timer := time.NewTimer(wait)
@@ -193,33 +240,27 @@ func (s *Server) takeOffer(wait time.Duration) *attemptOffer {
 		timeout = timer.C
 	}
 	for {
-		select {
-		case off := <-s.offers:
+		if off := s.nextOffer(); off != nil {
 			if off.claim(claimLeased) {
 				return off
 			}
+			continue // abandoned between pop and claim; try the next
+		}
+		if wait <= 0 {
+			return nil
+		}
+		select {
+		case <-s.offerNote:
+			// Signaled: loop back to pop (which re-signals when more
+			// offers remain, so sibling watchers wake too).
+		case <-ctx.Done():
+			return nil
 		case <-s.drainCh:
 			return nil
 		case <-s.ctx.Done():
 			return nil
 		case <-timeout:
 			return nil
-		default:
-			if wait <= 0 {
-				return nil
-			}
-			select {
-			case off := <-s.offers:
-				if off.claim(claimLeased) {
-					return off
-				}
-			case <-s.drainCh:
-				return nil
-			case <-s.ctx.Done():
-				return nil
-			case <-timeout:
-				return nil
-			}
 		}
 	}
 }
@@ -250,7 +291,7 @@ func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
 	if wait > 30*time.Second {
 		wait = 30 * time.Second
 	}
-	off := s.takeOffer(wait)
+	off := s.takeOffer(r.Context(), wait)
 	if off == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return

@@ -79,8 +79,16 @@ type Server struct {
 	cancel  context.CancelFunc
 	drainCh chan struct{}
 	jq      *jobQueue
-	offers  chan *attemptOffer
 	wg      sync.WaitGroup
+
+	// The offer watch: pending is the FIFO of published shard attempts and
+	// offerNote is its condvar — a one-token notify channel signaled on
+	// every enqueue. Local executors and lease-acquire long-polls all block
+	// on the same channel, so an idle fleet costs zero wakeups until work
+	// actually arrives (see nextOffer).
+	offerMu   sync.Mutex
+	pending   []*attemptOffer
+	offerNote chan struct{}
 
 	leaseMu sync.Mutex
 	leases  map[string]*lease
@@ -127,7 +135,7 @@ func New(opts Options) (*Server, error) {
 		cancel:         cancel,
 		drainCh:        make(chan struct{}),
 		jq:             newJobQueue(),
-		offers:         make(chan *attemptOffer),
+		offerNote:      make(chan struct{}, 1),
 		leases:         make(map[string]*lease),
 		rng:            mrand.New(mrand.NewSource(opts.Seed)),
 		jobs:           make(map[string]*job),

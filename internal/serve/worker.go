@@ -31,9 +31,14 @@ type WorkerOptions struct {
 	// Heartbeat is the lease renewal interval. 0 derives TTL/3 from each
 	// granted lease.
 	Heartbeat time.Duration
-	// Poll is how long to wait between acquire attempts when the
-	// coordinator has no work. 0 selects 250ms.
+	// Poll is the backoff between acquire attempts after an error or an
+	// empty answer. 0 selects 250ms.
 	Poll time.Duration
+	// LongPoll is how long one acquire request parks on the coordinator's
+	// offer watch waiting for work. 0 selects 25s (the coordinator caps
+	// requests at 30s). Idle chatter scales with 1/LongPoll: a parked
+	// request costs nothing until an offer is enqueued.
+	LongPoll time.Duration
 	// Seed seeds retry jitter for trace fetches.
 	Seed int64
 	// Sleep replaces every wait; tests inject a no-op. nil selects real
@@ -91,6 +96,9 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	if opts.Poll <= 0 {
 		opts.Poll = 250 * time.Millisecond
 	}
+	if opts.LongPoll <= 0 {
+		opts.LongPoll = 25 * time.Second
+	}
 	return &Worker{opts: opts, base: base, sources: make(map[string]*remote.Source)}, nil
 }
 
@@ -145,12 +153,14 @@ func (w *Worker) wait(ctx context.Context, d time.Duration) error {
 }
 
 // acquire asks the coordinator for one lease: nil with no error means no
-// work right now. The request long-polls for one poll interval so idle
-// workers do not hammer the coordinator.
+// work right now. The request parks on the coordinator's offer watch for
+// up to LongPoll, so an idle worker holds one open request instead of
+// cycling poll-interval sleeps; Poll only paces retries after errors and
+// empty answers.
 func (w *Worker) acquire(ctx context.Context) (*LeaseMsg, error) {
 	body, _ := json.Marshal(map[string]any{
 		"worker":  w.opts.Name,
-		"wait_ms": w.opts.Poll.Milliseconds(),
+		"wait_ms": w.opts.LongPoll.Milliseconds(),
 	})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.endpoint("/v1/leases"), bytes.NewReader(body))
 	if err != nil {

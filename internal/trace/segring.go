@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SegRing is Ring's protocol generalized over the element type: a bounded,
+// single-producer, multi-consumer broadcast buffer holding one item per
+// slot. The resolved sweep engine uses it to fan dependence-record segments
+// from one resolver out to N schedulers — items there are ~128 KB segment
+// pointers, so a handful of slots bounds producer run-ahead the same way
+// Ring's batch slots do for raw events, and memory stays a function of
+// depth, never of trace length.
+//
+// The synchronization protocol is identical to Ring's: the producer blocks
+// while the slowest live consumer is a full ring behind, consumers release
+// a slot by asking for the next item, Close deregisters a consumer, and a
+// bound context unblocks everyone. Unlike Ring, slots are not recycled
+// in place — items are immutable values handed off by reference — so a
+// consumer may retain an item after advancing past it.
+type SegRing[T any] struct {
+	ctx       context.Context
+	stopWatch func() bool
+
+	nslots int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	slots   []T
+	head    int64 // items published so far
+	pos     []int64
+	done    []bool
+	ndone   int
+	closed  bool
+	sendErr error
+	stats   ReadStats
+}
+
+// SegRing sizing default and floor: segments are three orders of magnitude
+// larger than single events, so a much shallower ring than Ring's 64
+// batches absorbs the same consumer skew.
+const (
+	// DefaultSegRingDepth is the capacity used when depth is zero.
+	DefaultSegRingDepth = 16
+	// MinSegRingDepth is the smallest capacity that still overlaps
+	// production with consumption.
+	MinSegRingDepth = 2
+)
+
+// NewSegRing returns a ring broadcasting to the given number of consumers,
+// bound to ctx. Depth 0 selects DefaultSegRingDepth; values below
+// MinSegRingDepth are raised to it. Every consumer slot must be claimed
+// with Consumer and either drained to EOF or Closed, or the producer will
+// block forever waiting for it.
+func NewSegRing[T any](ctx context.Context, consumers, depth int) *SegRing[T] {
+	if consumers < 1 {
+		consumers = 1
+	}
+	if depth <= 0 {
+		depth = DefaultSegRingDepth
+	}
+	if depth < MinSegRingDepth {
+		depth = MinSegRingDepth
+	}
+	r := &SegRing[T]{
+		ctx:    ctx,
+		nslots: depth,
+		slots:  make([]T, depth),
+		pos:    make([]int64, consumers),
+		done:   make([]bool, consumers),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	if ctx.Done() != nil {
+		// Same lost-wakeup discipline as Ring: lock-then-broadcast orders
+		// the wakeup after any in-progress wait re-check.
+		r.stopWatch = context.AfterFunc(ctx, func() {
+			r.mu.Lock()
+			//lint:ignore SA2001 empty critical section orders the broadcast
+			r.mu.Unlock()
+			r.cond.Broadcast()
+		})
+	}
+	return r
+}
+
+// minPos returns the position of the slowest live consumer; ok is false
+// when every consumer has closed.
+func (r *SegRing[T]) minPos() (min int64, ok bool) {
+	for i, p := range r.pos {
+		if r.done[i] {
+			continue
+		}
+		if !ok || p < min {
+			min, ok = p, true
+		}
+	}
+	return min, ok
+}
+
+// Send publishes one item, blocking while the slowest consumer is a full
+// ring behind. Once every consumer has closed it returns ErrRingDrained —
+// a stop signal, not a failure.
+func (r *SegRing[T]) Send(item T) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return fmt.Errorf("trace: ring send canceled at item %d: %w", r.head, err)
+		}
+		if r.closed {
+			return errors.New("trace: ring send after CloseSend")
+		}
+		if r.ndone == len(r.pos) {
+			return fmt.Errorf("%w (at item %d)", ErrRingDrained, r.head)
+		}
+		min, ok := r.minPos()
+		if !ok || r.head-min < int64(r.nslots) {
+			break
+		}
+		r.cond.Wait()
+	}
+	r.slots[r.head%int64(r.nslots)] = item
+	r.head++
+	r.cond.Broadcast()
+	return nil
+}
+
+// Count returns the number of items published so far.
+func (r *SegRing[T]) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.head
+}
+
+// SetStats attaches the producing reader's skip accounting; call before
+// CloseSend.
+func (r *SegRing[T]) SetStats(st ReadStats) {
+	r.mu.Lock()
+	r.stats = st
+	r.mu.Unlock()
+}
+
+// Stats returns the accounting set by SetStats.
+func (r *SegRing[T]) Stats() ReadStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// CloseSend ends the stream: consumers that drain the ring observe err
+// (nil = clean end, reported as io.EOF). Idempotent; the first error wins.
+func (r *SegRing[T]) CloseSend(err error) {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		r.sendErr = err
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if r.stopWatch != nil {
+		r.stopWatch()
+	}
+}
+
+// SegConsumer is one consumer's cursor over a SegRing. Each consumer slot
+// may be used from one goroutine at a time.
+type SegConsumer[T any] struct {
+	r      *SegRing[T]
+	id     int
+	handed bool
+}
+
+// Consumer returns the cursor for consumer slot i (0 ≤ i < consumers).
+func (r *SegRing[T]) Consumer(i int) *SegConsumer[T] {
+	if i < 0 || i >= len(r.pos) {
+		panic(fmt.Sprintf("trace: ring consumer %d of %d", i, len(r.pos)))
+	}
+	return &SegConsumer[T]{r: r, id: i}
+}
+
+// Next returns the next item in stream order, blocking until the producer
+// publishes one. Asking for the next item is what releases the current
+// slot for reuse. At a clean end of stream Next returns io.EOF; a producer
+// failure surfaces as a *RingProducerError after every item published
+// before the failure has been delivered.
+func (c *SegConsumer[T]) Next() (T, error) {
+	var zero T
+	r := c.r
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c.handed {
+		r.pos[c.id]++
+		c.handed = false
+		r.cond.Broadcast()
+	}
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return zero, fmt.Errorf("trace: ring replay canceled at item %d: %w", r.pos[c.id], err)
+		}
+		if r.pos[c.id] < r.head {
+			c.handed = true
+			return r.slots[r.pos[c.id]%int64(r.nslots)], nil
+		}
+		if r.closed {
+			if r.sendErr != nil {
+				return zero, &RingProducerError{Err: r.sendErr}
+			}
+			return zero, io.EOF
+		}
+		r.cond.Wait()
+	}
+}
+
+// Close deregisters the consumer: it stops gating the producer's progress,
+// which may unblock a producer waiting on this consumer (or fail it with
+// ErrRingDrained once no consumers remain). Idempotent; draining to EOF
+// makes it a no-op but still safe.
+func (c *SegConsumer[T]) Close() {
+	r := c.r
+	r.mu.Lock()
+	if !r.done[c.id] {
+		r.done[c.id] = true
+		r.ndone++
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}

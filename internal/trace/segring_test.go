@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSegRingBroadcastOrder pins that every consumer sees every item in
+// publication order.
+func TestSegRingBroadcastOrder(t *testing.T) {
+	const items, consumers = 100, 3
+	r := NewSegRing[int](context.Background(), consumers, 4)
+
+	var wg sync.WaitGroup
+	got := make([][]int, consumers)
+	for id := 0; id < consumers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Consumer(id)
+			defer c.Close()
+			for {
+				v, err := c.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					t.Errorf("consumer %d: %v", id, err)
+					return
+				}
+				got[id] = append(got[id], v)
+			}
+		}(id)
+	}
+	for i := 0; i < items; i++ {
+		if err := r.Send(i); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	r.CloseSend(nil)
+	wg.Wait()
+
+	for id, seq := range got {
+		if len(seq) != items {
+			t.Fatalf("consumer %d saw %d items, want %d", id, len(seq), items)
+		}
+		for i, v := range seq {
+			if v != i {
+				t.Fatalf("consumer %d item %d = %d", id, i, v)
+			}
+		}
+	}
+}
+
+// TestSegRingBackpressure pins that the producer blocks once the slowest
+// consumer is a full ring behind, and resumes when it advances.
+func TestSegRingBackpressure(t *testing.T) {
+	const depth = MinSegRingDepth
+	r := NewSegRing[int](context.Background(), 1, depth)
+	c := r.Consumer(0)
+	defer c.Close()
+
+	for i := 0; i < depth; i++ {
+		if err := r.Send(i); err != nil {
+			t.Fatalf("Send(%d): %v", i, err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- r.Send(depth) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("Send returned (%v) with a full ring and a stalled consumer", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// One Next hands out slot 0 but releases nothing; the second releases
+	// slot 0 and unblocks the producer.
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if _, err := c.Next(); err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("Send after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("producer still blocked after consumer advanced")
+	}
+}
+
+// TestSegRingProducerError pins that consumers drain all published items
+// before observing the producer's failure, wrapped as *RingProducerError.
+func TestSegRingProducerError(t *testing.T) {
+	r := NewSegRing[int](context.Background(), 1, 8)
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		if err := r.Send(i); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	r.CloseSend(boom)
+
+	c := r.Consumer(0)
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		v, err := c.Next()
+		if err != nil || v != i {
+			t.Fatalf("Next = %d, %v; want %d, nil", v, err, i)
+		}
+	}
+	_, err := c.Next()
+	var pe *RingProducerError
+	if !errors.As(err, &pe) || !errors.Is(err, boom) {
+		t.Fatalf("Next after failed CloseSend = %v; want *RingProducerError wrapping boom", err)
+	}
+}
+
+// TestSegRingDrained pins that Send fails with ErrRingDrained once every
+// consumer has closed.
+func TestSegRingDrained(t *testing.T) {
+	r := NewSegRing[int](context.Background(), 2, 4)
+	r.Consumer(0).Close()
+	r.Consumer(1).Close()
+	if err := r.Send(1); !errors.Is(err, ErrRingDrained) {
+		t.Fatalf("Send with no consumers = %v; want ErrRingDrained", err)
+	}
+}
+
+// TestSegRingCancel pins that a context cancellation unblocks both a
+// blocked producer and a waiting consumer.
+func TestSegRingCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewSegRing[int](ctx, 1, MinSegRingDepth)
+
+	prod := make(chan error, 1)
+	go func() {
+		for i := 0; ; i++ {
+			if err := r.Send(i); err != nil {
+				prod <- err
+				return
+			}
+		}
+	}()
+	cons := make(chan error, 1)
+	go func() {
+		c := r.Consumer(0)
+		defer c.Close()
+		for {
+			if _, err := c.Next(); err != nil {
+				cons <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	for name, ch := range map[string]chan error{"producer": prod, "consumer": cons} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s unblocked with %v; want context.Canceled", name, err)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("%s still blocked after cancel", name)
+		}
+	}
+}
+
+// TestSegRingSendAfterClose pins the post-CloseSend send error.
+func TestSegRingSendAfterClose(t *testing.T) {
+	r := NewSegRing[int](context.Background(), 1, 4)
+	r.CloseSend(nil)
+	if err := r.Send(1); err == nil {
+		t.Fatal("Send after CloseSend succeeded")
+	}
+}
